@@ -1,0 +1,44 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure via
+``repro.experiments`` and prints the rows the paper reports.  Durations
+and sweep sizes default to values that complete the full suite in a
+few minutes; scale up for higher fidelity with:
+
+    REPRO_SIM_DURATION=120000 REPRO_SWEEP_SAMPLE=60 \
+        pytest benchmarks/ --benchmark-only
+    REPRO_FULL_SWEEP=1 ...            # all 250 scenarios (slow)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_duration(default: float = 20_000.0) -> float:
+    raw = os.environ.get("REPRO_SIM_DURATION")
+    return float(raw) if raw else default
+
+
+def bench_sample(default: int = 12):
+    raw = os.environ.get("REPRO_SWEEP_SAMPLE")
+    return int(raw) if raw else default
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print an experiment table so it survives pytest capture."""
+
+    def _show(result) -> None:
+        with capsys.disabled():
+            print()
+            print(result.format_table())
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

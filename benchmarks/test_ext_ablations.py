@@ -1,0 +1,27 @@
+"""Bench: extension design-parameter sweeps (beyond the paper)."""
+
+from repro.experiments import ext_ablations
+
+from conftest import bench_duration, run_once
+
+
+def test_ext_ablations(benchmark, show):
+    result = run_once(
+        benchmark, ext_ablations.run, duration_cycles=bench_duration(10_000.0)
+    )
+    show(result)
+    # Bandwidth sweep sanity: more bandwidth -> lower conventional
+    # overhead (protection traffic matters less).
+    bw_rows = [
+        row for row in result.rows
+        if row["parameter"] == "bandwidth_bytes_per_cycle"
+        and row["scenario"] == "c1"
+    ]
+    by_value = {row["value"]: row["conventional"] for row in bw_rows}
+    assert by_value[34.0] <= by_value[8.5]
+    # Ours keeps a nonnegative mean advantage across tracker sizes.
+    tracker_rows = [
+        row for row in result.rows if row["parameter"] == "tracker_entries"
+    ]
+    mean_gain = sum(row["ours_gain"] for row in tracker_rows) / len(tracker_rows)
+    assert mean_gain > -0.05

@@ -1,0 +1,26 @@
+"""Bench: metadata storage accounting + tree design space."""
+
+from repro.experiments import ext_metadata
+
+from conftest import run_once
+
+
+def test_ext_metadata(benchmark, show):
+    result = run_once(benchmark, ext_metadata.run)
+    show(result)
+    values = {row["configuration"]: row["value"] for row in result.rows}
+    # Promotion collapses a chunk's 4KB of MACs to one 8B MAC and
+    # prunes all tree nodes below the promoted counter.
+    assert values["fixed: MAC bytes"] == 4096
+    assert values["multigranular: MAC bytes"] == 8
+    assert values["multigranular: tree-node bytes"] < (
+        values["fixed: tree-node bytes"]
+    )
+    # Higher arity flattens the tree (VAULT's lever).
+    assert values["arity 64: levels above data"] < (
+        values["arity 8: levels above data"]
+    )
+    # Promotion shortens the verification walk by one level per step.
+    assert values["64B counter: levels walked"] - 3 == (
+        values["32768B counter: levels walked"]
+    )

@@ -1,0 +1,20 @@
+"""Bench: phase-stress and seed-robustness extension."""
+
+from repro.experiments import ext_phases
+
+from conftest import bench_duration, run_once
+
+
+def test_ext_phases(benchmark, show):
+    result = run_once(
+        benchmark, ext_phases.run, duration_cycles=bench_duration(12_000.0)
+    )
+    show(result)
+    values = {row["configuration"]: row["value"] for row in result.rows}
+    # Phase changes must raise the misprediction rate (toward the
+    # paper's non-stationary regime).
+    assert values["phased: misprediction rate"] > (
+        values["stationary: misprediction rate"]
+    )
+    # The coarse scenario's gain is positive and robust across seeds.
+    assert values["cc1: mean ours gain (3 seeds)"] > 0.0

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 4 (stream-chunk ratios per workload)."""
+
+from repro.experiments import fig04_stream_chunks
+
+from conftest import bench_duration, run_once
+
+
+def test_fig04_stream_chunks(benchmark, show):
+    result = run_once(
+        benchmark, fig04_stream_chunks.run, duration_cycles=bench_duration()
+    )
+    show(result)
+    assert len(result.rows) == 14
+    ratios = {row["workload"]: row for row in result.rows}
+    # Shape checks mirroring the paper's Fig. 4 narrative.
+    assert ratios["alex"]["32KB"] > 0.5          # alex is 32KB-dominated
+    assert ratios["bw"]["64B"] > 0.7             # CPU is fine-dominated
+    assert ratios["mm"]["4KB"] + ratios["mm"]["32KB"] > 0.5

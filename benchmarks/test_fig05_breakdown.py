@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 5 (conventional overhead breakdown)."""
+
+from repro.experiments import fig05_breakdown
+
+from conftest import bench_duration, run_once
+
+
+def test_fig05_breakdown(benchmark, show):
+    result = run_once(
+        benchmark, fig05_breakdown.run, duration_cycles=bench_duration()
+    )
+    show(result)
+    rows = {row["class"]: row for row in result.rows}
+    # Both counters and MACs contribute (Sec. 3.2) and the hetero
+    # system pays a substantial combined overhead.
+    assert rows["hetero"]["total_overhead"] > 0.10
+    for cls in ("cpu", "gpu", "npu", "hetero"):
+        assert rows[cls]["mac_overhead"] >= 0.0

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 6 (per-device vs per-partition granularity)."""
+
+from repro.experiments import fig06_per_device
+
+from conftest import bench_duration, run_once
+
+
+def test_fig06_per_device(benchmark, show):
+    result = run_once(
+        benchmark, fig06_per_device.run, duration_cycles=bench_duration()
+    )
+    show(result)
+    assert len(result.rows) == 4
+    # Per-device static inflates traffic relative to conventional;
+    # the per-partition dynamic scheme does not (paper Sec. 3.3).
+    for row in result.rows:
+        if row["scheme"] == "per-device-best":
+            assert row["traffic_vs_conventional"] > 1.0
+        else:
+            assert row["traffic_vs_conventional"] < 1.1

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 15 (CDF vs prior work over the sweep)."""
+
+from repro.experiments import fig15_cdf_prior
+from repro.experiments.common import label
+
+from conftest import bench_duration, bench_sample, run_once
+
+
+def test_fig15_cdf_prior(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig15_cdf_prior.run,
+        sample=bench_sample(),
+        duration_cycles=bench_duration(),
+    )
+    show(result)
+    means = {row["scheme"]: row["mean"] for row in result.rows}
+    # Paper Sec. 5.2 orderings.
+    assert means[label("ours")] < means[label("adaptive")]
+    assert means[label("ours")] < means[label("common_ctr")]
+    assert means[label("bmf_unused_ours")] < means[label("bmf_unused")]
+    assert means[label("bmf_unused_ours")] < means[label("ours")]

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 16 (exec / traffic / misses vs prior work)."""
+
+from repro.experiments import fig16_prior_bars
+from repro.experiments.common import label
+
+from conftest import bench_duration, bench_sample, run_once
+
+
+def test_fig16_prior_bars(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig16_prior_bars.run,
+        sample=bench_sample(),
+        duration_cycles=bench_duration(),
+    )
+    show(result)
+    rows = {row["scheme"]: row for row in result.rows}
+    # Prior dual-granularity schemes carry more traffic and more
+    # security-cache misses than Ours (paper Fig. 16).
+    assert rows[label("adaptive")]["traffic_vs_ours"] > 1.0
+    assert rows[label("adaptive")]["misses_vs_ours"] > 1.0
+    assert rows[label("common_ctr")]["misses_vs_ours"] > 1.0
+    # The combined scheme reduces both below Ours.
+    assert rows[label("bmf_unused_ours")]["traffic_vs_ours"] < 1.0
+    assert rows[label("bmf_unused_ours")]["misses_vs_ours"] < 1.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 17 (breakdown CDFs)."""
+
+from repro.experiments import fig17_cdf_breakdown
+from repro.experiments.common import label
+
+from conftest import bench_duration, bench_sample, run_once
+
+
+def test_fig17_cdf_breakdown(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig17_cdf_breakdown.run,
+        sample=bench_sample(),
+        duration_cycles=bench_duration(),
+    )
+    show(result)
+    means = {row["scheme"]: row["mean"] for row in result.rows}
+    # The paper's incremental story: each step reduces overhead.
+    assert means[label("ours")] < means[label("conventional")]
+    assert means[label("bmf_unused_ours")] < means[label("ours")]
+    assert means[label("multi_ctr_only")] < means[label("conventional")]

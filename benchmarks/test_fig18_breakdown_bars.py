@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 18 (breakdown bars)."""
+
+from repro.experiments import fig18_breakdown_bars
+from repro.experiments.common import label
+
+from conftest import bench_duration, bench_sample, run_once
+
+
+def test_fig18_breakdown_bars(benchmark, show):
+    result = run_once(
+        benchmark,
+        fig18_breakdown_bars.run,
+        sample=bench_sample(),
+        duration_cycles=bench_duration(),
+    )
+    show(result)
+    rows = {row["scheme"]: row for row in result.rows}
+    conv = rows[label("conventional")]
+    ours = rows[label("ours")]
+    combined = rows[label("bmf_unused_ours")]
+    # Ours cuts traffic and security-cache misses vs conventional.
+    assert ours["traffic_vs_unsecure"] < conv["traffic_vs_unsecure"]
+    assert ours["misses_vs_conventional"] < 1.0
+    assert combined["misses_vs_conventional"] < ours["misses_vs_conventional"]

@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 19 (selected-scenario analysis, 3 panels)."""
+
+from repro.experiments import fig19_selected
+from repro.common.stats import mean
+
+from conftest import bench_duration, run_once
+
+
+def test_fig19_selected(benchmark, show):
+    panels = run_once(
+        benchmark, fig19_selected.run, duration_cycles=bench_duration()
+    )
+    for key in ("a", "b", "c"):
+        show(panels[key])
+
+    rows = panels["a"].rows
+    gain = {
+        row["scenario"]: (row["conventional"] - row["ours"])
+        / row["conventional"]
+        for row in rows
+    }
+    groups = {"ff": ["ff1", "ff2", "ff3"], "cc": ["cc1", "cc2", "cc3"]}
+    cc_gain = mean([gain[s] for s in groups["cc"]])
+    ff_gain = mean([gain[s] for s in groups["ff"]])
+    # Paper Fig. 19 (a): coarse scenarios gain far more than fine ones.
+    assert cc_gain > ff_gain
+    # Fig. 19 (b): coarse scenarios expose more 32KB stream chunks.
+    dist = {row["scenario"]: row for row in panels["b"].rows}
+    cc_32k = mean([dist[s]["32KB"] for s in groups["cc"]])
+    ff_32k = mean([dist[s]["32KB"] for s in groups["ff"]])
+    assert cc_32k > ff_32k

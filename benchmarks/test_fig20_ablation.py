@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 20 (dual-granularity / switching ablations)."""
+
+from repro.experiments import fig20_ablation
+
+from conftest import bench_duration, run_once
+
+
+def test_fig20_ablation(benchmark, show):
+    result = run_once(
+        benchmark, fig20_ablation.run, duration_cycles=bench_duration()
+    )
+    show(result)
+    mean_row = result.rows[-1]
+    assert mean_row["scenario"] == "MEAN"
+    # Removing switching overhead can only help (paper: +4.4%).
+    assert mean_row["ours_no_switch"] <= mean_row["ours"] + 0.01
+    assert mean_row["bmf_no_switch"] <= mean_row["bmf_unused_ours"] + 0.01
+    # Dual granularity gives up part of the multi-granular win on the
+    # mixed-granularity scenarios (paper: 3.3% average).
+    assert mean_row["ours_dual"] >= mean_row["ours"] - 0.02

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 21 (Finance / AutoDrive pipelines)."""
+
+from repro.experiments import fig21_realworld
+from repro.experiments.common import label
+
+from conftest import bench_duration, run_once
+
+
+def test_fig21_realworld(benchmark, show):
+    result = run_once(
+        benchmark, fig21_realworld.run, duration_cycles=bench_duration()
+    )
+    show(result)
+    by_key = {(row["pipeline"], row["scheme"]): row for row in result.rows}
+    for pipeline in ("finance", "autodrive"):
+        conv = by_key[(pipeline, label("conventional"))]["norm_exec"]
+        ours = by_key[(pipeline, label("ours"))]["norm_exec"]
+        combined = by_key[(pipeline, label("bmf_unused_ours"))]["norm_exec"]
+        # Paper Fig. 21: Ours reduces the conventional overhead and the
+        # subtree combination reduces it further.
+        assert ours < conv
+        assert combined < ours

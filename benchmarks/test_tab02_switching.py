@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2 (switching-category ratios)."""
+
+from repro.experiments import tab02_switching
+
+from conftest import bench_duration, run_once
+
+
+def test_tab02_switching(benchmark, show):
+    result = run_once(
+        benchmark, tab02_switching.run, duration_cycles=bench_duration()
+    )
+    show(result)
+    ratios = {row["category"]: row["ratio"] for row in result.rows}
+    assert ratios["correct_prediction"] > 0.5  # paper: 73.5%
+    assert abs(sum(ratios.values()) - 1.0) < 1e-6

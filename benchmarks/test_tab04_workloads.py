@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 4 (workload classification)."""
+
+from repro.experiments import tab04_workloads
+
+from conftest import bench_duration, run_once
+
+
+def test_tab04_workloads(benchmark, show):
+    result = run_once(
+        benchmark, tab04_workloads.run, duration_cycles=bench_duration()
+    )
+    show(result)
+    assert len(result.rows) == 16
+    agree = sum(
+        1
+        for row in result.rows
+        if row["measured_pattern"] == row["spec_pattern"]
+        or row["spec_pattern"] == "d"
+    )
+    assert agree >= 10  # classification broadly matches the calibration

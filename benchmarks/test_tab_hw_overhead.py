@@ -1,0 +1,15 @@
+"""Bench: regenerate the Sec. 4.5 hardware-overhead table."""
+
+from repro.experiments import tab_hw_overhead
+
+from conftest import run_once
+
+
+def test_tab_hw_overhead(benchmark, show):
+    result = run_once(benchmark, tab_hw_overhead.run)
+    show(result)
+    quantities = {row["component"]: row["quantity"] for row in result.rows}
+    assert "841B" in str(
+        quantities["access tracker total (12 entries)"]
+    )  # paper: 842B (rounding)
+    assert "2MB" in str(quantities["granularity table, 4GB memory"])

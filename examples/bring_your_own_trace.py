@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Bring your own trace: save, reload and protect an external miss stream.
+
+Shows the trace-file workflow: generate a trace (here a tiled-GEMM GPU
+kernel walk standing in for a converted MGPUSim/ChampSim dump), save it
+in the portable format, reload it, and compare protection schemes on
+the reloaded stream.  The on-disk format is gzip text --
+``<gap> <hexaddr> <R|W>`` -- so converting your own simulator's dump is
+a ten-line script.
+
+Run:  python examples/bring_your_own_trace.py [path]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.common.config import SoCConfig
+from repro.experiments.common import label
+from repro.schemes.registry import build_scheme
+from repro.sim.soc import simulate
+from repro.workloads.kernels import tiled_gemm
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+        print(f"loading external trace {path}")
+    else:
+        path = Path(tempfile.gettempdir()) / "repro_mm_demo.trace.gz"
+        trace = tiled_gemm(n=256, tile=64)
+        save_trace(trace, path)
+        print(f"generated a tiled-GEMM trace and saved it to {path}")
+
+    trace = load_trace(path)
+    print(
+        f"loaded {len(trace)} requests "
+        f"({trace.spec.kind.value}, footprint "
+        f"{trace.spec.footprint_bytes / 1e6:.1f}MB)\n"
+    )
+
+    config = SoCConfig()
+    base = simulate([trace], build_scheme("unsecure", config), config)
+    base_finish = base.devices[0].finish_cycle
+
+    print(f"{'scheme':24s} {'norm exec':>9s} {'traffic MB':>10s}")
+    for name in ("conventional", "adaptive", "ours", "bmf_unused_ours"):
+        scheme = build_scheme(
+            name, config, footprint_bytes=trace.max_addr
+        )
+        result = simulate([trace], scheme, config, warmup=True)
+        print(
+            f"{label(name):24s} "
+            f"{result.devices[0].finish_cycle / base_finish:9.3f} "
+            f"{result.total_traffic_bytes / 1e6:10.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

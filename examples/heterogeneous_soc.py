@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Simulate a heterogeneous SoC scenario under every protection scheme.
+
+Reproduces one column of the paper's evaluation: the `cc1` scenario
+(xal on the CPU, matrix-multiply on the GPU, AlexNet + DLRM on the two
+NPUs) runs under the unsecured baseline, the conventional fixed-64B
+scheme, the prior-work baselines, the paper's multi-granular scheme and
+the combined subtree variant.
+
+Run:  python examples/heterogeneous_soc.py [scenario] [duration]
+"""
+
+import sys
+
+from repro.experiments.common import label
+from repro.sim import run_scenario, selected_scenario
+
+SCHEMES = (
+    "unsecure",
+    "conventional",
+    "static_device",
+    "adaptive",
+    "common_ctr",
+    "multi_ctr_only",
+    "ours",
+    "bmf_unused",
+    "bmf_unused_ours",
+)
+
+
+def main() -> None:
+    scenario_name = sys.argv[1] if len(sys.argv) > 1 else "cc1"
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 20_000.0
+    scenario = selected_scenario(scenario_name)
+
+    print(f"scenario {scenario.name}: {' + '.join(scenario.workload_names)}")
+    print(f"simulating {len(SCHEMES)} schemes ({duration:.0f} cycles/device)\n")
+
+    results = run_scenario(scenario, SCHEMES, duration_cycles=duration)
+    base = results["unsecure"]
+
+    header = (
+        f"{'scheme':28s} {'norm exec':>9s} {'traffic MB':>10s} "
+        f"{'sec misses':>10s} {'coarse %':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in SCHEMES:
+        run = results[name]
+        norm = run.mean_normalized_exec_time(base)
+        hist = run.scheme.stats.granularity_hist
+        coarse = 1.0 - hist.fraction(64) if hist.total else 0.0
+        print(
+            f"{label(name):28s} {norm:9.3f} "
+            f"{run.total_traffic_bytes / 1e6:10.2f} "
+            f"{run.security_cache_misses:10d} {100 * coarse:7.1f}%"
+        )
+
+    print("\nper-device normalized execution time (conventional vs ours):")
+    conv = results["conventional"].normalized_exec_times(base)
+    ours = results["ours"].normalized_exec_times(base)
+    for device, c, o in zip(base.devices, conv, ours):
+        arrow = "improved" if o < c else "regressed"
+        print(
+            f"  {device.name:6s} ({device.workload:6s}) "
+            f"conventional={c:.3f}  ours={o:.3f}  [{arrow}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

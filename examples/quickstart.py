@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: a working encrypted + integrity-protected memory.
+
+Demonstrates the functional layer end to end:
+
+1. write/read through the multi-granular secure memory;
+2. watch the dynamic detector promote a streamed chunk to 32KB
+   granularity (one shared counter + one merged MAC);
+3. play the attacker: tamper with ciphertext, MACs and counters, and
+   replay stale data -- every attack is detected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common.errors import IntegrityError, ReplayError, SecurityError
+from repro.crypto import KeySet
+from repro.secure_memory import SecureMemory
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    banner("1. Basic protected reads and writes")
+    mem = SecureMemory(
+        region_bytes=1 << 20,
+        keys=KeySet.from_seed(b"quickstart"),
+        policy="multigranular",
+    )
+    mem.write(0, b"confidential payload".ljust(64, b"\0"))
+    print("plaintext readback:", mem.read(0, 64)[:20])
+    print("ciphertext in DRAM:", mem.dram.read_line(0)[:20].hex(), "...")
+
+    banner("2. Dynamic granularity detection")
+    chunk = bytes(range(256)) * 128  # 32KB of data
+    print("granularity before streaming:", mem.granularity_of(0), "bytes")
+    mem.write(0, chunk)  # stream every line of the chunk
+    print("granularity after streaming: ", mem.granularity_of(0), "bytes")
+    print("lazy switches performed:     ", mem.switches)
+    assert mem.read(0, len(chunk)) == chunk
+    print("32KB region verified against ONE merged MAC + shared counter")
+
+    banner("3. Physical attacks are detected")
+    attacks = []
+
+    def attempt(label, mutate, victim_addr):
+        try:
+            mutate()
+            mem.read(victim_addr, 64)
+            attacks.append((label, "MISSED!"))
+        except (IntegrityError, ReplayError) as exc:
+            attacks.append((label, f"detected ({type(exc).__name__})"))
+
+    attempt("flip a ciphertext bit", lambda: mem.tamper_data(64 * 5), 64 * 5)
+
+    fresh = SecureMemory(1 << 20, keys=KeySet.from_seed(b"q2"))
+    fresh.write(0, b"v1" * 32)
+    stale = fresh.snapshot(0)
+    fresh.write(0, b"v2" * 32)
+
+    def replay():
+        fresh.replay(0, stale)
+
+    try:
+        replay()
+        fresh.read(0, 64)
+        attacks.append(("replay stale data", "MISSED!"))
+    except SecurityError as exc:
+        attacks.append(("replay stale data", f"detected ({type(exc).__name__})"))
+
+    counter_mem = SecureMemory(1 << 20, keys=KeySet.from_seed(b"q3"))
+    counter_mem.write(0, b"x" * 64)
+    counter_mem.tree.tamper_counter(0)
+    counter_mem.tree.drop_trust_cache()
+    try:
+        counter_mem.read(0, 64)
+        attacks.append(("tamper a counter", "MISSED!"))
+    except SecurityError as exc:
+        attacks.append(("tamper a counter", f"detected ({type(exc).__name__})"))
+
+    for label, outcome in attacks:
+        print(f"  {label:28s} -> {outcome}")
+    assert all("detected" in outcome for _, outcome in attacks)
+
+    banner("4. The multi-granular tree after promotion (Figs. 1/10)")
+    print(mem.tree.render())
+    print("(R = on-chip root, # = stored node, . = pristine/pruned)")
+    print("stored metadata:", mem.metadata_footprint()["total_bytes"], "bytes",
+          "for a 32KB protected chunk")
+
+    banner("5. Switching statistics (paper Table 2)")
+    for category, ratio in mem.switching.ratios().items():
+        print(f"  {category:24s} {ratio:8.4f}")
+
+
+if __name__ == "__main__":
+    main()

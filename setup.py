@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .`` via pyproject only)
+cannot build.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``python setup.py develop``) work.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro: Unified Memory Protection with Multi-granular MAC and Integrity Tree.
+
+A Python reproduction of Lee et al., ISCA 2025: a trace-driven
+heterogeneous-SoC simulator plus a functional (real-crypto) secure
+memory implementing the paper's multi-granular MAC & integrity-tree
+mechanism, its baselines, and every evaluation experiment.
+
+Typical entry points:
+
+* :class:`repro.secure_memory.SecureMemory` -- working encrypted +
+  integrity- + replay-protected memory (functional layer).
+* :func:`repro.sim.run_scenario` -- simulate a heterogeneous scenario
+  under any scheme of the paper's Table 5 (timing layer).
+* :mod:`repro.experiments` -- regenerate each paper table and figure.
+"""
+
+from repro.common.config import SoCConfig
+from repro.schemes import SCHEME_NAMES, build_scheme
+from repro.secure_memory import SecureMemory
+from repro.sim import (
+    REALWORLD_SCENARIOS,
+    SELECTED_SCENARIOS,
+    Scenario,
+    all_scenarios,
+    make_scenario,
+    run_scenario,
+    simulate,
+)
+from repro.workloads import WORKLOADS, generate_trace, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SoCConfig",
+    "SCHEME_NAMES",
+    "build_scheme",
+    "SecureMemory",
+    "REALWORLD_SCENARIOS",
+    "SELECTED_SCENARIOS",
+    "Scenario",
+    "all_scenarios",
+    "make_scenario",
+    "run_scenario",
+    "simulate",
+    "WORKLOADS",
+    "generate_trace",
+    "get_workload",
+    "__version__",
+]

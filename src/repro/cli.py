@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``        -- enumerate workloads, scenarios and schemes;
+* ``simulate``    -- run one scenario under chosen schemes;
+* ``experiment``  -- regenerate a paper table/figure by id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import label
+from repro.schemes.registry import SCHEME_NAMES
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import (
+    REALWORLD_SCENARIOS,
+    SELECTED_SCENARIOS,
+    all_scenarios,
+    make_scenario,
+)
+from repro.workloads.registry import WORKLOADS
+
+
+def _find_scenario(name: str):
+    for scenario in list(SELECTED_SCENARIOS) + list(REALWORLD_SCENARIOS):
+        if scenario.name == name:
+            return scenario
+    for scenario in all_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise SystemExit(f"unknown scenario {name!r}; try `repro list scenarios`")
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """List workloads, scenarios, schemes and/or experiments."""
+    what = args.what
+    if what in ("workloads", "all"):
+        print("# workloads (Table 4)")
+        for name, spec in sorted(WORKLOADS.items()):
+            print(
+                f"  {name:8s} {spec.kind.value:4s} "
+                f"pattern={spec.pattern_label:5s} traffic={spec.traffic_label}"
+            )
+    if what in ("scenarios", "all"):
+        print("# selected scenarios (Sec. 5.4)")
+        for scenario in SELECTED_SCENARIOS:
+            print(f"  {scenario.name:4s} {'+'.join(scenario.workload_names)}")
+        print("# real-world pipelines (Sec. 5.5)")
+        for scenario in REALWORLD_SCENARIOS:
+            print(f"  {scenario.name:10s} {' -> '.join(scenario.workload_names)}")
+        print(f"# full sweep: {len(all_scenarios())} scenarios (cpu+gpu+npu+npu)")
+    if what in ("schemes", "all"):
+        print("# schemes (Table 5)")
+        for name in SCHEME_NAMES:
+            print(f"  {name:28s} {label(name)}")
+    if what in ("experiments", "all"):
+        print("# experiments (paper artifacts)")
+        for key, module in ALL_EXPERIMENTS.items():
+            note = getattr(module, "PAPER_NOTE", "").split(";")[0]
+            print(f"  {key:14s} {note}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Simulate one scenario under the requested schemes."""
+    if args.workloads:
+        names = args.workloads.split("+")
+        if len(names) != 4:
+            raise SystemExit("--workloads needs cpu+gpu+npu+npu")
+        scenario = make_scenario("custom", *names)
+    else:
+        scenario = _find_scenario(args.scenario)
+
+    schemes = ["unsecure"] + [
+        s for s in args.schemes.split(",") if s != "unsecure"
+    ]
+    runs = run_scenario(
+        scenario, schemes, duration_cycles=args.duration, seed=args.seed
+    )
+    base = runs["unsecure"]
+    print(f"scenario {scenario.name}: {'+'.join(scenario.workload_names)}")
+    print(f"{'scheme':28s} {'norm exec':>9s} {'traffic MB':>10s} {'misses':>8s}")
+    for name in schemes:
+        run = runs[name]
+        print(
+            f"{label(name):28s} "
+            f"{run.mean_normalized_exec_time(base):9.3f} "
+            f"{run.total_traffic_bytes / 1e6:10.2f} "
+            f"{run.security_cache_misses:8d}"
+        )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate one paper artifact and print its table."""
+    try:
+        module = ALL_EXPERIMENTS[args.id]
+    except KeyError:
+        raise SystemExit(
+            f"unknown experiment {args.id!r}; known: {sorted(ALL_EXPERIMENTS)}"
+        )
+    kwargs = {}
+    if args.duration is not None:
+        kwargs["duration_cycles"] = args.duration
+    if args.sample is not None and args.id in (
+        "fig15", "fig16", "fig17", "fig18",
+    ):
+        kwargs["sample"] = args.sample
+    result = module.run(**kwargs)
+    if isinstance(result, dict):  # fig19 panels
+        for panel in result.values():
+            print(panel.format_table())
+            print()
+    else:
+        print(result.format_table())
+    if args.plot and args.id in ("fig15", "fig17"):
+        from repro.experiments import sweep
+        from repro.experiments.common import default_sweep_sample
+        from repro.experiments.plotting import ascii_cdf
+
+        schemes = module.SCHEMES
+        results = sweep.sweep_results(
+            kwargs.get("sample") or default_sweep_sample(),
+            kwargs.get("duration_cycles"),
+        )
+        series = {
+            name: sweep.normalized_exec_times(results, name)
+            for name in schemes
+        }
+        print()
+        print(ascii_cdf(series))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every artifact into one markdown report."""
+    from repro.experiments.report import generate_report
+
+    def progress(key: str) -> None:
+        print(f"[report] running {key} ...", file=sys.stderr)
+
+    report = generate_report(
+        duration_cycles=args.duration,
+        sample=args.sample,
+        seed=args.seed,
+        progress=progress,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Unified multi-granular MAC & integrity-tree memory protection "
+            "(ISCA'25 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="enumerate library contents")
+    p_list.add_argument(
+        "what",
+        choices=["workloads", "scenarios", "schemes", "experiments", "all"],
+        nargs="?",
+        default="all",
+    )
+    p_list.set_defaults(func=cmd_list)
+
+    p_sim = sub.add_parser("simulate", help="simulate one scenario")
+    p_sim.add_argument("--scenario", default="cc1")
+    p_sim.add_argument(
+        "--workloads", default=None, help="custom cpu+gpu+npu+npu combo"
+    )
+    p_sim.add_argument(
+        "--schemes", default="conventional,ours,bmf_unused_ours"
+    )
+    p_sim.add_argument("--duration", type=float, default=20_000.0)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("id", help="fig04..fig21, tab02, tab04, tab_hw, ...")
+    p_exp.add_argument("--duration", type=float, default=None)
+    p_exp.add_argument("--sample", type=int, default=None)
+    p_exp.add_argument(
+        "--plot", action="store_true", help="ASCII CDF plot (fig15/fig17)"
+    )
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_rep = sub.add_parser("report", help="regenerate all artifacts")
+    p_rep.add_argument("-o", "--output", default=None)
+    p_rep.add_argument("--duration", type=float, default=None)
+    p_rep.add_argument("--sample", type=int, default=None)
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Shared substrate: constants, address algebra, value types, configs."""
+
+from repro.common import address, constants
+from repro.common.config import (
+    CacheConfig,
+    DeviceConfig,
+    EngineConfig,
+    MemoryConfig,
+    SoCConfig,
+    TrackerConfig,
+)
+from repro.common.errors import (
+    AddressError,
+    ConfigError,
+    CounterOverflowError,
+    IntegrityError,
+    ReplayError,
+    ReproError,
+    SecurityError,
+)
+from repro.common.types import (
+    AccessOutcome,
+    AccessType,
+    DeviceKind,
+    GranularityDecision,
+    MemoryRequest,
+    MetadataKind,
+    TrafficBreakdown,
+)
+
+__all__ = [
+    "address",
+    "constants",
+    "CacheConfig",
+    "DeviceConfig",
+    "EngineConfig",
+    "MemoryConfig",
+    "SoCConfig",
+    "TrackerConfig",
+    "AddressError",
+    "ConfigError",
+    "CounterOverflowError",
+    "IntegrityError",
+    "ReplayError",
+    "ReproError",
+    "SecurityError",
+    "AccessOutcome",
+    "AccessType",
+    "DeviceKind",
+    "GranularityDecision",
+    "MemoryRequest",
+    "MetadataKind",
+    "TrafficBreakdown",
+]

@@ -1,0 +1,104 @@
+"""Address algebra for chunks, partitions and cachelines.
+
+The paper splits a 64-bit physical address into a 49-bit *chunk index*
+(32KB chunk) and a 15-bit in-chunk offset (Sec. 4.4).  Every component
+of the system -- the access tracker, the granularity table, the
+multi-granular addressing of Eqs. 1-4 -- works in these units, so the
+helpers live here in one place.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    CHUNK_OFFSET_BITS,
+    LINES_PER_PARTITION,
+    PARTITION_BYTES,
+    PARTITIONS_PER_CHUNK,
+)
+from repro.common.errors import AddressError
+
+
+def align_down(addr: int, granularity: int) -> int:
+    """Round ``addr`` down to a multiple of ``granularity``."""
+    return addr - (addr % granularity)
+
+
+def align_up(addr: int, granularity: int) -> int:
+    """Round ``addr`` up to a multiple of ``granularity``."""
+    return align_down(addr + granularity - 1, granularity)
+
+
+def is_aligned(addr: int, granularity: int) -> bool:
+    """True when ``addr`` is a multiple of ``granularity``."""
+    return addr % granularity == 0
+
+
+def line_index(addr: int) -> int:
+    """Global 64B cacheline index of ``addr``."""
+    return addr // CACHELINE_BYTES
+
+
+def line_base(addr: int) -> int:
+    """Base address of the 64B cacheline containing ``addr``."""
+    return align_down(addr, CACHELINE_BYTES)
+
+
+def chunk_index(addr: int) -> int:
+    """49-bit chunk index: the upper bits of the address (paper Fig. 12)."""
+    return addr >> CHUNK_OFFSET_BITS
+
+
+def chunk_base(addr: int) -> int:
+    """Base address of the 32KB chunk containing ``addr``."""
+    return align_down(addr, CHUNK_BYTES)
+
+
+def chunk_offset(addr: int) -> int:
+    """In-chunk byte offset: the lower 15 bits of the address."""
+    return addr & (CHUNK_BYTES - 1)
+
+
+def cacheline_in_chunk(addr: int) -> int:
+    """Index (0..511) of the 64B line of ``addr`` within its 32KB chunk."""
+    return chunk_offset(addr) // CACHELINE_BYTES
+
+
+def partition_in_chunk(addr: int) -> int:
+    """Index (0..63) of the 512B partition of ``addr`` within its chunk."""
+    return chunk_offset(addr) // PARTITION_BYTES
+
+
+def partition_index(addr: int) -> int:
+    """Global 512B partition index of ``addr``."""
+    return addr // PARTITION_BYTES
+
+
+def line_in_partition(addr: int) -> int:
+    """Index (0..7) of the 64B line of ``addr`` within its 512B partition."""
+    return (addr // CACHELINE_BYTES) % LINES_PER_PARTITION
+
+
+def partitions_of_chunk(chunk_idx: int) -> range:
+    """Global partition indices covered by chunk ``chunk_idx``."""
+    first = chunk_idx * PARTITIONS_PER_CHUNK
+    return range(first, first + PARTITIONS_PER_CHUNK)
+
+
+def iter_lines(addr: int, size: int) -> range:
+    """Global cacheline indices touched by the byte range [addr, addr+size)."""
+    if size <= 0:
+        raise AddressError(f"non-positive access size {size}")
+    first = addr // CACHELINE_BYTES
+    last = (addr + size - 1) // CACHELINE_BYTES
+    return range(first, last + 1)
+
+
+def check_range(addr: int, size: int, limit: int) -> None:
+    """Raise :class:`AddressError` unless [addr, addr+size) fits in [0, limit)."""
+    if addr < 0 or size <= 0 or addr + size > limit:
+        raise AddressError(
+            f"access [{addr:#x}, {addr + size:#x}) outside protected region "
+            f"of {limit:#x} bytes"
+        )

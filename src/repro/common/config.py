@@ -1,0 +1,186 @@
+"""Configuration dataclasses for the simulated SoC and security engine.
+
+Defaults follow the paper's Table 3 (NVIDIA-Orin-like system) and the
+engine hyper-parameters of Sec. 5.1.  All configs are frozen: a config
+object describes a simulation, it never mutates during one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common import constants
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one on-chip cache.
+
+    Attributes:
+        capacity_bytes: total capacity.
+        line_bytes: line size (metadata caches always use 64B lines).
+        ways: associativity.
+    """
+
+    capacity_bytes: int
+    line_bytes: int = constants.CACHELINE_BYTES
+    ways: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ConfigError(f"invalid cache config {self}")
+        lines = self.capacity_bytes // self.line_bytes
+        if lines == 0:
+            raise ConfigError("cache smaller than one line")
+        if lines % self.ways != 0:
+            raise ConfigError(
+                f"{lines} lines not divisible into {self.ways} ways"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Shared off-chip memory channel (paper Table 3: LPDDR4, 17 GB/s).
+
+    ``banks=0`` uses the simple latency+occupancy channel; a positive
+    value enables the bank-aware row-buffer model of
+    :class:`repro.mem.dram.BankedMemoryChannel`.
+    """
+
+    bytes_per_cycle: float = constants.DRAM_BYTES_PER_CYCLE
+    latency_cycles: int = constants.DRAM_LATENCY_CYCLES
+    protected_bytes: int = constants.PROTECTED_MEMORY_BYTES
+    banks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_cycle <= 0 or self.latency_cycles < 0 or self.banks < 0:
+            raise ConfigError(f"invalid memory config {self}")
+
+    @property
+    def line_occupancy_cycles(self) -> float:
+        """Channel occupancy of one 64B transfer."""
+        return constants.CACHELINE_BYTES / self.bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class TrackerConfig:
+    """Access-tracker geometry (paper Sec. 4.4)."""
+
+    entries: int = constants.ACCESS_TRACKER_ENTRIES
+    lifetime_cycles: int = constants.TRACKER_LIFETIME_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.lifetime_cycles <= 0:
+            raise ConfigError(f"invalid tracker config {self}")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Security-engine hyper-parameters (paper Sec. 5.1).
+
+    Attributes:
+        metadata_cache: unified counter + tree-node cache (8KB default).
+        mac_cache: MAC cache (4KB default).
+        table_cache: cache in front of the protected granularity table.
+        tracker: access tracker geometry.
+        unified_metadata_cache: merge the counter and MAC caches into
+            one structure (the "unified metadata cache" design the
+            paper's Sec. 2.2 mentions as an alternative).
+        otp_latency: OTP generation latency in cycles.
+        xor_latency: OTP XOR latency in cycles.
+        mac_latency: MAC computation latency in cycles.
+    """
+
+    metadata_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(constants.METADATA_CACHE_BYTES)
+    )
+    mac_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(constants.MAC_CACHE_BYTES)
+    )
+    table_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(constants.GRAN_TABLE_CACHE_BYTES)
+    )
+    tracker: TrackerConfig = field(default_factory=TrackerConfig)
+    unified_metadata_cache: bool = False
+    otp_latency: int = constants.OTP_LATENCY_CYCLES
+    xor_latency: int = constants.XOR_LATENCY_CYCLES
+    mac_latency: int = constants.MAC_LATENCY_CYCLES
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Issue model of one processing unit.
+
+    Attributes:
+        name: label used in reports ("cpu", "gpu", "npu0", ...).
+        max_outstanding: memory-level parallelism window.  The CPU
+            window is small (latency-sensitive), the GPU window is
+            large (latency-hiding), NPUs sit in between but issue
+            large bursts (paper Sec. 5.4 discusses the consequences).
+        dependent_loads: fraction of reads that cannot issue before the
+            previous read returns (pointer-chase dependencies).  This
+            is what makes CPUs latency-sensitive: every cycle the
+            protection engine adds to a miss lands on the critical
+            path, while a GPU's deep window hides it (Sec. 3.2).
+        clock_ratio: device clock relative to the 1 GHz reference.
+    """
+
+    name: str
+    max_outstanding: int
+    dependent_loads: float = 0.0
+    clock_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding <= 0 or self.clock_ratio <= 0:
+            raise ConfigError(f"invalid device config {self}")
+        if not 0.0 <= self.dependent_loads <= 1.0:
+            raise ConfigError(f"invalid dependent_loads in {self}")
+
+
+def default_cpu_config(name: str = "cpu") -> DeviceConfig:
+    """8-core 2.2GHz Cortex-class CPU: small window, chained loads."""
+    return DeviceConfig(
+        name=name, max_outstanding=8, dependent_loads=0.5, clock_ratio=2.2
+    )
+
+
+def default_gpu_config(name: str = "gpu") -> DeviceConfig:
+    """14-SM Ampere-class integrated GPU: deep latency-hiding window."""
+    return DeviceConfig(name=name, max_outstanding=64, clock_ratio=1.0)
+
+
+def default_npu_config(name: str = "npu") -> DeviceConfig:
+    """45x45 systolic-array NVDLA-class NPU: bursty medium window."""
+    return DeviceConfig(
+        name=name, max_outstanding=32, dependent_loads=0.12, clock_ratio=1.0
+    )
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Full heterogeneous SoC: devices + memory + security engine."""
+
+    devices: tuple = field(
+        default_factory=lambda: (
+            default_cpu_config(),
+            default_gpu_config(),
+            default_npu_config("npu0"),
+            default_npu_config("npu1"),
+        )
+    )
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+    def __post_init__(self) -> None:
+        names = [dev.name for dev in self.devices]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"duplicate device names: {names}")

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch
+one base class.  Security violations get their own branch because they
+are *expected* outcomes of the functional layer's tamper tests, not bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid simulator or scheme configuration was supplied."""
+
+
+class AddressError(ReproError):
+    """An address is outside the protected region or misaligned."""
+
+
+class SecurityError(ReproError):
+    """Base class for detected attacks in the functional layer."""
+
+
+class IntegrityError(SecurityError):
+    """A MAC check failed: off-chip data or metadata was tampered with."""
+
+
+class ReplayError(SecurityError):
+    """The integrity tree detected a stale (replayed) counter value."""
+
+
+class CounterOverflowError(SecurityError):
+    """A write counter exhausted its width and would repeat an OTP."""

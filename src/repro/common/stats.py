@@ -1,0 +1,111 @@
+"""Lightweight statistics helpers used across experiments and schemes."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class CounterStats:
+    """A named bag of monotonically increasing event counters."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts[name]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def merge(self, other: "CounterStats") -> None:
+        self._counts.update(other._counts)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Safe ratio of two counters (0.0 when the denominator is 0)."""
+        denom = self._counts[denominator]
+        if denom == 0:
+            return 0.0
+        return self._counts[numerator] / denom
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; 0.0 for empty input, requires positive values."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def cdf_points(values: Iterable[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs of the empirical CDF."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean without storing samples."""
+
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+
+    @property
+    def value(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class Histogram:
+    """Integer-bucket histogram used for chunk-granularity distributions."""
+
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def add(self, key: int, amount: int = 1) -> None:
+        self.buckets[key] = self.buckets.get(key, 0) + amount
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def fraction(self, key: int) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.buckets.get(key, 0) / total
+
+    def fractions(self) -> Dict[int, float]:
+        total = self.total
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self.buckets.items()}

@@ -1,0 +1,154 @@
+"""Core value types: access kinds, device kinds, memory requests.
+
+These are deliberately tiny frozen dataclasses / enums -- they flow in
+huge quantities through the trace pipeline, so they carry no behaviour
+beyond classification helpers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class AccessType(enum.Enum):
+    """Kind of a memory access as seen by the protection engine."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessType.WRITE
+
+
+class DeviceKind(enum.Enum):
+    """Class of processing unit issuing a request (paper Sec. 2.1)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    NPU = "npu"
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One LLC-miss-level memory request.
+
+    Attributes:
+        cycle: issue cycle in the device's local timeline.
+        addr: physical byte address (64B-aligned for data requests).
+        size: bytes requested (usually one cacheline; NPU bursts are
+            emitted as runs of cacheline requests, so size stays 64B).
+        access: read or write.
+        device: index of the issuing processing unit in the SoC.
+        kind: device class, used for per-device statistics.
+    """
+
+    cycle: int
+    addr: int
+    size: int
+    access: AccessType
+    device: int = 0
+    kind: DeviceKind = DeviceKind.CPU
+
+    @property
+    def is_write(self) -> bool:
+        return self.access is AccessType.WRITE
+
+
+class MetadataKind(enum.Enum):
+    """Classes of off-chip traffic, used for breakdown figures."""
+
+    DATA = "data"
+    COUNTER = "counter"
+    MAC = "mac"
+    GRAN_TABLE = "gran_table"
+    SWITCH = "switch"
+
+
+@dataclass
+class TrafficBreakdown:
+    """Byte counts of off-chip traffic by metadata class."""
+
+    bytes_by_kind: Dict[MetadataKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in MetadataKind}
+    )
+
+    def add(self, kind: MetadataKind, nbytes: int) -> None:
+        self.bytes_by_kind[kind] += nbytes
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_kind.values())
+
+    @property
+    def data_bytes(self) -> int:
+        return self.bytes_by_kind[MetadataKind.DATA]
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.total_bytes - self.data_bytes
+
+    def merged_with(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        merged = TrafficBreakdown()
+        for kind in MetadataKind:
+            merged.bytes_by_kind[kind] = (
+                self.bytes_by_kind[kind] + other.bytes_by_kind[kind]
+            )
+        return merged
+
+
+@dataclass(frozen=True)
+class GranularityDecision:
+    """Result of resolving an address through the granularity table.
+
+    Attributes:
+        granularity: effective protection granularity in bytes.
+        switched: True when this access triggered a lazy granularity
+            switch (``next`` differed from ``current``).
+        mispredicted: True when the stored granularity did not match
+            the observed access pattern class for this request.
+    """
+
+    granularity: int
+    switched: bool = False
+    mispredicted: bool = False
+
+
+@dataclass
+class AccessOutcome:
+    """Timing-layer result of pushing one request through a scheme.
+
+    The SoC simulator converts this into channel transactions.
+
+    Attributes:
+        data_lines: 64B data transactions to issue.
+        metadata_lines: counter/tree-node transactions (cache misses).
+        mac_lines: MAC transactions (cache misses).
+        table_lines: granularity-table transactions.
+        switch_lines: extra transactions caused by granularity switching.
+        crypto_cycles: serialized crypto latency added to completion.
+        serialized_levels: tree levels fetched on the critical path
+            (reads only; used for latency, not bandwidth).
+        granularity: effective granularity used for this access.
+    """
+
+    data_lines: int = 1
+    metadata_lines: int = 0
+    mac_lines: int = 0
+    table_lines: int = 0
+    switch_lines: int = 0
+    crypto_cycles: int = 0
+    serialized_levels: int = 0
+    granularity: Optional[int] = None
+
+    @property
+    def total_lines(self) -> int:
+        return (
+            self.data_lines
+            + self.metadata_lines
+            + self.mac_lines
+            + self.table_lines
+            + self.switch_lines
+        )

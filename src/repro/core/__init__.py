@@ -1,0 +1,47 @@
+"""The paper's contribution: multi-granular MAC & integrity-tree machinery.
+
+Submodules:
+
+* :mod:`repro.core.stream_part` -- ``stream_part`` bitmap algebra.
+* :mod:`repro.core.addressing`  -- Eqs. 1-4 counter/MAC addressing.
+* :mod:`repro.core.tracker`     -- per-chunk access tracker (Fig. 12).
+* :mod:`repro.core.detector`    -- granularity detection (Algorithm 1).
+* :mod:`repro.core.gran_table`  -- granularity table + lazy switching.
+* :mod:`repro.core.switching`   -- Table-2 switching cost accounting.
+"""
+
+from repro.core.addressing import (
+    CounterLocation,
+    ancestor_index,
+    locate_counter,
+    mac_addr,
+    mac_index_in_chunk,
+    mac_line_addr,
+    macs_per_chunk,
+    num_parents,
+)
+from repro.core.detector import detect_stream_partitions
+from repro.core.gran_table import GranularityTable, SwitchEvent, TableEntry
+from repro.core.switching import SwitchAccounting, SwitchCost, cost_of
+from repro.core.tracker import AccessTracker, Eviction, TrackerEntry
+
+__all__ = [
+    "CounterLocation",
+    "ancestor_index",
+    "locate_counter",
+    "mac_addr",
+    "mac_index_in_chunk",
+    "mac_line_addr",
+    "macs_per_chunk",
+    "num_parents",
+    "detect_stream_partitions",
+    "GranularityTable",
+    "SwitchEvent",
+    "TableEntry",
+    "SwitchAccounting",
+    "SwitchCost",
+    "cost_of",
+    "AccessTracker",
+    "Eviction",
+    "TrackerEntry",
+]

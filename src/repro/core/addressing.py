@@ -1,0 +1,172 @@
+"""Granularity-aware counter and MAC address computation (paper Eqs. 1-4).
+
+Promotion moves a counter ``log_arity(g / 64B)`` levels up the tree
+(Eqs. 2-3); merging compacts the MACs of a chunk so coarse MACs fill
+the front of the chunk's MAC space without fragmentation (Fig. 9).
+Addresses are computed per 32KB chunk assuming all *previous* chunks
+are finest-grained, so each chunk owns a fixed 4KB MAC window and only
+in-chunk indices depend on the bitmap (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.address import line_in_partition, partition_in_chunk
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    GRANULARITIES,
+    LINES_PER_CHUNK,
+    MAC_BYTES,
+    PARTITIONS_PER_CHUNK,
+    TREE_ARITY,
+    granularity_level,
+)
+from repro.core import stream_part
+from repro.tree.geometry import TreeGeometry
+
+#: Bytes of fine-MAC space owned by one 32KB chunk (512 lines x 8B).
+MAC_BYTES_PER_CHUNK = LINES_PER_CHUNK * MAC_BYTES
+
+_PARTS_PER_4KB = GRANULARITIES[2] // GRANULARITIES[1]
+
+
+def num_parents(granularity: int, arity: int = TREE_ARITY) -> int:
+    """Paper Eq. 2: promotion steps = log_arity(granularity / 64B)."""
+    level = granularity_level(granularity)
+    # The closed form below is Eq. 2 verbatim; the table lookup above
+    # already validated that it is exact for supported granularities.
+    parents = round(math.log(granularity / CACHELINE_BYTES, arity))
+    assert parents == level
+    return parents
+
+
+def ancestor_index(leaf_counter_index: int, parents: int, arity: int = TREE_ARITY) -> int:
+    """Paper Eq. 3: recursive ancestor of a leaf counter index."""
+    index = leaf_counter_index
+    for _ in range(parents):
+        index //= arity
+    return index
+
+
+@dataclass(frozen=True)
+class CounterLocation:
+    """Resolved location of a (possibly promoted) counter."""
+
+    level: int
+    node_index: int
+    slot: int
+    node_addr: int
+
+
+def locate_counter(
+    geometry: TreeGeometry, addr: int, granularity: int
+) -> CounterLocation:
+    """Resolve the counter of ``addr`` protected at ``granularity``.
+
+    Equivalent to Eqs. 2-4: the counter of a ``64B * 8**l`` region
+    lives at slot ``region % 8`` of level-``l`` node ``region // 8``.
+    """
+    level = granularity_level(granularity)
+    node, slot = geometry.counter_slot(addr, level)
+    return CounterLocation(
+        level=level,
+        node_index=node,
+        slot=slot,
+        node_addr=geometry.node_addr(level, node),
+    )
+
+
+def mac_index_in_chunk(
+    bits: int, addr: int, max_granularity: int = GRANULARITIES[3]
+) -> int:
+    """Compacted in-chunk MAC index of ``addr`` under bitmap ``bits``.
+
+    Walks the chunk's regions in address order, counting the MACs each
+    earlier region contributes after merging: a fully streamed chunk
+    has one MAC; a streamed 4KB group one; a stream partition one; a
+    fine partition eight (one per line).  This realizes the
+    fragmentation-free compaction of Fig. 9.  ``max_granularity`` caps
+    merging for dual-granularity baselines.
+    """
+    if bits == stream_part.FULL_MASK and max_granularity >= GRANULARITIES[3]:
+        return 0
+
+    my_partition = partition_in_chunk(addr)
+    my_group = my_partition // _PARTS_PER_4KB
+    index = 0
+
+    for group in range(my_group):
+        index += _macs_of_group(bits, group, max_granularity)
+
+    group_mask = ((1 << _PARTS_PER_4KB) - 1) << (my_group * _PARTS_PER_4KB)
+    if bits & group_mask == group_mask and max_granularity >= GRANULARITIES[2]:
+        return index  # one merged MAC for the whole 4KB group
+
+    for part in range(my_group * _PARTS_PER_4KB, my_partition):
+        index += stream_part.mac_count_of_partition(bits, part, max_granularity)
+
+    if bits & (1 << my_partition) and max_granularity >= GRANULARITIES[1]:
+        return index  # one merged MAC for the 512B partition
+    return index + line_in_partition(addr)
+
+
+def _macs_of_group(bits: int, group: int, max_granularity: int) -> int:
+    mask = ((1 << _PARTS_PER_4KB) - 1) << (group * _PARTS_PER_4KB)
+    if bits & mask == mask and max_granularity >= GRANULARITIES[2]:
+        return 1
+    return sum(
+        stream_part.mac_count_of_partition(bits, part, max_granularity)
+        for part in range(group * _PARTS_PER_4KB, (group + 1) * _PARTS_PER_4KB)
+    )
+
+
+def mac_addr(
+    geometry: TreeGeometry,
+    bits: int,
+    addr: int,
+    max_granularity: int = GRANULARITIES[3],
+) -> int:
+    """Paper Eq. 1: MAC address = chunk base + compacted index x 8B."""
+    chunk = addr // CHUNK_BYTES
+    chunk_mac_base = geometry.mac_base + chunk * MAC_BYTES_PER_CHUNK
+    index = mac_index_in_chunk(bits, addr, max_granularity)
+    return chunk_mac_base + index * MAC_BYTES
+
+
+def mac_line_addr(
+    geometry: TreeGeometry,
+    bits: int,
+    addr: int,
+    max_granularity: int = GRANULARITIES[3],
+) -> int:
+    """64B-aligned address of the MAC cacheline holding ``addr``'s MAC."""
+    raw = mac_addr(geometry, bits, addr, max_granularity)
+    return raw - (raw % CACHELINE_BYTES)
+
+
+def macs_per_chunk(bits: int, max_granularity: int = GRANULARITIES[3]) -> int:
+    """Total MACs a chunk stores under bitmap ``bits`` (after merging)."""
+    if bits == stream_part.FULL_MASK and max_granularity >= GRANULARITIES[3]:
+        return 1
+    return sum(
+        _macs_of_group(bits, group, max_granularity)
+        for group in range(PARTITIONS_PER_CHUNK // _PARTS_PER_4KB)
+    )
+
+
+def fine_lines_of_region(addr: int, granularity: int) -> range:
+    """Global line indices of the region of ``addr`` at ``granularity``."""
+    base = (addr // granularity) * granularity
+    first = base // CACHELINE_BYTES
+    return range(first, first + granularity // CACHELINE_BYTES)
+
+
+def sanity_check_chunk_mac_space(bits: int) -> None:
+    """Assert merged MACs never outgrow the fixed per-chunk MAC window."""
+    assert macs_per_chunk(bits) <= LINES_PER_CHUNK, (
+        f"compacted MAC count {macs_per_chunk(bits)} exceeds the fine "
+        f"layout's {LINES_PER_CHUNK} slots"
+    )

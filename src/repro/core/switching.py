@@ -1,0 +1,133 @@
+"""Granularity-switching cost model (paper Table 2, Figs. 13-14).
+
+Lazy switching makes most transitions free; the residual costs are:
+
+* **Counter/tree, scale-up on a read** (RAR / RAW): the promoted
+  counter must be sealed up the tree, so the nodes from the promotion
+  parent to the root are fetched (writes would fetch them anyway).
+* **MAC, scale-down on non-read-only data**: merged MACs cannot be
+  split without recomputing fine MACs, which requires the whole data
+  chunk (the paper's "Moderate" case).  Read-only data keeps its
+  constant fine MACs in unprotected memory (after [56]), so only the
+  fine-MAC lines are refetched.
+
+Everything else is zero-cost by construction; the accounting here both
+charges the timing layer and produces the Table-2 category ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.constants import CACHELINE_BYTES, MACS_PER_LINE
+from repro.core.gran_table import SwitchEvent
+
+#: Bytes of data whose fine MACs fill one 64B MAC line (8 x 64B).
+_DATA_PER_MAC_LINE = MACS_PER_LINE * CACHELINE_BYTES
+
+
+@dataclass(frozen=True)
+class SwitchCost:
+    """Extra work one switch event injects into the pipeline.
+
+    Attributes:
+        category: Table-2 row label for statistics.
+        tree_fetch_to_root: fetch tree nodes from the promotion parent
+            up to the root (charged through the metadata cache).
+        extra_mac_lines: additional MAC lines to fetch.
+        extra_data_lines: additional whole-data lines to fetch.
+        recrypt_lines: lines to re-encrypt / re-MAC (latency only).
+    """
+
+    category: str
+    tree_fetch_to_root: bool = False
+    extra_mac_lines: int = 0
+    extra_data_lines: int = 0
+    recrypt_lines: int = 0
+
+
+def categorize(event: SwitchEvent) -> str:
+    """Table-2 row of one switch event."""
+    if not event.scale_up:
+        return "coarse_to_fine"
+    prev = "W" if event.prev_was_write else "R"
+    cur = "W" if event.is_write else "R"
+    return f"fine_to_coarse_{cur}A{prev}"
+
+
+def cost_of(event: SwitchEvent) -> SwitchCost:
+    """Map a switch event to its Table-2 cost."""
+    category = categorize(event)
+
+    if not event.scale_up:
+        # Scale-down. Counter side is free (the parent value is reused
+        # by all children, Fig. 13 (b)); the MAC side depends on
+        # whether fine MACs still exist.
+        old_lines = event.old_granularity // CACHELINE_BYTES
+        if event.read_only:
+            fine_mac_lines = max(1, event.old_granularity // _DATA_PER_MAC_LINE)
+            return SwitchCost(
+                category=category,
+                extra_mac_lines=fine_mac_lines,
+                recrypt_lines=0,
+            )
+        return SwitchCost(
+            category=category,
+            extra_data_lines=old_lines,
+            recrypt_lines=old_lines,
+        )
+
+    # Scale-up. Writes refetch the path to the root anyway -> free.
+    if event.is_write:
+        return SwitchCost(category=category)
+    # Reads must seal the promoted counter: fetch parent-to-root.  The
+    # merged MAC is built by folding the stored fine MACs (Eq. 5).
+    fine_mac_lines = max(1, event.new_granularity // _DATA_PER_MAC_LINE)
+    return SwitchCost(
+        category=category,
+        tree_fetch_to_root=True,
+        extra_mac_lines=fine_mac_lines,
+        recrypt_lines=0,
+    )
+
+
+@dataclass
+class SwitchAccounting:
+    """Aggregated Table-2 statistics for one simulation run."""
+
+    events_by_category: Dict[str, int] = field(default_factory=dict)
+    correct_predictions: int = 0
+    total_resolutions: int = 0
+
+    def record_event(self, event: SwitchEvent) -> None:
+        key = categorize(event)
+        self.events_by_category[key] = self.events_by_category.get(key, 0) + 1
+
+    def record_resolution(self, switched: bool) -> None:
+        self.total_resolutions += 1
+        if not switched:
+            self.correct_predictions += 1
+
+    @property
+    def total_switches(self) -> int:
+        return sum(self.events_by_category.values())
+
+    def ratios(self) -> Dict[str, float]:
+        """Table-2 style ratios over all granularity resolutions."""
+        if self.total_resolutions == 0:
+            return {}
+        out = {
+            key: count / self.total_resolutions
+            for key, count in sorted(self.events_by_category.items())
+        }
+        out["correct_prediction"] = (
+            self.correct_predictions / self.total_resolutions
+        )
+        return out
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.total_resolutions == 0:
+            return 0.0
+        return self.total_switches / self.total_resolutions

@@ -1,0 +1,46 @@
+"""Key material for the functional memory-protection engine.
+
+Real hardware derives its keys from fuses or a secure-boot chain; the
+functional layer just needs distinct, fixed-length secrets for the
+encryption pad and the MAC.  Keys are wrapped in a class so tests can
+create independent engines that provably cannot validate each other's
+ciphertexts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+
+KEY_BYTES = 32
+
+
+class KeySet:
+    """Encryption + MAC key pair for one memory protection engine."""
+
+    def __init__(self, encryption_key: bytes, mac_key: bytes) -> None:
+        if len(encryption_key) != KEY_BYTES or len(mac_key) != KEY_BYTES:
+            raise ValueError(f"keys must be {KEY_BYTES} bytes")
+        self._encryption_key = bytes(encryption_key)
+        self._mac_key = bytes(mac_key)
+
+    @property
+    def encryption_key(self) -> bytes:
+        return self._encryption_key
+
+    @property
+    def mac_key(self) -> bytes:
+        return self._mac_key
+
+    @classmethod
+    def generate(cls) -> "KeySet":
+        """Fresh random keys (non-deterministic, like a real power-on)."""
+        return cls(os.urandom(KEY_BYTES), os.urandom(KEY_BYTES))
+
+    @classmethod
+    def from_seed(cls, seed: bytes) -> "KeySet":
+        """Deterministic keys for reproducible tests and examples."""
+        enc = hashlib.blake2b(seed, digest_size=KEY_BYTES, person=b"repro-enc-key01").digest()
+        mac = hashlib.blake2b(seed, digest_size=KEY_BYTES, person=b"repro-mac-key01").digest()
+        return cls(enc, mac)

@@ -1,0 +1,5 @@
+"""Processing-unit issue models (the per-device simulator substitutes)."""
+
+from repro.devices.issue import DeviceIssueState, device_config_for
+
+__all__ = ["DeviceIssueState", "device_config_for"]

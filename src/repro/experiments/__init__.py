@@ -1,0 +1,48 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+Each module exposes ``run(...) -> ExperimentResult`` (Fig. 19 returns a
+dict of panels).  The benchmark harness under ``benchmarks/`` executes
+these and prints the same rows the paper reports; EXPERIMENTS.md
+records paper-vs-measured numbers.
+"""
+
+from repro.experiments import (
+    ext_ablations,
+    ext_metadata,
+    ext_phases,
+    fig04_stream_chunks,
+    fig05_breakdown,
+    fig06_per_device,
+    fig15_cdf_prior,
+    fig16_prior_bars,
+    fig17_cdf_breakdown,
+    fig18_breakdown_bars,
+    fig19_selected,
+    fig20_ablation,
+    fig21_realworld,
+    tab02_switching,
+    tab04_workloads,
+    tab_hw_overhead,
+)
+from repro.experiments.common import ExperimentResult, label
+
+ALL_EXPERIMENTS = {
+    "fig04": fig04_stream_chunks,
+    "fig05": fig05_breakdown,
+    "fig06": fig06_per_device,
+    "fig15": fig15_cdf_prior,
+    "fig16": fig16_prior_bars,
+    "fig17": fig17_cdf_breakdown,
+    "fig18": fig18_breakdown_bars,
+    "fig19": fig19_selected,
+    "fig20": fig20_ablation,
+    "fig21": fig21_realworld,
+    "tab02": tab02_switching,
+    "tab04": tab04_workloads,
+    "tab_hw": tab_hw_overhead,
+    "ext_ablations": ext_ablations,
+    "ext_metadata": ext_metadata,
+    "ext_phases": ext_phases,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "label"]

@@ -1,0 +1,94 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` and a
+module-level ``PAPER_NOTE`` describing the paper artifact it mirrors.
+Results carry structured rows plus a plain-text rendering so benchmark
+harnesses can print exactly the series the paper reports.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Human-readable labels for Table-5 scheme names.
+SCHEME_LABELS: Dict[str, str] = {
+    "unsecure": "Unsecure",
+    "mac_only": "+Cost (MAC)",
+    "conventional": "Conventional",
+    "static_device": "Static-device-best",
+    "adaptive": "Adaptive [56]",
+    "common_ctr": "CommonCTR [35]",
+    "multi_ctr_only": "Multi(CTR)-only",
+    "ours": "Ours",
+    "ours_dual": "Ours (dual-granular)",
+    "ours_no_switch": "Ours w/o Switch.Overhead",
+    "bmf_unused": "BMF&Unused [17,16]",
+    "bmf_unused_ours": "BMF&Unused+Ours",
+    "bmf_unused_ours_no_switch": "BMF&Unused+Ours w/o Switch.",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]]
+    notes: List[str] = field(default_factory=list)
+
+    def column_values(self, column: str) -> List[object]:
+        return [row.get(column) for row in self.rows]
+
+    def format_table(self) -> str:
+        """Fixed-width text rendering of the rows."""
+
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        widths = {
+            col: max(
+                len(col), *(len(fmt(row.get(col, ""))) for row in self.rows)
+            )
+            if self.rows
+            else len(col)
+            for col in self.columns
+        }
+        header = "  ".join(col.ljust(widths[col]) for col in self.columns)
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    fmt(row.get(col, "")).ljust(widths[col])
+                    for col in self.columns
+                )
+            )
+        lines.append(rule)
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def default_sweep_sample(default: int = 24) -> Optional[int]:
+    """Scenario subsample size for sweep experiments.
+
+    ``REPRO_SWEEP_SAMPLE`` overrides; ``REPRO_FULL_SWEEP=1`` runs all
+    250 scenarios (handled downstream by ``sweep_scenarios``).
+    """
+    raw = os.environ.get("REPRO_SWEEP_SAMPLE")
+    if raw is None:
+        return default
+    return int(raw)
+
+
+def label(scheme_name: str) -> str:
+    return SCHEME_LABELS.get(scheme_name, scheme_name)
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,126 @@
+"""Fig. 5: conventional-protection overhead breakdown per device class.
+
+For every workload run in isolation (and for the heterogeneous
+selected scenarios), execution time is decomposed into the MAC share
+(``mac_only`` vs ``unsecure``) and the counter/tree share
+(``conventional`` vs ``mac_only``), alongside the traffic increment --
+the exact bars of the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.config import SoCConfig
+from repro.experiments.common import ExperimentResult, mean
+from repro.schemes.registry import build_scheme
+from repro.sim.runner import run_scenario, sim_duration
+from repro.sim.scenario import SELECTED_SCENARIOS
+from repro.sim.soc import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import (
+    CPU_WORKLOADS,
+    GPU_WORKLOADS,
+    NPU_WORKLOADS,
+    get_workload,
+)
+
+PAPER_NOTE = (
+    "Paper Fig. 5: +Cost(MAC) / +Cost(counter) breakdown "
+    "(Sec. 3.2; paper: CPU 26.3%+40.7%, GPU 5.4%+4.4%, NPU 9.9%+11.3%, "
+    "hetero 14.3%+19.5%)"
+)
+
+_SCHEMES = ("unsecure", "mac_only", "conventional")
+_COLUMNS = [
+    "class",
+    "mac_overhead",
+    "counter_overhead",
+    "total_overhead",
+    "traffic_increase",
+]
+
+
+def _single_device_overheads(
+    workload: str, duration: float, seed: int
+) -> Dict[str, float]:
+    config = SoCConfig()
+    spec = get_workload(workload)
+    trace = generate_trace(spec, duration, base_addr=0, seed=seed)
+    finishes: Dict[str, float] = {}
+    traffic: Dict[str, int] = {}
+    for name in _SCHEMES:
+        scheme = build_scheme(name, config)
+        result = simulate([trace], scheme, config, warmup=True)
+        finishes[name] = result.devices[0].finish_cycle
+        traffic[name] = result.total_traffic_bytes
+    base = finishes["unsecure"]
+    return {
+        "mac_overhead": finishes["mac_only"] / base - 1.0,
+        "counter_overhead": (
+            finishes["conventional"] - finishes["mac_only"]
+        )
+        / base,
+        "total_overhead": finishes["conventional"] / base - 1.0,
+        "traffic_increase": traffic["conventional"] / max(1, traffic["unsecure"])
+        - 1.0,
+    }
+
+
+def _hetero_overheads(duration: float, seed: int) -> Dict[str, float]:
+    macs: List[float] = []
+    counters: List[float] = []
+    totals: List[float] = []
+    traffics: List[float] = []
+    for scenario in SELECTED_SCENARIOS:
+        runs = run_scenario(scenario, _SCHEMES, None, duration, seed)
+        base = runs["unsecure"]
+        mac_norm = runs["mac_only"].mean_normalized_exec_time(base)
+        conv_norm = runs["conventional"].mean_normalized_exec_time(base)
+        macs.append(mac_norm - 1.0)
+        counters.append(conv_norm - mac_norm)
+        totals.append(conv_norm - 1.0)
+        traffics.append(
+            runs["conventional"].total_traffic_bytes
+            / max(1, base.total_traffic_bytes)
+            - 1.0
+        )
+    return {
+        "mac_overhead": mean(macs),
+        "counter_overhead": mean(counters),
+        "total_overhead": mean(totals),
+        "traffic_increase": mean(traffics),
+    }
+
+
+def run(
+    duration_cycles: Optional[float] = None, seed: int = 0
+) -> ExperimentResult:
+    """Regenerate Fig. 5's per-device-class breakdown bars."""
+    duration = duration_cycles if duration_cycles is not None else sim_duration()
+    rows = []
+    for device, names in (
+        ("cpu", CPU_WORKLOADS),
+        ("gpu", GPU_WORKLOADS),
+        ("npu", NPU_WORKLOADS),
+    ):
+        samples = [
+            _single_device_overheads(name, duration, seed) for name in names
+        ]
+        rows.append(
+            {
+                "class": device,
+                **{
+                    key: mean([sample[key] for sample in samples])
+                    for key in samples[0]
+                },
+            }
+        )
+    rows.append({"class": "hetero", **_hetero_overheads(duration, seed)})
+    return ExperimentResult(
+        experiment="fig05",
+        title="Fig. 5 -- Conventional protection overhead breakdown",
+        columns=_COLUMNS,
+        rows=rows,
+        notes=[PAPER_NOTE],
+    )

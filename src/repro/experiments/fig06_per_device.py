@@ -1,0 +1,89 @@
+"""Fig. 6: per-device vs per-partition granularity on alex and sfrnn.
+
+The paper's motivating comparison (Sec. 3.3): a single static
+granularity per device mispredicts the minority of accesses, while a
+per-512B-partition dynamic choice adapts.  We run each workload in
+isolation under the conventional baseline, the per-device static
+scheme at its *dominant-class* granularity (the paper notes per-device
+granularity "only reflects the majority of data accesses"), and the
+dynamic multi-granular scheme as the realizable per-partition choice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SoCConfig
+from repro.experiments.common import ExperimentResult
+from repro.schemes.registry import build_scheme
+from repro.schemes.static import StaticGranularScheme
+from repro.sim.runner import sim_duration
+from repro.sim.soc import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import get_workload
+
+PAPER_NOTE = (
+    "Paper Fig. 6: Per-device-best degrades alex 13.6% / sfrnn 16.3% vs "
+    "conventional; per-partition improves 15.6% / 14.4% (Sec. 3.3)"
+)
+
+WORKLOADS = ("alex", "sfrnn")
+_COLUMNS = [
+    "workload",
+    "scheme",
+    "granularity",
+    "norm_exec_vs_conventional",
+    "traffic_vs_conventional",
+]
+
+
+def run(
+    duration_cycles: Optional[float] = None, seed: int = 0
+) -> ExperimentResult:
+    """Regenerate Fig. 6's bars for the two spotlighted workloads."""
+    duration = duration_cycles if duration_cycles is not None else sim_duration()
+    config = SoCConfig()
+    rows = []
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        trace = generate_trace(spec, duration, base_addr=0, seed=seed)
+
+        conventional = simulate(
+            [trace], build_scheme("conventional", config), config, warmup=True
+        )
+        conv_finish = conventional.devices[0].finish_cycle
+        conv_traffic = conventional.total_traffic_bytes
+
+        per_device_gran = spec.dominant_granularity
+        per_device = simulate(
+            [trace],
+            StaticGranularScheme(config, {0: per_device_gran}),
+            config,
+            warmup=True,
+        )
+        per_partition = simulate(
+            [trace], build_scheme("ours", config), config, warmup=True
+        )
+
+        for scheme_label, result, granularity in (
+            ("per-device-best", per_device, str(per_device_gran)),
+            ("per-partition (ours)", per_partition, "dynamic"),
+        ):
+            rows.append(
+                {
+                    "workload": name,
+                    "scheme": scheme_label,
+                    "granularity": granularity,
+                    "norm_exec_vs_conventional": result.devices[0].finish_cycle
+                    / conv_finish,
+                    "traffic_vs_conventional": result.total_traffic_bytes
+                    / max(1, conv_traffic),
+                }
+            )
+    return ExperimentResult(
+        experiment="fig06",
+        title="Fig. 6 -- Per-device vs per-partition granularity",
+        columns=_COLUMNS,
+        rows=rows,
+        notes=[PAPER_NOTE],
+    )

@@ -1,0 +1,73 @@
+"""Fig. 15: execution-time CDFs vs prior work across the scenario sweep.
+
+Compares Ours against the dual-granular-MAC baseline (Adaptive [56]),
+the dual-granular-counter baseline (CommonCTR [35]) and the subtree
+schemes (BMF&Unused, BMF&Unused+Ours).  Rows report distribution
+percentiles plus the mean of each scheme's normalized execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.stats import mean, percentile
+from repro.experiments.common import ExperimentResult, default_sweep_sample, label
+from repro.experiments.sweep import normalized_exec_times, sweep_results
+
+PAPER_NOTE = (
+    "Paper Fig. 15: Ours beats Adaptive by 8.5% and CommonCTR by 7.7%; "
+    "BMF&Unused+Ours beats BMF&Unused by 7.4% and Ours by 6.9% (Sec. 5.2)"
+)
+
+SCHEMES = ("adaptive", "common_ctr", "ours", "bmf_unused", "bmf_unused_ours")
+_COLUMNS = ["scheme", "mean", "p25", "p50", "p75", "p90", "max"]
+
+
+def run(
+    sample: Optional[int] = None,
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 15's CDF summary statistics."""
+    if sample is None:
+        sample = default_sweep_sample()
+    results = sweep_results(sample, duration_cycles, seed)
+    rows = []
+    for scheme in SCHEMES:
+        times = normalized_exec_times(results, scheme)
+        rows.append(
+            {
+                "scheme": label(scheme),
+                "mean": mean(times),
+                "p25": percentile(times, 25),
+                "p50": percentile(times, 50),
+                "p75": percentile(times, 75),
+                "p90": percentile(times, 90),
+                "max": max(times) if times else 0.0,
+            }
+        )
+    return ExperimentResult(
+        experiment="fig15",
+        title=(
+            f"Fig. 15 -- Normalized execution time vs prior studies "
+            f"(CDF summary, {len(results)} scenarios)"
+        ),
+        columns=_COLUMNS,
+        rows=rows,
+        notes=[PAPER_NOTE],
+    )
+
+
+def cdf_series(
+    scheme: str,
+    sample: Optional[int] = None,
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+):
+    """Full (value, cumulative fraction) CDF series for plotting."""
+    from repro.common.stats import cdf_points
+
+    if sample is None:
+        sample = default_sweep_sample()
+    results = sweep_results(sample, duration_cycles, seed)
+    return cdf_points(normalized_exec_times(results, scheme))

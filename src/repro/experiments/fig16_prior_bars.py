@@ -1,0 +1,63 @@
+"""Fig. 16: execution time, traffic and security-cache misses vs prior work.
+
+Traffic and miss counts are normalized to ``Ours`` (the paper's Fig. 16
+convention); execution time is normalized to the unsecured scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult, default_sweep_sample, label, mean
+from repro.experiments.sweep import (
+    cache_misses,
+    normalized_exec_times,
+    sweep_results,
+    total_traffic,
+)
+
+PAPER_NOTE = (
+    "Paper Fig. 16: Adaptive/CommonCTR/BMF&Unused carry 7.0%/6.1%/0.2% "
+    "more traffic than Ours; Ours has 19.9%/17.0%/14.3% fewer security "
+    "cache misses (Sec. 5.2)"
+)
+
+SCHEMES = ("adaptive", "common_ctr", "bmf_unused", "ours", "bmf_unused_ours")
+_COLUMNS = ["scheme", "norm_exec", "traffic_vs_ours", "misses_vs_ours"]
+
+
+def run(
+    sample: Optional[int] = None,
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 16's three bar groups."""
+    if sample is None:
+        sample = default_sweep_sample()
+    results = sweep_results(sample, duration_cycles, seed)
+
+    ours_traffic = sum(total_traffic(results, "ours"))
+    ours_misses = sum(cache_misses(results, "ours"))
+
+    rows = []
+    for scheme in SCHEMES:
+        rows.append(
+            {
+                "scheme": label(scheme),
+                "norm_exec": mean(normalized_exec_times(results, scheme)),
+                "traffic_vs_ours": sum(total_traffic(results, scheme))
+                / max(1, ours_traffic),
+                "misses_vs_ours": sum(cache_misses(results, scheme))
+                / max(1, ours_misses),
+            }
+        )
+    return ExperimentResult(
+        experiment="fig16",
+        title=(
+            f"Fig. 16 -- Exec time / traffic / security-cache misses vs "
+            f"prior studies ({len(results)} scenarios)"
+        ),
+        columns=_COLUMNS,
+        rows=rows,
+        notes=[PAPER_NOTE],
+    )

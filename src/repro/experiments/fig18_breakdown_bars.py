@@ -1,0 +1,75 @@
+"""Fig. 18: breakdown bars -- exec time, traffic and miss reductions.
+
+Execution time and data traffic are normalized to the unsecured
+scheme; security-cache misses to the conventional scheme (the paper's
+Fig. 18 convention).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult, default_sweep_sample, label, mean
+from repro.experiments.sweep import (
+    cache_misses,
+    normalized_exec_times,
+    sweep_results,
+    total_traffic,
+)
+
+PAPER_NOTE = (
+    "Paper Fig. 18: Ours cuts traffic 10.5% and misses 31.9% vs "
+    "conventional; BMF&Unused+Ours reaches 9.3% traffic over unsecure "
+    "and 56.9% fewer misses (Sec. 5.3)"
+)
+
+SCHEMES = (
+    "conventional",
+    "static_device",
+    "multi_ctr_only",
+    "ours",
+    "bmf_unused_ours",
+)
+_COLUMNS = [
+    "scheme",
+    "norm_exec",
+    "traffic_vs_unsecure",
+    "misses_vs_conventional",
+]
+
+
+def run(
+    sample: Optional[int] = None,
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Regenerate Fig. 18's three bar groups."""
+    if sample is None:
+        sample = default_sweep_sample()
+    results = sweep_results(sample, duration_cycles, seed)
+
+    unsecure_traffic = sum(total_traffic(results, "unsecure"))
+    conventional_misses = sum(cache_misses(results, "conventional"))
+
+    rows = []
+    for scheme in SCHEMES:
+        rows.append(
+            {
+                "scheme": label(scheme),
+                "norm_exec": mean(normalized_exec_times(results, scheme)),
+                "traffic_vs_unsecure": sum(total_traffic(results, scheme))
+                / max(1, unsecure_traffic),
+                "misses_vs_conventional": sum(cache_misses(results, scheme))
+                / max(1, conventional_misses),
+            }
+        )
+    return ExperimentResult(
+        experiment="fig18",
+        title=(
+            f"Fig. 18 -- Breakdown: exec / traffic / misses "
+            f"({len(results)} scenarios)"
+        ),
+        columns=_COLUMNS,
+        rows=rows,
+        notes=[PAPER_NOTE],
+    )

@@ -1,0 +1,86 @@
+"""Fig. 20: dual-granularity and switching-overhead ablations.
+
+Four variants over the 11 selected scenarios: Ours, Ours restricted to
+dual granularity (64B + 32KB), Ours with switching overhead removed
+(perfect prediction), and the combined subtree scheme with and without
+switching overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import ExperimentResult, label, mean
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import SELECTED_SCENARIOS
+
+PAPER_NOTE = (
+    "Paper Fig. 20: dual granularity loses 3.3% on average (5.8% on "
+    "f1-c3); removing switching overhead gains 4.4%; "
+    "BMF&Unused+Ours w/o switching reaches 12.1% overhead (Sec. 5.4)"
+)
+
+SCHEMES = (
+    "unsecure",
+    "ours",
+    "ours_dual",
+    "ours_no_switch",
+    "bmf_unused_ours",
+    "bmf_unused_ours_no_switch",
+)
+_COLUMNS = [
+    "scenario",
+    "ours",
+    "ours_dual",
+    "ours_no_switch",
+    "bmf_unused_ours",
+    "bmf_no_switch",
+]
+
+
+def run(
+    duration_cycles: Optional[float] = None, seed: int = 0
+) -> ExperimentResult:
+    """Regenerate Fig. 20's ablation bars."""
+    rows = []
+    sums = {name: 0.0 for name in SCHEMES[1:]}
+    for scenario in SELECTED_SCENARIOS:
+        runs = run_scenario(scenario, SCHEMES, None, duration_cycles, seed)
+        base = runs["unsecure"]
+        norms = {
+            name: runs[name].mean_normalized_exec_time(base)
+            for name in SCHEMES[1:]
+        }
+        for name, value in norms.items():
+            sums[name] += value
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "ours": norms["ours"],
+                "ours_dual": norms["ours_dual"],
+                "ours_no_switch": norms["ours_no_switch"],
+                "bmf_unused_ours": norms["bmf_unused_ours"],
+                "bmf_no_switch": norms["bmf_unused_ours_no_switch"],
+            }
+        )
+    count = len(SELECTED_SCENARIOS)
+    rows.append(
+        {
+            "scenario": "MEAN",
+            "ours": sums["ours"] / count,
+            "ours_dual": sums["ours_dual"] / count,
+            "ours_no_switch": sums["ours_no_switch"] / count,
+            "bmf_unused_ours": sums["bmf_unused_ours"] / count,
+            "bmf_no_switch": sums["bmf_unused_ours_no_switch"] / count,
+        }
+    )
+    return ExperimentResult(
+        experiment="fig20",
+        title="Fig. 20 -- Dual-granularity / switching-overhead ablations",
+        columns=_COLUMNS,
+        rows=rows,
+        notes=[
+            PAPER_NOTE,
+            "Columns: " + ", ".join(label(n) for n in SCHEMES[1:]),
+        ],
+    )

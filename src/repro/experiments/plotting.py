@@ -1,0 +1,76 @@
+"""Terminal plotting helpers: ASCII CDFs and bar charts.
+
+The paper's Figs. 15/17 are CDFs and most others are bar groups; these
+helpers render both in plain text so `python -m repro experiment fig15
+--plot` can show the *curve*, not just percentiles, without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Glyphs cycled across series in a combined plot.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render empirical CDFs of several series on one ASCII canvas.
+
+    X axis spans the min..max of all values; Y axis is the cumulative
+    fraction 0..1.  Each series gets a glyph; the legend maps them.
+    """
+    values = [v for data in series.values() for v in data]
+    if not values:
+        return "(no data)"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, data), glyph in zip(series.items(), _GLYPHS):
+        ordered = sorted(data)
+        n = len(ordered)
+        for rank, value in enumerate(ordered):
+            x = int((value - lo) / span * (width - 1))
+            y = int((rank + 1) / n * (height - 1))
+            canvas[height - 1 - y][x] = glyph
+
+    lines = ["1.0 |" + "".join(row) for row in canvas]
+    lines[-1] = "0.0 |" + lines[-1][5:]
+    for i in range(1, height - 1):
+        lines[i] = "    |" + lines[i][5:]
+    lines.append("    +" + "-" * width)
+    center = max(1, width - 20)
+    lines.append(
+        f"     {lo:<10.3f}{'normalized execution time'[:center]:^{center}}"
+        f"{hi:>10.3f}"
+    )
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: List[Tuple[str, float]],
+    width: int = 48,
+    baseline: float = 0.0,
+) -> str:
+    """Horizontal bar chart of (label, value) pairs."""
+    if not rows:
+        return "(no data)"
+    hi = max(value for _, value in rows)
+    span = (hi - baseline) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = int(max(0.0, value - baseline) / span * width)
+        lines.append(
+            f"{label.ljust(label_width)} | {'#' * filled:<{width}} {value:.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""One-shot report generation: every paper artifact into one document.
+
+``python -m repro report [-o FILE]`` regenerates all experiments at the
+chosen scale and writes a single markdown report with every table, so a
+reviewer can diff two runs (or two machines) wholesale.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import Dict, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentResult
+
+#: Regeneration order: paper artifacts first, extensions last.
+REPORT_ORDER = (
+    "tab_hw",
+    "fig04",
+    "tab04",
+    "fig05",
+    "fig06",
+    "tab02",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "ext_metadata",
+    "ext_ablations",
+    "ext_phases",
+)
+
+
+def _render(result: ExperimentResult, out: io.StringIO) -> None:
+    out.write(f"## {result.title}\n\n```\n")
+    out.write(result.format_table())
+    out.write("\n```\n\n")
+
+
+def generate_report(
+    duration_cycles: Optional[float] = None,
+    sample: Optional[int] = None,
+    seed: int = 0,
+    experiments=REPORT_ORDER,
+    progress=None,
+) -> str:
+    """Run the chosen experiments and return the markdown report."""
+    out = io.StringIO()
+    out.write("# repro — full reproduction report\n\n")
+    out.write(
+        f"Scale: duration={duration_cycles or 'default'} cycles/device, "
+        f"sweep sample={sample or 'default'}, seed={seed}.\n\n"
+    )
+
+    timings: Dict[str, float] = {}
+    for key in experiments:
+        module = ALL_EXPERIMENTS[key]
+        if progress is not None:
+            progress(key)
+        kwargs = {}
+        if key in ("fig15", "fig16", "fig17", "fig18"):
+            kwargs["sample"] = sample
+            kwargs["duration_cycles"] = duration_cycles
+        elif key not in ("tab_hw", "ext_metadata"):
+            kwargs["duration_cycles"] = duration_cycles
+        started = time.perf_counter()
+        result = module.run(seed=seed, **kwargs)
+        timings[key] = time.perf_counter() - started
+        if isinstance(result, dict):  # fig19 panels
+            for panel in result.values():
+                _render(panel, out)
+        else:
+            _render(result, out)
+
+    out.write("## Regeneration times\n\n```\n")
+    for key, elapsed in timings.items():
+        out.write(f"{key:14s} {elapsed:8.1f}s\n")
+    out.write("```\n")
+    return out.getvalue()

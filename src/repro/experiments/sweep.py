@@ -1,0 +1,84 @@
+"""Shared scenario sweep used by Figs. 15-18.
+
+The four prior-work/breakdown figures all evaluate the same scenario
+population under overlapping scheme sets, so the sweep runs once per
+(schemes, sample, duration, seed) signature and is memoized for the
+process lifetime -- a pytest session regenerating every figure reuses
+one sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.runner import run_scenario, sweep_scenarios
+from repro.sim.scenario import Scenario, all_scenarios
+from repro.sim.soc import RunResult
+
+#: Every scheme any of Figs. 15-18 needs; sweeping them together lets
+#: the memoized sweep serve all four figures.
+SWEEP_SCHEMES: Tuple[str, ...] = (
+    "unsecure",
+    "conventional",
+    "static_device",
+    "adaptive",
+    "common_ctr",
+    "multi_ctr_only",
+    "ours",
+    "bmf_unused",
+    "bmf_unused_ours",
+)
+
+_cache: Dict[tuple, List[Tuple[Scenario, Dict[str, RunResult]]]] = {}
+
+
+def sweep_results(
+    sample: Optional[int],
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+    schemes: Sequence[str] = SWEEP_SCHEMES,
+) -> List[Tuple[Scenario, Dict[str, RunResult]]]:
+    """Run (or reuse) the scenario sweep for the given signature."""
+    key = (tuple(schemes), sample, duration_cycles, seed)
+    cached = _cache.get(key)
+    if cached is not None:
+        return cached
+    scenarios = sweep_scenarios(all_scenarios(), sample)
+    results = [
+        (
+            scenario,
+            run_scenario(scenario, schemes, None, duration_cycles, seed),
+        )
+        for scenario in scenarios
+    ]
+    _cache[key] = results
+    return results
+
+
+def normalized_exec_times(
+    results: List[Tuple[Scenario, Dict[str, RunResult]]], scheme: str
+) -> List[float]:
+    """Per-scenario mean normalized execution time of one scheme."""
+    return [
+        runs[scheme].mean_normalized_exec_time(runs["unsecure"])
+        for _, runs in results
+    ]
+
+
+def total_traffic(
+    results: List[Tuple[Scenario, Dict[str, RunResult]]], scheme: str
+) -> List[int]:
+    """Per-scenario total off-chip bytes moved by one scheme."""
+    return [runs[scheme].total_traffic_bytes for _, runs in results]
+
+
+def cache_misses(
+    results: List[Tuple[Scenario, Dict[str, RunResult]]], scheme: str
+) -> List[int]:
+    """Per-scenario security-cache (metadata + MAC) miss counts."""
+    return [runs[scheme].security_cache_misses for _, runs in results]
+
+
+def clear_cache() -> None:
+    """Drop memoized sweeps (tests use this to force fresh runs)."""
+    _cache.clear()

@@ -1,0 +1,13 @@
+"""Memory substrate: caches, the shared channel, and the backing store."""
+
+from repro.mem.backing_store import BackingStore
+from repro.mem.cache import CacheAccessResult, SetAssociativeCache
+from repro.mem.channel import ChannelStats, MemoryChannel
+
+__all__ = [
+    "BackingStore",
+    "CacheAccessResult",
+    "SetAssociativeCache",
+    "ChannelStats",
+    "MemoryChannel",
+]

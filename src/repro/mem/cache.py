@@ -1,0 +1,117 @@
+"""Set-associative write-back LRU cache model.
+
+Used for the on-chip security-metadata caches (8KB metadata cache, 4KB
+MAC cache, granularity-table cache).  The model tracks presence and
+dirtiness only -- contents live in the functional layer when needed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class CacheAccessResult:
+    """Outcome of one cache access.
+
+    Attributes:
+        hit: whether the line was present.
+        writeback_addr: line address evicted dirty by this access (the
+            caller must issue a write transaction for it), or None.
+    """
+
+    hit: bool
+    writeback_addr: Optional[int] = None
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache keyed by line address.
+
+    Addresses are mapped to lines by ``line_bytes`` and to sets by the
+    line index modulo the set count.  ``access`` performs an allocate-
+    on-miss lookup; ``probe`` checks presence without disturbing LRU.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, addr: int) -> tuple:
+        line = addr // self.config.line_bytes
+        return line, self._sets[line % self.config.num_sets]
+
+    def probe(self, addr: int) -> bool:
+        """Presence check with no side effects."""
+        line, cache_set = self._locate(addr)
+        return line in cache_set
+
+    def access(self, addr: int, write: bool = False) -> CacheAccessResult:
+        """Look up ``addr``; allocate on miss; return hit + any writeback."""
+        line, cache_set = self._locate(addr)
+        if line in cache_set:
+            self.hits += 1
+            dirty = cache_set.pop(line) or write
+            cache_set[line] = dirty
+            return CacheAccessResult(hit=True)
+
+        self.misses += 1
+        writeback_addr = None
+        if len(cache_set) >= self.config.ways:
+            victim_line, victim_dirty = cache_set.popitem(last=False)
+            if victim_dirty:
+                self.writebacks += 1
+                writeback_addr = victim_line * self.config.line_bytes
+        cache_set[line] = write
+        return CacheAccessResult(hit=False, writeback_addr=writeback_addr)
+
+    def touch_dirty(self, addr: int) -> None:
+        """Mark a (present) line dirty without counting an access."""
+        line, cache_set = self._locate(addr)
+        if line in cache_set:
+            cache_set.pop(line)
+            cache_set[line] = True
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line (no writeback; the caller decides what that means)."""
+        line, cache_set = self._locate(addr)
+        return cache_set.pop(line, None) is not None
+
+    def flush(self) -> int:
+        """Evict everything; return the number of dirty lines dropped."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(1 for d in cache_set.values() if d)
+            cache_set.clear()
+        self.writebacks += dirty
+        return dirty
+
+    def reset_stats(self) -> None:
+        """Zero the counters without disturbing cache contents (warmup)."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }

@@ -1,0 +1,132 @@
+"""Bank-aware DRAM channel: row-buffer hits, per-bank timing.
+
+The default :class:`~repro.mem.channel.MemoryChannel` treats DRAM as a
+single FCFS server with one latency.  This optional model adds the
+LPDDR structure that interacts with metadata layout: ``banks``
+independent banks, each with an open row -- a transaction hitting the
+open row pays the column latency only, a conflict pays
+activate+precharge on top.  Sequentially laid-out metadata (merged
+MACs, packed counter nodes) earns row hits; scattered fine metadata
+pays row conflicts, which is an additional, physically grounded reason
+coarse granularity wins.
+
+Enable it via ``MemoryConfig(banks=16)``; ``banks=0`` keeps the simple
+channel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.config import MemoryConfig
+from repro.common.constants import CACHELINE_BYTES
+from repro.mem.channel import ChannelStats
+
+
+class BankedMemoryChannel:
+    """Per-bank row-buffer timing over a shared data bus.
+
+    Drop-in for :class:`~repro.mem.channel.MemoryChannel`: ``submit``
+    returns (service_start, completion).  When the caller cannot supply
+    an address (rare bookkeeping transfers), the transaction is spread
+    round-robin with a forced row miss (conservative).
+    """
+
+    #: Fraction of the idle latency charged on a row-buffer hit.
+    ROW_HIT_FRACTION = 0.6
+
+    #: Extra latency fraction charged on a row conflict (act+pre).
+    ROW_CONFLICT_EXTRA = 0.4
+
+    def __init__(
+        self,
+        config: MemoryConfig,
+        banks: int = 16,
+        row_bytes: int = 2048,
+    ) -> None:
+        if banks <= 0 or row_bytes < CACHELINE_BYTES:
+            raise ValueError(f"invalid bank geometry ({banks=}, {row_bytes=})")
+        self.config = config
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self._bus_free = 0.0
+        self._bank_free: List[float] = [0.0] * banks
+        self._open_row: List[Optional[int]] = [None] * banks
+        self._rr = 0
+        self.stats = ChannelStats()
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        row = addr // self.row_bytes
+        return row % self.banks, row // self.banks
+
+    def submit(
+        self,
+        cycle: float,
+        nbytes: int = CACHELINE_BYTES,
+        addr: Optional[int] = None,
+    ) -> Tuple[float, float]:
+        """Schedule a transaction; return (service_start, completion)."""
+        occupancy = nbytes / self.config.bytes_per_cycle
+        if addr is None:
+            # Bookkeeping transfer with no address: bus-only, average
+            # latency, no bank state disturbed.
+            start = max(cycle, self._bus_free)
+            self._bus_free = start + occupancy
+            completion = start + occupancy + self.config.latency_cycles
+            self.stats.transactions += 1
+            self.stats.bytes_transferred += nbytes
+            self.stats.busy_cycles += occupancy
+            self.stats.queue_cycles += start - cycle
+            return start, completion
+
+        bank, row = self._locate(addr)
+        start = max(cycle, self._bus_free, self._bank_free[bank])
+        base_latency = self.config.latency_cycles
+        if row is not None and self._open_row[bank] == row:
+            # Open-row column access: pipelined behind the bus, the
+            # bank imposes no extra occupancy.
+            latency = base_latency * self.ROW_HIT_FRACTION
+            bank_hold = 0.0
+            self.row_hits += 1
+        else:
+            extra = self.ROW_CONFLICT_EXTRA if self._open_row[bank] is not None else 0.0
+            latency = base_latency * (1.0 + extra)
+            bank_hold = latency * 0.3  # activate/precharge occupancy
+            self.row_misses += 1
+        self._open_row[bank] = row
+
+        self._bus_free = start + occupancy
+        self._bank_free[bank] = start + occupancy + bank_hold
+        completion = start + occupancy + latency
+
+        self.stats.transactions += 1
+        self.stats.bytes_transferred += nbytes
+        self.stats.busy_cycles += occupancy
+        self.stats.queue_cycles += start - cycle
+        return start, completion
+
+    @property
+    def free_at(self) -> float:
+        return self._bus_free
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cycles / elapsed_cycles)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+
+def make_channel(config: MemoryConfig):
+    """Channel factory: banked when ``config.banks`` > 0, simple otherwise."""
+    from repro.mem.channel import MemoryChannel
+
+    banks = getattr(config, "banks", 0)
+    if banks:
+        return BankedMemoryChannel(config, banks=banks)
+    return MemoryChannel(config)

@@ -1,0 +1,25 @@
+"""Timing-layer memory-protection schemes (paper Table 5)."""
+
+from repro.schemes.adaptive import AdaptiveMacScheme
+from repro.schemes.base import ProtectionScheme, RegionBuffer, SchemeStats
+from repro.schemes.common_counters import CommonCountersScheme
+from repro.schemes.conventional import ConventionalScheme, MacOnlyScheme
+from repro.schemes.multigran import MultiGranularScheme
+from repro.schemes.registry import SCHEME_NAMES, build_scheme
+from repro.schemes.static import StaticGranularScheme
+from repro.schemes.unsecure import UnsecureScheme
+
+__all__ = [
+    "AdaptiveMacScheme",
+    "ProtectionScheme",
+    "RegionBuffer",
+    "SchemeStats",
+    "CommonCountersScheme",
+    "ConventionalScheme",
+    "MacOnlyScheme",
+    "MultiGranularScheme",
+    "SCHEME_NAMES",
+    "build_scheme",
+    "StaticGranularScheme",
+    "UnsecureScheme",
+]

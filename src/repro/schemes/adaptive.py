@@ -1,0 +1,112 @@
+"""Dual-granular MAC baseline after Yuan et al. [56] (``Adaptive``).
+
+Counters stay fixed at 64B (no tree change); MACs switch dynamically
+between 64B and 4KB based on an access tracker.  Both MAC granularities
+are *stored simultaneously* (no compaction): coarse MACs live in their
+own array, one 8B MAC per 4KB page.  The per-page granularity state is
+held on-chip (we charge no table traffic, mirroring the original
+design's small on-chip tracker), but the scheme inherits the MAC-side
+switching costs -- demoting a written coarse page refetches the page.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SoCConfig
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    GRANULARITIES,
+    MAC_BYTES,
+)
+from repro.common.types import MemoryRequest, MetadataKind
+from repro.core.detector import merge_detection
+from repro.core.gran_table import GranularityTable, SwitchEvent
+from repro.core.switching import cost_of
+from repro.core.tracker import AccessTracker
+from repro.mem.channel import MemoryChannel
+from repro.schemes.base import ProtectionScheme
+
+_PAGE = GRANULARITIES[2]  # 4KB coarse MAC unit of [56]
+
+
+class AdaptiveMacScheme(ProtectionScheme):
+    """64B counters + dual-granular (64B / 4KB) MACs."""
+
+    name = "adaptive"
+    retains_fine_macs = True
+
+    def __init__(
+        self, config: SoCConfig, region_bytes: Optional[int] = None
+    ) -> None:
+        super().__init__(config, region_bytes)
+        # MAC-granularity state: same tracker/table machinery, pinned
+        # to dual 64B/4KB.  Held on-chip -> no table traffic charged.
+        self.table = GranularityTable(
+            table_base=self.geometry.table_base,
+            min_coarse=_PAGE,
+            max_granularity=_PAGE,
+        )
+        self.tracker = AccessTracker(config.engine.tracker)
+        # Coarse MACs are stored in a dedicated array past the table
+        # region: one MAC per 4KB page, no compaction.
+        self.coarse_mac_base = (
+            self.geometry.table_base + 2 * (self.geometry.region_bytes // 2048)
+        )
+
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        for eviction in self.tracker.observe(req.addr, int(cycle)):
+            chunk = eviction.entry.chunk_index
+            bits = merge_detection(
+                self.table.entry_by_chunk(chunk).next,
+                eviction.entry.access_bits,
+                censored=eviction.reason == "capacity",
+            )
+            self.table.record_detection(chunk, bits)
+
+        mac_granularity, event = self.table.resolve(req.addr, req.is_write)
+        self.stats.switching.record_resolution(switched=event is not None)
+        self.stats.granularity_hist.add(mac_granularity)
+        if event is not None:
+            self.stats.switching.record_event(event)
+            self._charge_switch(event, cycle, channel)
+
+        # Data moves at the MAC granularity (verifying a page MAC needs
+        # the page); counters are still per-64B.
+        data_ready = self._fetch_data_region(req, mac_granularity, cycle, channel)
+
+        if req.is_write:
+            self._counter_write_walk(req.addr, 0, cycle, channel)
+            ctr_ready = cycle
+        else:
+            ctr_ready = self._counter_read_walk(req.addr, 0, cycle, channel)
+
+        mac_line = self._mac_line_of(req.addr, mac_granularity)
+        mac_ready = self._mac_access(mac_line, req.is_write, cycle, channel)
+
+        if req.is_write:
+            return cycle
+        return self._crypto_done(data_ready, ctr_ready, mac_ready)
+
+    def _mac_line_of(self, addr: int, mac_granularity: int) -> int:
+        if mac_granularity == GRANULARITIES[0]:
+            return self.geometry.fine_mac_line_addr(addr // CACHELINE_BYTES)
+        raw = self.coarse_mac_base + (addr // _PAGE) * MAC_BYTES
+        return raw - (raw % CACHELINE_BYTES)
+
+    def _charge_switch(
+        self, event: SwitchEvent, cycle: float, channel: MemoryChannel
+    ) -> None:
+        """MAC-side switching costs only (counters never switch here).
+
+        Scale-down data fetches are owned by the region buffer's
+        coverage-debt accounting; only the scale-up MAC folds are
+        charged here.
+        """
+        if not event.scale_up:
+            return
+        cost = cost_of(event)
+        for _ in range(cost.extra_mac_lines + cost.extra_data_lines):
+            self._transfer(channel, cycle, MetadataKind.SWITCH)

@@ -1,0 +1,464 @@
+"""Timing-layer protection-scheme framework.
+
+A *scheme* models how one memory-protection design turns each LLC-miss
+request into off-chip transactions (data + security metadata) and a
+completion time.  Schemes share:
+
+* the metadata / MAC / granularity-table caches,
+* the serialized counter-tree walk (reads stop at the first trusted
+  node -- a metadata-cache hit, a cached subtree root, or the on-chip
+  root; writes update every level to the root, Fig. 14),
+* the *region buffer*, which models coarse-granularity data movement:
+  a coarse region is fetched or written as one burst, so later lines
+  of the same open region cost nothing (Fig. 8: "the data as much as
+  granularity is fetched"), while sparse access to a coarse region
+  over-fetches -- the misprediction cost the detector exists to avoid.
+
+Concrete schemes (conventional, ours, prior work, ablations) override
+granularity resolution and the metadata addressing hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES, GRANULARITIES
+from repro.common.stats import Histogram
+from repro.common.types import MemoryRequest, MetadataKind, TrafficBreakdown
+from repro.core.switching import SwitchAccounting
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.channel import MemoryChannel
+from repro.tree.geometry import TreeGeometry
+
+
+@dataclass
+class SchemeStats:
+    """Everything a run records about one scheme instance."""
+
+    traffic: TrafficBreakdown = field(default_factory=TrafficBreakdown)
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    granularity_hist: Histogram = field(default_factory=Histogram)
+    switching: SwitchAccounting = field(default_factory=SwitchAccounting)
+    serialized_level_fetches: int = 0
+    region_overfetch_lines: int = 0
+
+    def security_cache_misses(self, scheme: "ProtectionScheme") -> int:
+        return scheme.metadata_cache.misses + scheme.mac_cache.misses
+
+
+class RegionBuffer:
+    """Tracks per-line coverage of *open* coarse protection regions.
+
+    A coarse region's merged MAC (and shared counter) cover the whole
+    region, so verifying or resealing it needs every line on-chip.
+    Streamed regions get full coverage for free -- the trace itself
+    touches every line.  A region evicted with *partial* coverage owes
+    the lines the engine had to fetch anyway (to verify a merged MAC
+    on a sparse read, or to read-modify-write it on a partial write);
+    that deferred penalty is the over-fetch cost of mispredicted
+    coarseness.  Lines are charged one request at a time, so streams
+    produce exactly the unsecured scheme's data traffic and there is
+    no artificial head-of-line blocking from batched prefetch.
+    """
+
+    #: Default capacity in 64B lines (512KB / 16 regions).  The buffer
+    #: never elides data transfers (each request pays its own line); it
+    #: only times when coverage debt settles, so the capacity just needs
+    #: to hold the bursts that are genuinely concurrent.
+    DEFAULT_CAPACITY_LINES = 8192
+
+    #: Maximum concurrently open *written* regions.  A written region is
+    #: write-combining state that must drain (reseal its merged MAC), so
+    #: unlike read coverage it cannot accumulate indefinitely -- sparse
+    #: writes scattered over many regions pay their read-modify-write
+    #: per drain, not once per run.
+    MAX_DIRTY_REGIONS = 8
+
+    def __init__(
+        self,
+        capacity_lines: int = DEFAULT_CAPACITY_LINES,
+        max_dirty_regions: int = MAX_DIRTY_REGIONS,
+    ) -> None:
+        self.capacity_lines = capacity_lines
+        self.max_dirty_regions = max_dirty_regions
+        self._held_lines = 0
+        self._dirty_count = 0
+        self._regions: "OrderedDict[int, Dict]" = OrderedDict()
+
+    def touch(
+        self,
+        region_base: int,
+        granularity: int,
+        line_offset: int,
+        read_only: bool,
+        is_write: bool,
+    ) -> Tuple[bool, List[Dict]]:
+        """Record one line access.
+
+        ``read_only`` is the *chunk-level* flag (eligibility for the
+        retained-fine-MAC fallback); ``is_write`` marks this *region*
+        as holding write-combining state that must eventually drain.
+        Returns (was_open, victims): regions evicted to make room,
+        whose coverage debt the caller settles.
+        """
+        state = self._regions.get(region_base)
+        victims: List[Dict] = []
+        if state is None:
+            victims = self._insert(
+                region_base,
+                {
+                    "base": region_base,
+                    "granularity": granularity,
+                    "covered": 0,
+                    "read_only": read_only,
+                    "dirty": False,
+                },
+            )
+            state = self._regions[region_base]
+            was_open = False
+        else:
+            self._regions.move_to_end(region_base)
+            was_open = True
+        if not read_only:
+            state["read_only"] = False
+        if is_write and not state["dirty"]:
+            state["dirty"] = True
+            self._dirty_count += 1
+            victims.extend(self._drain_dirty(keep=region_base))
+        state["covered"] |= 1 << line_offset
+        return was_open, victims
+
+    def _insert(self, key: int, state: Dict) -> List[Dict]:
+        lines = state["granularity"] // CACHELINE_BYTES
+        victims: List[Dict] = []
+        while self._regions and self._held_lines + lines > self.capacity_lines:
+            victims.append(self._evict_lru())
+        self._regions[key] = state
+        self._held_lines += lines
+        return victims
+
+    def _evict_lru(self) -> Dict:
+        _, victim = self._regions.popitem(last=False)
+        self._held_lines -= victim["granularity"] // CACHELINE_BYTES
+        if victim["dirty"]:
+            self._dirty_count -= 1
+        return victim
+
+    def _drain_dirty(self, keep: int) -> List[Dict]:
+        """Evict least-recent written regions beyond the dirty cap."""
+        victims: List[Dict] = []
+        while self._dirty_count > self.max_dirty_regions:
+            for key, state in self._regions.items():
+                if state["dirty"] and key != keep:
+                    del self._regions[key]
+                    self._held_lines -= state["granularity"] // CACHELINE_BYTES
+                    self._dirty_count -= 1
+                    victims.append(state)
+                    break
+            else:
+                break  # only the protected region is dirty
+        return victims
+
+    def flush(self) -> List[Dict]:
+        """Drain the buffer; return every region for debt settlement."""
+        victims = list(self._regions.values())
+        self._regions.clear()
+        self._held_lines = 0
+        self._dirty_count = 0
+        return victims
+
+    @staticmethod
+    def eviction_penalty(state: Dict) -> Tuple[int, int]:
+        """(data lines, MAC lines) owed by a partially covered region.
+
+        A written region's merged MAC can only be resealed/verified
+        with the whole region on-chip, so uncovered lines are fetched
+        (read-modify-write).  A *read-only* region keeps its constant
+        fine MACs in unprotected memory (paper Table 2, after [56]):
+        the engine falls back to verifying the covered lines against
+        fine MACs instead -- one MAC line per 8 covered lines.
+        """
+        lines = state["granularity"] // CACHELINE_BYTES
+        covered = bin(state["covered"]).count("1")
+        missing = max(0, lines - covered)
+        if missing == 0:
+            return 0, 0
+        if state["read_only"]:
+            return 0, -(-covered // 8)
+        return missing, 0
+
+
+class ProtectionScheme(abc.ABC):
+    """Base class of all timing-layer schemes."""
+
+    #: Short identifier used in experiment tables.
+    name: str = "base"
+
+    #: Whether the scheme keeps constant fine MACs for read-only data in
+    #: unprotected memory (the [56] optimization the paper adopts).  Only
+    #: such schemes can verify a sparse read of a coarse read-only region
+    #: without fetching the whole region.
+    retains_fine_macs: bool = False
+
+    def __init__(self, config: SoCConfig, region_bytes: Optional[int] = None) -> None:
+        self.config = config
+        self.geometry = TreeGeometry.build(
+            region_bytes or config.memory.protected_bytes
+        )
+        engine = config.engine
+        self.metadata_cache = SetAssociativeCache(engine.metadata_cache)
+        if engine.unified_metadata_cache:
+            # One unified structure serves counters, tree nodes and
+            # MACs (alternative design noted in paper Sec. 2.2).
+            self.mac_cache = self.metadata_cache
+        else:
+            self.mac_cache = SetAssociativeCache(engine.mac_cache)
+        self.table_cache = SetAssociativeCache(engine.table_cache)
+        self.region_buffer = RegionBuffer()
+        self.stats = SchemeStats()
+        self._written_chunks: set = set()
+        self._engine = engine
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+
+    def process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        """Run one request through the scheme; return its completion cycle."""
+        self.stats.requests += 1
+        if req.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return self._process(req, cycle, channel)
+
+    @abc.abstractmethod
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        """Scheme-specific handling of one request."""
+
+    def reset_stats(self) -> None:
+        """Zero all statistics, keeping learned state (end of warmup).
+
+        Cache contents, the granularity table, tracker, subtree roots
+        and region coverage all persist -- only the counters restart,
+        so a post-warmup measurement sees the steady state.
+        """
+        self.stats = SchemeStats()
+        self.metadata_cache.reset_stats()
+        self.mac_cache.reset_stats()
+        self.table_cache.reset_stats()
+
+    def finish(self, channel: MemoryChannel) -> None:
+        """End-of-run cleanup: drain buffers, charge residual penalties."""
+        self._settle_evictions(self.region_buffer.flush(), channel.free_at, channel)
+
+    def _settle_evictions(
+        self, victims, cycle: float, channel: MemoryChannel
+    ) -> None:
+        """Pay the deferred over-fetch of partially covered regions."""
+        for victim in victims:
+            data_lines, mac_lines = RegionBuffer.eviction_penalty(victim)
+            if data_lines:
+                self.stats.region_overfetch_lines += data_lines
+                for _ in range(data_lines):
+                    self._transfer(channel, cycle, MetadataKind.DATA)
+            for _ in range(mac_lines):
+                self._transfer(channel, cycle, MetadataKind.MAC)
+            if data_lines:
+                # Only *costly* mispredictions (whole-data over-fetch)
+                # warrant demotion; the read-only fine-MAC fallback is
+                # cheap and should not forfeit coarse-counter benefits.
+                self._region_eviction_feedback(victim)
+
+    def _region_eviction_feedback(self, victim: Dict) -> None:
+        """Hook: a coarse region left partially covered (misprediction).
+
+        Dynamic schemes override this to demote the region's untouched
+        partitions (the paper's misprediction handler); static schemes
+        cannot adapt, which is exactly their weakness (Fig. 6).
+        """
+
+    # ------------------------------------------------------------------
+    # Shared building blocks
+    # ------------------------------------------------------------------
+
+    def _transfer(
+        self,
+        channel: MemoryChannel,
+        cycle: float,
+        kind: MetadataKind,
+        addr=None,
+    ) -> float:
+        """One 64B off-chip transaction; returns its completion cycle."""
+        self.stats.traffic.add(kind, CACHELINE_BYTES)
+        _, done = channel.submit(cycle, CACHELINE_BYTES, addr=addr)
+        return done
+
+    def _cache_fill(
+        self,
+        cache: SetAssociativeCache,
+        addr: int,
+        write: bool,
+        cycle: float,
+        channel: MemoryChannel,
+        kind: MetadataKind,
+    ) -> Tuple[bool, float]:
+        """Access a metadata cache; fetch on miss, charge writebacks.
+
+        Returns (hit, ready_cycle): ready is ``cycle`` on a hit, the
+        fetch completion on a miss.
+        """
+        result = cache.access(addr, write=write)
+        ready = cycle
+        if result.writeback_addr is not None:
+            self._transfer(channel, cycle, kind, addr=result.writeback_addr)
+        if not result.hit:
+            ready = self._transfer(channel, cycle, kind, addr=addr)
+        return result.hit, ready
+
+    def _counter_read_walk(
+        self,
+        addr: int,
+        start_level: int,
+        cycle: float,
+        channel: MemoryChannel,
+        trusted_stop=None,
+    ) -> float:
+        """Verification walk from ``start_level`` up to a trusted node.
+
+        The walk stops at the first metadata-cache hit, at a caller-
+        supplied trusted node (subtree root caches), or at the on-chip
+        root.  Node addresses are all computable up front, so missing
+        levels are fetched in parallel, but the verification itself is
+        a *sequence* of hash comparisons from the counter to the
+        trusted node (paper Sec. 2.2) -- each level walked adds one
+        pipelined MAC-check latency.  Tree height (and hence counter
+        promotion, Fig. 10) is therefore a first-order latency effect
+        without every miss paying a full DRAM round trip.  Returns the
+        cycle at which the leaf counter is trusted.
+        """
+        ready = cycle
+        levels_walked = 0
+        node = self.geometry.node_of_addr(addr, start_level)
+        for level in range(start_level, self.geometry.root_level):
+            if trusted_stop is not None and trusted_stop(level, node):
+                break
+            node_addr = self.geometry.node_addr(level, node)
+            hit, done = self._cache_fill(
+                self.metadata_cache, node_addr, False, cycle, channel,
+                MetadataKind.COUNTER,
+            )
+            levels_walked += 1
+            if hit:
+                break
+            ready = max(ready, done)
+            self.stats.serialized_level_fetches += 1
+            node //= self.geometry.arity
+        return ready + levels_walked * self._engine.mac_latency
+
+    def _counter_write_walk(
+        self,
+        addr: int,
+        start_level: int,
+        cycle: float,
+        channel: MemoryChannel,
+        trusted_stop=None,
+    ) -> None:
+        """Update walk: every level to the root is touched dirty (Fig. 14).
+
+        Counter updates are posted (they do not block the device), so
+        only bandwidth and cache state are charged, not latency.
+        """
+        node = self.geometry.node_of_addr(addr, start_level)
+        for level in range(start_level, self.geometry.root_level):
+            if trusted_stop is not None and trusted_stop(level, node):
+                return
+            node_addr = self.geometry.node_addr(level, node)
+            self._cache_fill(
+                self.metadata_cache, node_addr, True, cycle, channel,
+                MetadataKind.COUNTER,
+            )
+            node //= self.geometry.arity
+
+    def _mac_access(
+        self, mac_line_addr: int, write: bool, cycle: float, channel: MemoryChannel
+    ) -> float:
+        """Access one MAC line through the MAC cache."""
+        _, ready = self._cache_fill(
+            self.mac_cache, mac_line_addr, write, cycle, channel, MetadataKind.MAC
+        )
+        return ready
+
+    def _table_access(
+        self, line_addr: int, write: bool, cycle: float, channel: MemoryChannel
+    ) -> float:
+        """Access one granularity-table line through its cache."""
+        _, ready = self._cache_fill(
+            self.table_cache, line_addr, write, cycle, channel,
+            MetadataKind.GRAN_TABLE,
+        )
+        return ready
+
+    # -- data movement ---------------------------------------------------
+
+    def _fetch_data_fine(
+        self, cycle: float, channel: MemoryChannel, addr=None
+    ) -> float:
+        return self._transfer(channel, cycle, MetadataKind.DATA, addr=addr)
+
+    def _fetch_data_region(
+        self,
+        req: MemoryRequest,
+        granularity: int,
+        cycle: float,
+        channel: MemoryChannel,
+    ) -> float:
+        """Move data for an access at ``granularity`` via the region buffer.
+
+        Reads fetch the whole region on first touch (requested line
+        first, so the critical path is one transaction); writes stream
+        out line by line.  Returns the data-ready cycle for reads and
+        the issue cycle for writes.
+        """
+        if granularity == GRANULARITIES[0]:
+            if req.is_write:
+                self._transfer(channel, cycle, MetadataKind.DATA, addr=req.addr)
+                return cycle
+            return self._fetch_data_fine(cycle, channel, addr=req.addr)
+
+        chunk = req.addr // CHUNK_BYTES
+        if req.is_write:
+            self._written_chunks.add(chunk)
+        region_base = (req.addr // granularity) * granularity
+        line_offset = (req.addr - region_base) // CACHELINE_BYTES
+        _, victims = self.region_buffer.touch(
+            region_base, granularity, line_offset,
+            read_only=self.retains_fine_macs
+            and chunk not in self._written_chunks,
+            is_write=req.is_write,
+        )
+        self._settle_evictions(victims, cycle, channel)
+        if req.is_write:
+            self._transfer(channel, cycle, MetadataKind.DATA, addr=req.addr)
+            return cycle
+        return self._fetch_data_fine(cycle, channel, addr=req.addr)
+
+    # -- crypto latency ----------------------------------------------------
+
+    def _crypto_done(
+        self, data_ready: float, counter_ready: float, mac_ready: float
+    ) -> float:
+        """Completion of decrypt + verify given the three arrival times."""
+        otp_ready = counter_ready + self._engine.otp_latency
+        plaintext = max(data_ready, otp_ready) + self._engine.xor_latency
+        return max(plaintext, mac_ready) + self._engine.mac_latency

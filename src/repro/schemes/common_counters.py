@@ -1,0 +1,103 @@
+"""Dual-granular counter baseline after Na et al. [35] (``CommonCTR``).
+
+A small on-chip set of *common counters* (16 in the original design)
+covers fully streamed 32KB regions: an access to a covered region needs
+no counter fetch and no tree walk, because its counter is on-chip and
+trusted.  Everything else falls back to the conventional 64B path, and
+MACs are always fine-grained (the scheme does not touch MACs).
+
+Costs modeled after the paper's critique (Sec. 2.3): admitting a region
+requires a *scan* of its counter lines to prove uniformity, and the
+16-entry capacity thrashes in heterogeneous scenarios with many coarse
+regions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.common.address import chunk_index
+from repro.common.config import SoCConfig
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    COUNTERS_PER_LINE,
+    GRANULARITIES,
+)
+from repro.common.types import MemoryRequest, MetadataKind
+from repro.core.detector import detect_stream_partitions
+from repro.core.stream_part import FULL_MASK
+from repro.core.tracker import AccessTracker
+from repro.mem.channel import MemoryChannel
+from repro.schemes.base import ProtectionScheme
+
+#: Counter lines holding one chunk's 512 fine counters (scan cost unit).
+_SCAN_LINES = CHUNK_BYTES // CACHELINE_BYTES // COUNTERS_PER_LINE  # 64
+
+
+class CommonCountersScheme(ProtectionScheme):
+    """16 on-chip shared counters for streamed 32KB regions, fine MACs."""
+
+    name = "common_ctr"
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        region_bytes: Optional[int] = None,
+        shared_counters: int = 16,
+    ) -> None:
+        super().__init__(config, region_bytes)
+        self.shared_capacity = shared_counters
+        self._shared: "OrderedDict[int, bool]" = OrderedDict()
+        self.tracker = AccessTracker(config.engine.tracker)
+        self.shared_hits = 0
+        self.scans = 0
+
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        # Detection: only fully streamed chunks qualify for a shared
+        # counter (the original design's uniform-counter criterion).
+        for eviction in self.tracker.observe(req.addr, int(cycle)):
+            bits = detect_stream_partitions(eviction.entry.access_bits)
+            if bits == FULL_MASK:
+                self._admit(eviction.entry.chunk_index, cycle, channel)
+
+        chunk = chunk_index(req.addr)
+        shared = chunk in self._shared
+        if shared:
+            self._shared.move_to_end(chunk)
+            self.shared_hits += 1
+        self.stats.granularity_hist.add(
+            GRANULARITIES[3] if shared else GRANULARITIES[0]
+        )
+
+        mac_line = self.geometry.fine_mac_line_addr(req.addr // CACHELINE_BYTES)
+
+        if req.is_write:
+            self._transfer(channel, cycle, MetadataKind.DATA)
+            if not shared:
+                self._counter_write_walk(req.addr, 0, cycle, channel)
+            self._mac_access(mac_line, True, cycle, channel)
+            return cycle
+
+        data_ready = self._fetch_data_fine(cycle, channel)
+        if shared:
+            ctr_ready = cycle  # counter is on-chip and trusted
+        else:
+            ctr_ready = self._counter_read_walk(req.addr, 0, cycle, channel)
+        mac_ready = self._mac_access(mac_line, False, cycle, channel)
+        return self._crypto_done(data_ready, ctr_ready, mac_ready)
+
+    def _admit(self, chunk: int, cycle: float, channel: MemoryChannel) -> None:
+        """Admit a streamed chunk, paying the uniformity-scan traffic."""
+        if chunk in self._shared:
+            self._shared.move_to_end(chunk)
+            return
+        if len(self._shared) >= self.shared_capacity:
+            self._shared.popitem(last=False)
+        self._shared[chunk] = True
+        self.scans += 1
+        for _ in range(_SCAN_LINES):
+            self._transfer(channel, cycle, MetadataKind.COUNTER)

@@ -1,0 +1,91 @@
+"""Conventional fixed-64B counter + MAC protection (the paper's baseline).
+
+Every 64B LLC miss fetches its fine counter (walking the tree to the
+first trusted node), its fine MAC, and the data line.  With an optional
+:class:`~repro.subtree.bmf.SubtreeRootCache` and a footprint-sized tree
+this same class models the ``BMF&Unused`` comparison scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CACHELINE_BYTES, GRANULARITIES
+from repro.common.types import MemoryRequest, MetadataKind
+from repro.mem.channel import MemoryChannel
+from repro.schemes.base import ProtectionScheme
+from repro.subtree.bmf import SubtreeRootCache
+
+
+class ConventionalScheme(ProtectionScheme):
+    """Fixed 64B-granular counters and MACs."""
+
+    name = "conventional"
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        region_bytes: Optional[int] = None,
+        subtree: Optional[SubtreeRootCache] = None,
+    ) -> None:
+        super().__init__(config, region_bytes)
+        self.subtree = subtree
+        if subtree is not None:
+            self.name = "bmf_unused"
+
+    def _trusted_stop(self, level: int, node: int) -> bool:
+        return self.subtree is not None and self.subtree.trusted(level, node)
+
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        self.stats.granularity_hist.add(GRANULARITIES[0])
+        line_index = req.addr // CACHELINE_BYTES
+        mac_line = self.geometry.fine_mac_line_addr(line_index)
+
+        if self.subtree is not None:
+            self.subtree.admit(
+                self.geometry.node_of_addr(req.addr, self.subtree.level)
+            )
+
+        if req.is_write:
+            self._transfer(channel, cycle, MetadataKind.DATA)
+            self._counter_write_walk(
+                req.addr, 0, cycle, channel, self._trusted_stop
+            )
+            self._mac_access(mac_line, True, cycle, channel)
+            return cycle
+
+        data_ready = self._fetch_data_fine(cycle, channel)
+        ctr_ready = self._counter_read_walk(
+            req.addr, 0, cycle, channel, self._trusted_stop
+        )
+        mac_ready = self._mac_access(mac_line, False, cycle, channel)
+        return self._crypto_done(data_ready, ctr_ready, mac_ready)
+
+
+class MacOnlyScheme(ConventionalScheme):
+    """Fine MACs without counters/tree: the ``+Cost (MAC)`` point of Fig. 5.
+
+    Decryption is modeled as free (no counters), isolating the MAC
+    share of the conventional overhead breakdown.
+    """
+
+    name = "mac_only"
+
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        self.stats.granularity_hist.add(GRANULARITIES[0])
+        line_index = req.addr // CACHELINE_BYTES
+        mac_line = self.geometry.fine_mac_line_addr(line_index)
+
+        if req.is_write:
+            self._transfer(channel, cycle, MetadataKind.DATA)
+            self._mac_access(mac_line, True, cycle, channel)
+            return cycle
+
+        data_ready = self._fetch_data_fine(cycle, channel)
+        mac_ready = self._mac_access(mac_line, False, cycle, channel)
+        return max(data_ready, mac_ready) + self._engine.mac_latency

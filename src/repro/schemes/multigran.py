@@ -1,0 +1,234 @@
+"""The paper's scheme: dynamic multi-granular MAC & integrity tree.
+
+Per request (Fig. 8 / Fig. 11):
+
+1. the access tracker observes the line; evicted entries run the
+   granularity detector and update the granularity table's ``next``
+   bitmap (a table write);
+2. the granularity table is consulted (a table read through its cache)
+   and lazily switched when ``current`` and ``next`` disagree for the
+   touched region, charging the Table-2 switching costs;
+3. data moves at the resolved granularity through the region buffer;
+4. the counter is read/updated at its *promoted* tree level (Eqs. 2-4),
+   shortening the verification walk;
+5. the (merged, compacted) MAC line is accessed (Eq. 1).
+
+Configuration knobs express the paper's ablations:
+
+* ``mac_multigranular=False``  -> Multi(CTR)-only (Fig. 17/18);
+* ``min_coarse=max_granularity=32KB`` -> the dual-granularity
+  ablation of Fig. 20;
+* ``charge_switch_costs=False`` -> the w/o-switching-overhead
+  ablation of Fig. 20;
+* ``subtree=SubtreeRootCache()`` (+ footprint-sized tree)
+  -> BMF&Unused+Ours.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SoCConfig
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    GRANULARITIES,
+    granularity_level,
+)
+from repro.common.types import MemoryRequest, MetadataKind
+from repro.core import addressing
+from repro.core.detector import merge_detection
+from repro.core.gran_table import GranularityTable, SwitchEvent
+from repro.core.switching import cost_of
+from repro.core.tracker import AccessTracker
+from repro.mem.channel import MemoryChannel
+from repro.schemes.base import ProtectionScheme
+from repro.subtree.bmf import SubtreeRootCache
+
+
+class MultiGranularScheme(ProtectionScheme):
+    """Dynamic multi-granular counters and MACs (``Ours``)."""
+
+    name = "ours"
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        region_bytes: Optional[int] = None,
+        mac_multigranular: bool = True,
+        min_coarse: int = GRANULARITIES[1],
+        max_granularity: int = GRANULARITIES[3],
+        charge_switch_costs: bool = True,
+        subtree: Optional[SubtreeRootCache] = None,
+    ) -> None:
+        super().__init__(config, region_bytes)
+        self.table = GranularityTable(
+            table_base=self.geometry.table_base,
+            min_coarse=min_coarse,
+            max_granularity=max_granularity,
+        )
+        self.tracker = AccessTracker(config.engine.tracker)
+        self.mac_multigranular = mac_multigranular
+        self.retains_fine_macs = mac_multigranular
+        self.charge_switch_costs = charge_switch_costs
+        self.subtree = subtree
+        if not mac_multigranular:
+            self.name = "multi_ctr_only"
+        if subtree is not None:
+            self.name = "bmf_unused_ours"
+
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """End-of-warmup hook: bank pending detections, then zero stats."""
+        for eviction in self.tracker.drain():
+            chunk = eviction.entry.chunk_index
+            bits = merge_detection(
+                self.table.entry_by_chunk(chunk).next,
+                eviction.entry.access_bits,
+                censored=eviction.reason == "capacity",
+            )
+            self.table.record_detection(chunk, bits)
+        super().reset_stats()
+
+    def _trusted_stop(self, level: int, node: int) -> bool:
+        return self.subtree is not None and self.subtree.trusted(level, node)
+
+    def _region_eviction_feedback(self, victim: dict) -> None:
+        """Misprediction handler: tile an over-coarse region down locally.
+
+        A coarse region that paid coverage debt was over-promoted.
+        Only the partitions with *sparse* evidence (touched but not
+        fully streamed) are demoted: clearing their bits breaks the
+        coarse unit in place -- a FULL chunk drops to 4KB groups, a
+        group to 512B partitions -- while fully streamed partitions
+        keep their promotion.  Future sparse touches therefore meet an
+        ever-finer unit, shrinking the damage geometrically (paper
+        Sec. 4.4, misprediction handler + lazy switching).
+        """
+        base = victim["base"]
+        granularity = victim["granularity"]
+        covered = victim["covered"]
+        entry = self.table.entry(base)
+        parts = max(1, granularity // GRANULARITIES[1])
+        first_part = (base % CHUNK_BYTES) // GRANULARITIES[1]
+        lines_per_part = GRANULARITIES[1] // CACHELINE_BYTES
+        part_full = (1 << lines_per_part) - 1
+
+        demote_mask = 0
+        first_untouched = None
+        for part in range(parts):
+            window = (covered >> (part * lines_per_part)) & part_full
+            if window == part_full:
+                continue
+            if window:
+                demote_mask |= 1 << (first_part + part)
+            elif first_untouched is None:
+                first_untouched = first_part + part
+        if demote_mask == 0 and first_untouched is not None:
+            # A clean prefix (partial burst): break the unit minimally.
+            demote_mask = 1 << first_untouched
+        entry.next &= ~demote_mask
+        entry.demote_hold = 2
+
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        # 1. Access tracker -> detector -> table "next" updates.
+        for eviction in self.tracker.observe(req.addr, int(cycle)):
+            chunk = eviction.entry.chunk_index
+            bits = merge_detection(
+                self.table.entry_by_chunk(chunk).next,
+                eviction.entry.access_bits,
+                censored=eviction.reason == "capacity",
+            )
+            if self.table.record_detection(chunk, bits):
+                chunk_addr = chunk * CHUNK_BYTES
+                self._table_access(
+                    self.table.entry_line_addr(chunk_addr), True, cycle, channel
+                )
+
+        # 2. Granularity-table lookup + lazy switching.
+        self._table_access(
+            self.table.entry_line_addr(req.addr), False, cycle, channel
+        )
+        granularity, event = self.table.resolve(req.addr, req.is_write)
+        self.stats.switching.record_resolution(switched=event is not None)
+        self.stats.granularity_hist.add(granularity)
+        if event is not None:
+            self.stats.switching.record_event(event)
+            self._table_access(
+                self.table.entry_line_addr(req.addr), True, cycle, channel
+            )
+            if self.charge_switch_costs:
+                self._charge_switch(event, cycle, channel)
+
+        mac_granularity = granularity if self.mac_multigranular else GRANULARITIES[0]
+
+        # 3. Data movement at the MAC granularity (merged-MAC verification
+        #    operates on the whole region; counters alone do not force
+        #    region-sized movement).
+        data_ready = self._fetch_data_region(req, mac_granularity, cycle, channel)
+
+        # 4. Promoted counter access.
+        level = granularity_level(granularity)
+        if self.subtree is not None:
+            self.subtree.admit(
+                self.geometry.node_of_addr(req.addr, self.subtree.level)
+            )
+        if req.is_write:
+            self._counter_write_walk(
+                req.addr, level, cycle, channel, self._trusted_stop
+            )
+            ctr_ready = cycle
+        else:
+            ctr_ready = self._counter_read_walk(
+                req.addr, level, cycle, channel, self._trusted_stop
+            )
+
+        # 5. Merged + compacted MAC access.
+        mac_line = self._mac_line_of(req.addr, mac_granularity)
+        mac_ready = self._mac_access(mac_line, req.is_write, cycle, channel)
+
+        if req.is_write:
+            return cycle
+        return self._crypto_done(data_ready, ctr_ready, mac_ready)
+
+    # ------------------------------------------------------------------
+
+    def _mac_line_of(self, addr: int, mac_granularity: int) -> int:
+        if not self.mac_multigranular:
+            return self.geometry.fine_mac_line_addr(addr // CACHELINE_BYTES)
+        bits = self.table.entry(addr).current
+        return addressing.mac_line_addr(
+            self.geometry, bits, addr, self.table.max_granularity
+        )
+
+    def _charge_switch(
+        self, event: SwitchEvent, cycle: float, channel: MemoryChannel
+    ) -> None:
+        """Inject the Table-2 costs of one lazy switch.
+
+        Only scale-up costs are charged here: scale-down re-keying
+        needs the region's data, and the region buffer's coverage-debt
+        accounting already paid for exactly that fetch (charging it
+        again would double count).
+        """
+        cost = cost_of(event)
+        if not event.scale_up:
+            return
+        if cost.tree_fetch_to_root:
+            # Seal the promoted counter: touch its node and every
+            # ancestor up to the root (cache hits make the RAW case
+            # nearly free, exactly as Table 2 notes).
+            self._counter_write_walk(
+                event.addr,
+                granularity_level(event.new_granularity),
+                cycle,
+                channel,
+                self._trusted_stop,
+            )
+        mac_side = cost.extra_mac_lines if self.mac_multigranular else 0
+        data_side = cost.extra_data_lines if self.mac_multigranular else 0
+        for _ in range(mac_side + data_side):
+            self._transfer(channel, cycle, MetadataKind.SWITCH)

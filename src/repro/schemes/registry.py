@@ -1,0 +1,96 @@
+"""Scheme factory: build any simulated scheme of Table 5 by name."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.address import align_up
+from repro.common.config import SoCConfig
+from repro.common.constants import CHUNK_BYTES, GRANULARITIES
+from repro.common.errors import ConfigError
+from repro.schemes.adaptive import AdaptiveMacScheme
+from repro.schemes.base import ProtectionScheme
+from repro.schemes.common_counters import CommonCountersScheme
+from repro.schemes.conventional import ConventionalScheme, MacOnlyScheme
+from repro.schemes.multigran import MultiGranularScheme
+from repro.schemes.static import StaticGranularScheme
+from repro.schemes.unsecure import UnsecureScheme
+from repro.subtree.bmf import SubtreeRootCache
+
+#: Scheme names in the order figures present them (Table 5).
+SCHEME_NAMES = (
+    "unsecure",
+    "mac_only",
+    "conventional",
+    "static_device",
+    "adaptive",
+    "common_ctr",
+    "multi_ctr_only",
+    "ours",
+    "ours_dual",
+    "ours_no_switch",
+    "bmf_unused",
+    "bmf_unused_ours",
+    "bmf_unused_ours_no_switch",
+)
+
+
+def _pruned_region(footprint_bytes: Optional[int], config: SoCConfig) -> int:
+    """Tree span under PENGLAI-style unused-region pruning [16]."""
+    if footprint_bytes is None:
+        return config.memory.protected_bytes
+    return max(CHUNK_BYTES, align_up(footprint_bytes, CHUNK_BYTES))
+
+
+def build_scheme(
+    name: str,
+    config: SoCConfig,
+    footprint_bytes: Optional[int] = None,
+    device_granularities: Optional[Dict[int, int]] = None,
+) -> ProtectionScheme:
+    """Instantiate a scheme by its Table-5 name.
+
+    ``footprint_bytes`` (the scenario's allocated span) is only used by
+    the ``bmf_unused*`` schemes, whose trees are pruned to the used
+    region; every other scheme covers the full protected range.
+    ``device_granularities`` is required by ``static_device``.
+    """
+    full = config.memory.protected_bytes
+    pruned = _pruned_region(footprint_bytes, config)
+
+    if name == "unsecure":
+        return UnsecureScheme(config, full)
+    if name == "mac_only":
+        return MacOnlyScheme(config, full)
+    if name == "conventional":
+        return ConventionalScheme(config, full)
+    if name == "static_device":
+        if device_granularities is None:
+            raise ConfigError("static_device needs device_granularities")
+        return StaticGranularScheme(config, device_granularities, full)
+    if name == "adaptive":
+        return AdaptiveMacScheme(config, full)
+    if name == "common_ctr":
+        return CommonCountersScheme(config, full)
+    if name == "multi_ctr_only":
+        return MultiGranularScheme(config, full, mac_multigranular=False)
+    if name == "ours":
+        return MultiGranularScheme(config, full)
+    if name == "ours_dual":
+        return MultiGranularScheme(
+            config,
+            full,
+            min_coarse=GRANULARITIES[3],
+            max_granularity=GRANULARITIES[3],
+        )
+    if name == "ours_no_switch":
+        return MultiGranularScheme(config, full, charge_switch_costs=False)
+    if name == "bmf_unused":
+        return ConventionalScheme(config, pruned, subtree=SubtreeRootCache())
+    if name == "bmf_unused_ours":
+        return MultiGranularScheme(config, pruned, subtree=SubtreeRootCache())
+    if name == "bmf_unused_ours_no_switch":
+        return MultiGranularScheme(
+            config, pruned, subtree=SubtreeRootCache(), charge_switch_costs=False
+        )
+    raise ConfigError(f"unknown scheme {name!r}; known: {SCHEME_NAMES}")

@@ -1,0 +1,89 @@
+"""Static per-device granularity (the ``Static-device-best`` scheme).
+
+Each processing unit is assigned one fixed granularity for the whole
+run; counters are promoted and MACs merged at that granularity with a
+*uniform* layout (every chunk fully streamed at the device's size).
+There is no tracker, no table and no switching -- but also no way to
+adapt, so sparse accesses on a coarsely configured device over-fetch
+whole regions every time (the penalty Fig. 6 quantifies for alex and
+sfrnn).
+
+``Static-device-best`` is this scheme with per-device granularities
+chosen by exhaustive search (see
+:func:`repro.sim.runner.best_static_granularities`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CACHELINE_BYTES, GRANULARITIES, granularity_level
+from repro.common.errors import ConfigError
+from repro.common.types import MemoryRequest
+from repro.core import addressing, stream_part
+from repro.mem.channel import MemoryChannel
+from repro.schemes.base import ProtectionScheme
+
+
+class StaticGranularScheme(ProtectionScheme):
+    """Fixed per-device granularity for both counters and MACs."""
+
+    name = "static_device"
+
+    # The scheme runs inside the paper's engine (which keeps constant
+    # fine MACs for read-only data); what it lacks is adaptivity, so
+    # mispredicted *written* regions pay their over-fetch every time.
+    retains_fine_macs = True
+
+    def __init__(
+        self,
+        config: SoCConfig,
+        device_granularities: Dict[int, int],
+        region_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(config, region_bytes)
+        for device, granularity in device_granularities.items():
+            if granularity not in GRANULARITIES:
+                raise ConfigError(
+                    f"device {device}: unsupported granularity {granularity}"
+                )
+        self.device_granularities = dict(device_granularities)
+
+    def granularity_for(self, req: MemoryRequest) -> int:
+        return self.device_granularities.get(req.device, GRANULARITIES[0])
+
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        granularity = self.granularity_for(req)
+        self.stats.granularity_hist.add(granularity)
+
+        data_ready = self._fetch_data_region(req, granularity, cycle, channel)
+
+        level = granularity_level(granularity)
+        if req.is_write:
+            self._counter_write_walk(req.addr, level, cycle, channel)
+            ctr_ready = cycle
+        else:
+            ctr_ready = self._counter_read_walk(req.addr, level, cycle, channel)
+
+        mac_line = self._uniform_mac_line(req.addr, granularity)
+        mac_ready = self._mac_access(mac_line, req.is_write, cycle, channel)
+
+        if req.is_write:
+            return cycle
+        return self._crypto_done(data_ready, ctr_ready, mac_ready)
+
+    def _uniform_mac_line(self, addr: int, granularity: int) -> int:
+        """MAC line under a uniform all-stream layout at ``granularity``.
+
+        A chunk whose every partition streams at size ``g`` is encoded
+        as a full bitmap capped at ``g`` -- the compaction arithmetic
+        then degenerates to ``offset // g``.
+        """
+        if granularity == GRANULARITIES[0]:
+            return self.geometry.fine_mac_line_addr(addr // CACHELINE_BYTES)
+        return addressing.mac_line_addr(
+            self.geometry, stream_part.FULL_MASK, addr, granularity
+        )

@@ -1,0 +1,21 @@
+"""No memory protection: the normalization baseline of every figure."""
+
+from __future__ import annotations
+
+from repro.common.types import MemoryRequest, MetadataKind
+from repro.mem.channel import MemoryChannel
+from repro.schemes.base import ProtectionScheme
+
+
+class UnsecureScheme(ProtectionScheme):
+    """Plain DRAM access: one 64B transaction per request, no metadata."""
+
+    name = "unsecure"
+
+    def _process(
+        self, req: MemoryRequest, cycle: float, channel: MemoryChannel
+    ) -> float:
+        if req.is_write:
+            self._transfer(channel, cycle, MetadataKind.DATA)
+            return cycle
+        return self._transfer(channel, cycle, MetadataKind.DATA)

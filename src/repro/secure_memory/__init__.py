@@ -1,0 +1,6 @@
+"""User-facing functional secure memory (encrypt + MAC + replay-protect)."""
+
+from repro.secure_memory.engine import SecureMemory
+from repro.secure_memory.protected_table import ProtectedTableStore
+
+__all__ = ["SecureMemory", "ProtectedTableStore"]

@@ -1,0 +1,472 @@
+"""Functional secure memory: encryption + integrity + freshness, end to end.
+
+This is the paper's memory protection engine as a *working* object: it
+stores real ciphertext in an attacker-accessible backing store, real
+MACs in an attacker-accessible MAC store, and real counters in the
+functional counter tree.  Reads verify everything and raise
+:class:`~repro.common.errors.IntegrityError` /
+:class:`~repro.common.errors.ReplayError` on any off-chip mutation.
+
+Two policies:
+
+* ``fixed``         -- the conventional baseline: 64B counters + MACs.
+* ``multigranular`` -- the paper's contribution: the access tracker
+  detects stream partitions (Alg. 1), the granularity table applies
+  lazy switching, counters are promoted into parent tree nodes
+  (Fig. 10) and MACs are merged + compacted (Fig. 9, Eq. 5).
+
+Uninitialized memory reads as zeros.  A line is "sealed" once it has a
+stored MAC; absence of a MAC is only accepted for the pristine all-zero
+ciphertext, so an attacker cannot hide data by deleting its MAC.
+
+The functional layer favours clarity over speed; the timing layer in
+:mod:`repro.schemes` shares the same core logic but only counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.address import align_down, check_range, iter_lines
+from repro.common.constants import CACHELINE_BYTES, GRANULARITIES, granularity_level
+from repro.common.errors import AddressError, IntegrityError, ReplayError
+from repro.core import addressing, stream_part
+from repro.core.detector import merge_detection
+from repro.core.gran_table import GranularityTable, SwitchEvent
+from repro.core.switching import SwitchAccounting
+from repro.core.tracker import AccessTracker
+from repro.crypto.keys import KeySet
+from repro.crypto.mac import compute_mac, macs_equal, nested_mac
+from repro.crypto.otp import decrypt_line, encrypt_line
+from repro.mem.backing_store import BackingStore
+from repro.tree.geometry import TreeGeometry
+from repro.tree.integrity_tree import CounterTree
+
+_REPLAY_PROBE_WINDOW = 64
+_ZERO_LINE = bytes(CACHELINE_BYTES)
+
+
+class SecureMemory:
+    """Encrypted, integrity- and replay-protected memory region."""
+
+    def __init__(
+        self,
+        region_bytes: int,
+        keys: Optional[KeySet] = None,
+        policy: str = "multigranular",
+        tracker: Optional[AccessTracker] = None,
+    ) -> None:
+        if policy not in ("fixed", "multigranular"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.policy = policy
+        self.keys = keys or KeySet.generate()
+        self.geometry = TreeGeometry.build(region_bytes)
+        self.tree = CounterTree(self.geometry, self.keys)
+        self.dram = BackingStore()
+        self._macs: Dict[int, bytes] = {}
+        self.table = GranularityTable(table_base=self.geometry.table_base)
+        self.tracker = tracker or AccessTracker()
+        self.switching = SwitchAccounting()
+        self.cycle = 0
+        self.reads = 0
+        self.writes = 0
+        self.switches = 0
+
+    # ------------------------------------------------------------------
+    # Public data interface
+    # ------------------------------------------------------------------
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Encrypt and store ``data`` at 64B-aligned ``addr``."""
+        self._check_aligned_access(addr, len(data))
+        for line_index in iter_lines(addr, len(data)):
+            line_addr = line_index * CACHELINE_BYTES
+            offset = line_addr - addr
+            payload = data[offset : offset + CACHELINE_BYTES]
+            self._write_line(line_addr, payload)
+            self.writes += 1
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Verified read of ``size`` bytes from 64B-aligned ``addr``."""
+        self._check_aligned_access(addr, size)
+        out = bytearray()
+        for line_index in iter_lines(addr, size):
+            line_addr = line_index * CACHELINE_BYTES
+            out += self._read_line(line_addr)
+            self.reads += 1
+        return bytes(out)
+
+    def advance(self, cycles: int) -> None:
+        """Advance the logical clock used by the access tracker."""
+        self.cycle += cycles
+
+    def granularity_of(self, addr: int) -> int:
+        """Currently sealed protection granularity of ``addr``."""
+        if self.policy == "fixed":
+            return GRANULARITIES[0]
+        return self.table.peek_granularity(addr)
+
+    # ------------------------------------------------------------------
+    # Attacker primitives (physical off-chip access, paper Sec. 2.5)
+    # ------------------------------------------------------------------
+
+    def tamper_data(self, addr: int, flip_mask: int = 0x01) -> None:
+        """Flip a bit of stored ciphertext."""
+        self.dram.corrupt(align_down(addr, CACHELINE_BYTES), flip_mask=flip_mask)
+
+    def tamper_mac(self, addr: int) -> None:
+        """Flip a bit of the stored MAC covering ``addr``."""
+        mac_addr = self._region_mac_addr(addr)
+        mac = self._macs.get(mac_addr)
+        if mac is None:
+            raise KeyError(f"no MAC stored yet for {addr:#x}")
+        self._macs[mac_addr] = bytes([mac[0] ^ 0x01]) + mac[1:]
+
+    def snapshot(self, addr: int) -> Tuple[bytes, bytes]:
+        """Capture (ciphertext, MAC) of one line for a replay attack."""
+        line_addr = align_down(addr, CACHELINE_BYTES)
+        return (
+            self.dram.snapshot_line(line_addr),
+            self._macs.get(self._region_mac_addr(addr), b""),
+        )
+
+    def replay(self, addr: int, snapshot: Tuple[bytes, bytes]) -> None:
+        """Restore a previously captured (ciphertext, MAC) pair."""
+        line_addr = align_down(addr, CACHELINE_BYTES)
+        ciphertext, mac = snapshot
+        self.dram.replay_line(line_addr, ciphertext)
+        if mac:
+            self._macs[self._region_mac_addr(addr)] = mac
+
+    # ------------------------------------------------------------------
+    # Line-level paths
+    # ------------------------------------------------------------------
+
+    def _write_line(self, line_addr: int, payload: bytes) -> None:
+        if len(payload) != CACHELINE_BYTES:
+            payload = payload.ljust(CACHELINE_BYTES, b"\0")
+        granularity = self._resolve(line_addr, is_write=True)
+        if granularity == GRANULARITIES[0]:
+            counter = self.tree.increment_counter(line_addr, level=0)
+            self._seal_line(line_addr, counter, payload, self._current_bits(line_addr))
+            return
+        self._write_line_coarse(line_addr, payload, granularity)
+
+    def _write_line_coarse(
+        self, line_addr: int, payload: bytes, granularity: int
+    ) -> None:
+        """Write one line of a coarse region (shared counter + merged MAC).
+
+        The shared counter advances, so every line of the region is
+        re-encrypted under the new value -- this is precisely the cost
+        the dynamic detector exists to avoid on mispredicted regions.
+        """
+        level = granularity_level(granularity)
+        region_base = align_down(line_addr, granularity)
+        bits = self._current_bits(line_addr)
+        old_counter = self.tree.read_counter(region_base, level=level)
+        plaintexts = self._open_region(region_base, granularity, old_counter, bits)
+        plaintexts[(line_addr - region_base) // CACHELINE_BYTES] = payload
+        new_counter = self.tree.increment_counter(region_base, level=level)
+        self._seal_region(region_base, granularity, new_counter, plaintexts, bits)
+
+    def _read_line(self, line_addr: int) -> bytes:
+        granularity = self._resolve(line_addr, is_write=False)
+        bits = self._current_bits(line_addr)
+        if granularity == GRANULARITIES[0]:
+            counter = self.tree.read_counter(line_addr, level=0)
+            return self._open_line(line_addr, counter, bits)
+        level = granularity_level(granularity)
+        region_base = align_down(line_addr, granularity)
+        counter = self.tree.read_counter(region_base, level=level)
+        plaintexts = self._open_region(region_base, granularity, counter, bits)
+        return plaintexts[(line_addr - region_base) // CACHELINE_BYTES]
+
+    # ------------------------------------------------------------------
+    # Granularity resolution + functional switching
+    # ------------------------------------------------------------------
+
+    def _resolve(self, line_addr: int, is_write: bool) -> int:
+        if self.policy == "fixed":
+            return GRANULARITIES[0]
+
+        for eviction in self.tracker.observe(line_addr, self.cycle):
+            chunk = eviction.entry.chunk_index
+            bits = merge_detection(
+                self.table.entry_by_chunk(chunk).next,
+                eviction.entry.access_bits,
+                censored=eviction.reason == "capacity",
+            )
+            self.table.record_detection(chunk, bits)
+        self.cycle += 1
+
+        granularity, event = self.table.resolve(line_addr, is_write)
+        self.switching.record_resolution(switched=event is not None)
+        if event is not None:
+            self.switching.record_event(event)
+            self.switches += 1
+            self._apply_switch_functional(event)
+        return granularity
+
+    def _apply_switch_functional(self, event: SwitchEvent) -> None:
+        """Re-key counters and MACs for a granularity switch (Fig. 13).
+
+        The switched span may contain sub-regions of *different* old
+        (or new) granularities -- e.g. a 4KB group promoted from a mix
+        of 512B stream partitions and fine partitions -- so both passes
+        walk the span resolving each sub-region against its bitmap.
+        Reads use the *old* bitmap's MAC addresses; writes use the new
+        one, because compaction moves MACs when the bitmap changes.
+
+        Counter values follow Fig. 13: scale-up seals under
+        ``max(old counters) + 1`` (a never-used value, forcing
+        re-encryption); scale-down retains the shared value, so the
+        deterministic OTP reproduces the identical ciphertext.
+        """
+        span = max(event.old_granularity, event.new_granularity)
+        span_base = align_down(event.addr, span)
+
+        # Pass 1: open every sub-region under its old seal.
+        plaintexts: List[bytes] = []
+        max_counter = 0
+        off = 0
+        while off < span:
+            sub = span_base + off
+            sub_g = min(
+                stream_part.resolve_granularity(event.old_bits, sub), span
+            )
+            counter = self.tree.read_counter(sub, level=granularity_level(sub_g))
+            plaintexts.extend(
+                self._open_region(sub, sub_g, counter, event.old_bits)
+            )
+            max_counter = max(max_counter, counter)
+            off += sub_g
+
+        # Stale fine/merged MACs of the old layout are garbage once the
+        # region is resealed; collect their addresses for reclamation.
+        stale_macs = set()
+        off = 0
+        while off < span:
+            sub = span_base + off
+            sub_g = min(
+                stream_part.resolve_granularity(event.old_bits, sub), span
+            )
+            if sub_g == GRANULARITIES[0]:
+                for line_off in range(0, sub_g, CACHELINE_BYTES):
+                    stale_macs.add(
+                        addressing.mac_addr(
+                            self.geometry, event.old_bits, sub + line_off
+                        )
+                    )
+            else:
+                stale_macs.add(
+                    addressing.mac_addr(self.geometry, event.old_bits, sub)
+                )
+            off += sub_g
+
+        # Pass 2: reseal every sub-region under its new granularity.
+        shared = max_counter + 1 if event.scale_up else max_counter
+        fresh_macs = set()
+        off = 0
+        while off < span:
+            sub = span_base + off
+            sub_g = min(
+                stream_part.resolve_granularity(event.new_bits, sub), span
+            )
+            level = granularity_level(sub_g)
+            self.tree.set_counter(sub, level, shared, revive=True)
+            if level > 0:
+                self.tree.prune_subtree(sub, level)
+            first_line = off // CACHELINE_BYTES
+            lines = plaintexts[first_line : first_line + sub_g // CACHELINE_BYTES]
+            self._seal_region(sub, sub_g, shared, lines, event.new_bits)
+            fresh_macs.add(
+                addressing.mac_addr(self.geometry, event.new_bits, sub)
+            )
+            off += sub_g
+
+        # Reclaim obsolete MAC slots (compaction frees them, Fig. 9).
+        for mac_addr in stale_macs - fresh_macs:
+            self._macs.pop(mac_addr, None)
+
+    # ------------------------------------------------------------------
+    # Seal / open helpers (the only code that touches MACs + ciphertext)
+    # ------------------------------------------------------------------
+
+    def _seal_line(self, line_addr: int, counter: int, payload: bytes, bits: int) -> None:
+        ciphertext = encrypt_line(self.keys.encryption_key, line_addr, counter, payload)
+        self.dram.write_line(line_addr, ciphertext)
+        mac_addr = addressing.mac_addr(self.geometry, bits, line_addr)
+        self._macs[mac_addr] = compute_mac(
+            self.keys.mac_key, line_addr, counter, ciphertext
+        )
+
+    def _open_line(self, line_addr: int, counter: int, bits: int) -> bytes:
+        """Verify and decrypt one fine-grained line."""
+        ciphertext = self.dram.read_line(line_addr)
+        stored = self._macs.get(addressing.mac_addr(self.geometry, bits, line_addr))
+        if stored is None:
+            if ciphertext == _ZERO_LINE and counter == 0:
+                return _ZERO_LINE  # pristine, never written
+            raise IntegrityError(f"missing MAC for line {line_addr:#x}")
+        expected = compute_mac(self.keys.mac_key, line_addr, counter, ciphertext)
+        if not macs_equal(stored, expected):
+            self._raise_classified(line_addr, counter, ciphertext, stored)
+        return decrypt_line(self.keys.encryption_key, line_addr, counter, ciphertext)
+
+    def _seal_region(
+        self,
+        region_base: int,
+        granularity: int,
+        counter: int,
+        plaintexts: List[bytes],
+        bits: int,
+    ) -> None:
+        """Encrypt a region under ``counter`` and store its merged MAC."""
+        fine_macs: List[bytes] = []
+        for index, off in enumerate(range(0, granularity, CACHELINE_BYTES)):
+            addr = region_base + off
+            ciphertext = encrypt_line(
+                self.keys.encryption_key, addr, counter, plaintexts[index]
+            )
+            self.dram.write_line(addr, ciphertext)
+            fine_macs.append(
+                compute_mac(self.keys.mac_key, addr, counter, ciphertext)
+            )
+        mac_addr = addressing.mac_addr(self.geometry, bits, region_base)
+        if granularity == GRANULARITIES[0]:
+            self._macs[mac_addr] = fine_macs[0]
+        else:
+            self._macs[mac_addr] = nested_mac(self.keys.mac_key, fine_macs)
+
+    def _open_region(
+        self, region_base: int, granularity: int, counter: int, bits: int
+    ) -> List[bytes]:
+        """Verify a whole region's merged MAC and decrypt every line."""
+        if granularity == GRANULARITIES[0]:
+            return [self._open_line(region_base, counter, bits)]
+
+        ciphertexts = [
+            self.dram.read_line(region_base + off)
+            for off in range(0, granularity, CACHELINE_BYTES)
+        ]
+        stored = self._macs.get(
+            addressing.mac_addr(self.geometry, bits, region_base)
+        )
+        if stored is None:
+            if all(ct == _ZERO_LINE for ct in ciphertexts) and counter == 0:
+                return [_ZERO_LINE] * len(ciphertexts)  # pristine region
+            raise IntegrityError(
+                f"missing merged MAC for region {region_base:#x}"
+            )
+        fine_macs = [
+            compute_mac(self.keys.mac_key, region_base + off, counter, ct)
+            for off, ct in zip(
+                range(0, granularity, CACHELINE_BYTES), ciphertexts
+            )
+        ]
+        merged = nested_mac(self.keys.mac_key, fine_macs)
+        if not macs_equal(stored, merged):
+            # Probe older counters to classify replay vs corruption.
+            for old in range(max(0, counter - _REPLAY_PROBE_WINDOW), counter):
+                old_fines = [
+                    compute_mac(self.keys.mac_key, region_base + off, old, ct)
+                    for off, ct in zip(
+                        range(0, granularity, CACHELINE_BYTES), ciphertexts
+                    )
+                ]
+                if macs_equal(
+                    nested_mac(self.keys.mac_key, old_fines), stored
+                ):
+                    raise ReplayError(
+                        f"replayed region detected at {region_base:#x}"
+                    )
+            raise IntegrityError(
+                f"merged MAC mismatch on region {region_base:#x} "
+                f"({granularity}B granularity)"
+            )
+        return [
+            decrypt_line(self.keys.encryption_key, region_base + off, counter, ct)
+            for off, ct in zip(range(0, granularity, CACHELINE_BYTES), ciphertexts)
+        ]
+
+    # ------------------------------------------------------------------
+    # Small utilities
+    # ------------------------------------------------------------------
+
+    def _current_bits(self, addr: int) -> int:
+        if self.policy == "fixed":
+            return 0
+        return self.table.entry(addr).current
+
+    def _region_mac_addr(self, addr: int) -> int:
+        """MAC address of the protection region containing ``addr``."""
+        bits = self._current_bits(addr)
+        granularity = self.granularity_of(addr)
+        region_base = align_down(addr, granularity)
+        return addressing.mac_addr(self.geometry, bits, region_base)
+
+    def _raise_classified(
+        self, addr: int, counter: int, ciphertext: bytes, stored: bytes
+    ) -> None:
+        """Raise ReplayError for stale-but-authentic data, else IntegrityError."""
+        for old in range(max(0, counter - _REPLAY_PROBE_WINDOW), counter):
+            candidate = compute_mac(self.keys.mac_key, addr, old, ciphertext)
+            if macs_equal(candidate, stored):
+                raise ReplayError(f"replayed data detected at {addr:#x}")
+        raise IntegrityError(f"MAC mismatch on data line {addr:#x}")
+
+    def _check_aligned_access(self, addr: int, size: int) -> None:
+        check_range(addr, size, self.geometry.region_bytes)
+        if addr % CACHELINE_BYTES or size % CACHELINE_BYTES:
+            raise AddressError(
+                f"access [{addr:#x}, +{size}) not 64B-aligned; use "
+                f"read_bytes/write_bytes for unaligned access"
+            )
+
+    def metadata_footprint(self) -> dict:
+        """Bytes of security metadata currently stored off-chip.
+
+        The headline saving of the multi-granular design: promoted
+        counters prune whole subtrees and merged MACs collapse 8-512
+        fine MACs into one, so the same data needs less metadata.
+        """
+        mac_bytes = len(self._macs) * 8
+        tree_nodes = len(self.tree._payloads)
+        counter_bytes = tree_nodes * CACHELINE_BYTES
+        granularity_hist = {}
+        if self.policy == "multigranular":
+            for _, entry in self.table.chunks():
+                sizes = stream_part.granularity_histogram(entry.current)
+                for granularity, covered in sizes.items():
+                    if covered:
+                        granularity_hist[granularity] = (
+                            granularity_hist.get(granularity, 0) + covered
+                        )
+        return {
+            "mac_bytes": mac_bytes,
+            "tree_node_bytes": counter_bytes,
+            "total_bytes": mac_bytes + counter_bytes,
+            "coverage_by_granularity": granularity_hist,
+        }
+
+    # Unaligned convenience wrappers -----------------------------------
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Unaligned write via read-modify-write of the covering lines."""
+        if not data:
+            return
+        start = align_down(addr, CACHELINE_BYTES)
+        end = align_down(addr + len(data) - 1, CACHELINE_BYTES) + CACHELINE_BYTES
+        merged = bytearray(self.read(start, end - start))
+        merged[addr - start : addr - start + len(data)] = data
+        self.write(start, bytes(merged))
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Unaligned read."""
+        if size <= 0:
+            return b""
+        start = align_down(addr, CACHELINE_BYTES)
+        end = align_down(addr + size - 1, CACHELINE_BYTES) + CACHELINE_BYTES
+        whole = self.read(start, end - start)
+        return whole[addr - start : addr - start + size]

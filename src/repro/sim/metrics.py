@@ -1,0 +1,88 @@
+"""Result aggregation: the quantities the paper's figures report.
+
+Helpers for turning ``{scheme: RunResult}`` maps and scenario sweeps
+into the normalized series of Figs. 15-21: per-scheme means, per-group
+gains, per-device-class aggregation, and paired scheme comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.common.stats import geomean, mean
+from repro.common.types import DeviceKind
+from repro.sim.scenario import SELECTED_GROUPS, Scenario
+from repro.sim.soc import RunResult
+
+
+def normalized(runs: Mapping[str, RunResult], scheme: str) -> float:
+    """Mean normalized execution time of one scheme vs ``unsecure``."""
+    return runs[scheme].mean_normalized_exec_time(runs["unsecure"])
+
+
+def overhead(runs: Mapping[str, RunResult], scheme: str) -> float:
+    """Protection overhead (normalized time minus one)."""
+    return normalized(runs, scheme) - 1.0
+
+
+def gain(runs: Mapping[str, RunResult], scheme: str, over: str) -> float:
+    """Relative execution-time reduction of ``scheme`` vs ``over``."""
+    reference = normalized(runs, over)
+    if reference <= 0:
+        return 0.0
+    return (reference - normalized(runs, scheme)) / reference
+
+
+def scenario_group(scenario: Scenario) -> str:
+    """ff/f/c/cc group of a selected scenario ('-' if not selected)."""
+    for group, names in SELECTED_GROUPS.items():
+        if scenario.name in names:
+            return group
+    return "-"
+
+
+def group_gains(
+    results: Iterable[Tuple[Scenario, Mapping[str, RunResult]]],
+    scheme: str = "ours",
+    over: str = "conventional",
+) -> Dict[str, float]:
+    """Mean gain per selected-scenario group (Fig. 19's gradient)."""
+    per_group: Dict[str, List[float]] = {}
+    for scenario, runs in results:
+        per_group.setdefault(scenario_group(scenario), []).append(
+            gain(runs, scheme, over)
+        )
+    return {group: mean(values) for group, values in per_group.items()}
+
+
+def device_class_normalized(
+    runs: Mapping[str, RunResult], scheme: str
+) -> Dict[DeviceKind, float]:
+    """Mean normalized execution time per device class (Fig. 19 (c))."""
+    base = runs["unsecure"]
+    times = runs[scheme].normalized_exec_times(base)
+    per_kind: Dict[DeviceKind, List[float]] = {}
+    for device, value in zip(base.devices, times):
+        per_kind.setdefault(device.kind, []).append(value)
+    return {kind: mean(values) for kind, values in per_kind.items()}
+
+
+def sweep_summary(
+    results: Sequence[Tuple[Scenario, Mapping[str, RunResult]]],
+    schemes: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Mean/geomean normalized time and traffic share per scheme."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for scheme in schemes:
+        norms = [normalized(runs, scheme) for _, runs in results]
+        traffic = [
+            runs[scheme].total_traffic_bytes
+            / max(1, runs["unsecure"].total_traffic_bytes)
+            for _, runs in results
+        ]
+        summary[scheme] = {
+            "mean": mean(norms),
+            "geomean": geomean(norms),
+            "traffic_vs_unsecure": mean(traffic),
+        }
+    return summary

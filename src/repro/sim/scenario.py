@@ -1,0 +1,156 @@
+"""Scenario assembly: the paper's 250 Orin scenarios and Sec.-5.5 pipelines.
+
+A scenario is one CPU workload + one GPU workload + two NPU workloads
+running concurrently (5 x 5 x C(4+2-1, 2) = 250 combinations).  Each
+device gets its own chunk-aligned slice of the protected address space;
+pipeline scenarios (Table 6) deliberately overlap producer/consumer
+slices to model staged data movement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.address import align_up
+from repro.common.constants import CHUNK_BYTES
+from repro.common.errors import ConfigError
+from repro.workloads.generator import Trace, generate_trace
+from repro.workloads.registry import (
+    CPU_WORKLOADS,
+    GPU_WORKLOADS,
+    NPU_WORKLOADS,
+    get_workload,
+)
+
+#: Default per-device compute duration of one simulation (reference cycles).
+DEFAULT_DURATION_CYCLES = 40_000.0
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One heterogeneous workload combination.
+
+    ``overlaps`` lists (producer_index, consumer_index, bytes) triples:
+    the consumer's slice is placed to share ``bytes`` with the
+    producer's, modeling pipeline buffers (Sec. 5.5).
+    """
+
+    name: str
+    workload_names: Tuple[str, ...]
+    overlaps: Tuple[Tuple[int, int, int], ...] = ()
+
+    def specs(self):
+        """Workload specs of this scenario, in device order."""
+        return [get_workload(name) for name in self.workload_names]
+
+    def build_traces(
+        self,
+        duration_cycles: float = DEFAULT_DURATION_CYCLES,
+        seed: int = 0,
+    ) -> Tuple[List[Trace], int]:
+        """Generate all device traces; return (traces, footprint span)."""
+        specs = self.specs()
+        bases = self._allocate(specs)
+        traces = [
+            generate_trace(spec, duration_cycles, base_addr=base, seed=seed + i)
+            for i, (spec, base) in enumerate(zip(specs, bases))
+        ]
+        footprint = max(trace.max_addr for trace in traces)
+        return traces, footprint
+
+    def _allocate(self, specs) -> List[int]:
+        overlap_of: Dict[int, Tuple[int, int]] = {
+            consumer: (producer, amount)
+            for producer, consumer, amount in self.overlaps
+        }
+        bases: List[Optional[int]] = [None] * len(specs)
+        cursor = 0
+        for index, spec in enumerate(specs):
+            if index in overlap_of:
+                producer, amount = overlap_of[index]
+                if bases[producer] is None:
+                    raise ConfigError(
+                        f"{self.name}: overlap consumer {index} precedes "
+                        f"producer {producer}"
+                    )
+                producer_end = bases[producer] + specs[producer].footprint_bytes
+                base = align_up(max(0, producer_end - amount), CHUNK_BYTES)
+            else:
+                base = cursor
+            bases[index] = base
+            cursor = max(cursor, align_up(base + spec.footprint_bytes, CHUNK_BYTES))
+        return [b for b in bases if b is not None]
+
+
+def make_scenario(
+    name: str, cpu: str, gpu: str, npu0: str, npu1: str
+) -> Scenario:
+    """Standard 4-device Orin scenario (1 CPU, 1 GPU, 2 NPUs)."""
+    return Scenario(name=name, workload_names=(cpu, gpu, npu0, npu1))
+
+
+def all_scenarios() -> List[Scenario]:
+    """The full 250-scenario sweep of Sec. 5.1."""
+    scenarios = []
+    npu_pairs = list(itertools.combinations_with_replacement(NPU_WORKLOADS, 2))
+    for cpu in CPU_WORKLOADS:
+        for gpu in GPU_WORKLOADS:
+            for npu0, npu1 in npu_pairs:
+                scenarios.append(
+                    make_scenario(
+                        f"{cpu}+{gpu}+{npu0}+{npu1}", cpu, gpu, npu0, npu1
+                    )
+                )
+    return scenarios
+
+
+#: The 11 hand-picked scenarios of Table 4 (Sec. 5.4 analysis).
+SELECTED_SCENARIOS: Tuple[Scenario, ...] = (
+    make_scenario("ff1", "bw", "syr2k", "ncf", "dlrm"),
+    make_scenario("ff2", "mcf", "syr2k", "sfrnn", "dlrm"),
+    make_scenario("ff3", "gcc", "floyd", "sfrnn", "ncf"),
+    make_scenario("f1", "xal", "pr", "sfrnn", "ncf"),
+    make_scenario("f2", "xal", "pr", "ncf", "ncf"),
+    make_scenario("c1", "gcc", "sten", "alex", "dlrm"),
+    make_scenario("c2", "bw", "sten", "ncf", "ncf"),
+    make_scenario("c3", "mcf", "sten", "sfrnn", "sfrnn"),
+    make_scenario("cc1", "xal", "mm", "alex", "dlrm"),
+    make_scenario("cc2", "ray", "mm", "alex", "alex"),
+    make_scenario("cc3", "ray", "floyd", "alex", "alex"),
+)
+
+#: Scenario groups used by Fig. 19/20 (order matters for the figures).
+SELECTED_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "ff": ("ff1", "ff2", "ff3"),
+    "f": ("f1", "f2"),
+    "c": ("c1", "c2", "c3"),
+    "cc": ("cc1", "cc2", "cc3"),
+}
+
+_MB = 1024 * 1024
+
+#: Real-world pipelines of Table 6 (Sec. 5.5).  Device order is the
+#: pipeline order; each consumer overlaps its producer's slice by 4MB
+#: (the inter-stage buffer).
+REALWORLD_SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="finance",
+        workload_names=("pr", "mcf", "dlrm"),
+        overlaps=((0, 1, 4 * _MB), (1, 2, 4 * _MB)),
+    ),
+    Scenario(
+        name="autodrive",
+        workload_names=("sten", "yt", "sc"),
+        overlaps=((0, 1, 4 * _MB), (1, 2, 4 * _MB)),
+    ),
+)
+
+
+def selected_scenario(name: str) -> Scenario:
+    """Look up one of the 11 Table-4 scenarios by name (e.g. "cc1")."""
+    for scenario in SELECTED_SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise ConfigError(f"unknown selected scenario {name!r}")

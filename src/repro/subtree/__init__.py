@@ -1,0 +1,5 @@
+"""Subtree-based integrity-tree optimizations (BMF + PENGLAI pruning)."""
+
+from repro.subtree.bmf import SubtreeRootCache
+
+__all__ = ["SubtreeRootCache"]

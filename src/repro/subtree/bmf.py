@@ -1,0 +1,62 @@
+"""Subtree-root caching in the spirit of Bonsai Merkle Forests [17].
+
+BMF keeps the roots of hot integrity *subtrees* in trusted on-chip
+storage: a verification walk that reaches a cached subtree root stops
+there instead of continuing to the global root, and a counter update
+only propagates up to the cached root.  We model the forest as an LRU
+table of level-``level`` tree nodes (level 2 nodes cover 32KB, a
+natural subtree unit for our workloads).
+
+PENGLAI-style unused-region pruning [16] is modeled orthogonally, by
+building the scheme's tree geometry over the *allocated* footprint
+instead of the full 4GB protected range (see
+:func:`repro.schemes.registry.build_scheme`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class SubtreeRootCache:
+    """LRU on-chip table of trusted subtree roots.
+
+    ``trusted(level, node)`` is the ``trusted_stop`` hook of the tree
+    walks in :class:`repro.schemes.base.ProtectionScheme`;
+    ``admit(node)`` registers the subtree covering a recent access
+    (recency is our hotness proxy, as in BMF's hot-region policy).
+    """
+
+    def __init__(self, entries: int = 64, level: int = 2) -> None:
+        if entries <= 0 or level < 0:
+            raise ValueError(f"invalid subtree cache ({entries=}, {level=})")
+        self.entries = entries
+        self.level = level
+        self._table: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.admissions = 0
+        self.evictions = 0
+
+    def trusted(self, level: int, node: int) -> bool:
+        """True when (level, node) is a cached, trusted subtree root."""
+        if level != self.level:
+            return False
+        if node in self._table:
+            self._table.move_to_end(node)
+            self.hits += 1
+            return True
+        return False
+
+    def admit(self, node: int) -> None:
+        """Register the subtree root of a recently accessed region."""
+        if node in self._table:
+            self._table.move_to_end(node)
+            return
+        if len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+            self.evictions += 1
+        self._table[node] = True
+        self.admissions += 1
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,6 @@
+"""Baseline 8-ary counter integrity tree: geometry + functional layer."""
+
+from repro.tree.geometry import TreeGeometry
+from repro.tree.integrity_tree import CounterTree
+
+__all__ = ["TreeGeometry", "CounterTree"]

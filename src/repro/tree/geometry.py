@@ -1,0 +1,181 @@
+"""Geometry of the 8-ary counter integrity tree and metadata layout.
+
+The timing layer and the functional layer both need to answer the same
+questions: *where* does the counter of a line live, *which* node at
+level ``l`` covers an address, and what physical addresses do metadata
+lines occupy (so cache models can index them).  This module owns that
+arithmetic.
+
+Simulated physical layout (addresses are synthetic; only distinctness
+and locality matter to the cache models):
+
+    [0, region)                      protected data
+    [mac_base, mac_base + region/8)  fine-grained MAC array (8B per 64B)
+    [tree_base, ...)                 counter tree, level 0 first
+    [table_base, ...)                granularity table (16B per chunk)
+
+Level ``l`` nodes are 64B lines holding 8 counters; a level-``l`` node
+covers ``512B * 8**l`` of data.  The root is held on-chip and is never
+fetched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    COUNTERS_PER_LINE,
+    MAC_BYTES,
+    TREE_ARITY,
+)
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TreeGeometry:
+    """Derived geometry for one protected region.
+
+    Attributes:
+        region_bytes: size of the protected data region.
+        arity: tree arity (8 in the paper's baseline).
+        level_counts: number of nodes at each level, leaf level first.
+        level_offsets: node-index offset of each level in the linear
+            tree layout (for address computation).
+    """
+
+    region_bytes: int
+    arity: int
+    level_counts: Tuple[int, ...]
+    level_offsets: Tuple[int, ...]
+    mac_base: int
+    tree_base: int
+    table_base: int
+
+    @classmethod
+    def build(cls, region_bytes: int, arity: int = TREE_ARITY) -> "TreeGeometry":
+        """Compute the geometry for a protected region of ``region_bytes``."""
+        if region_bytes < CACHELINE_BYTES * arity:
+            raise ConfigError(
+                f"region of {region_bytes}B smaller than one tree node's span"
+            )
+        if region_bytes % CACHELINE_BYTES != 0:
+            raise ConfigError("region size must be a multiple of 64B")
+
+        leaf_lines = region_bytes // CACHELINE_BYTES
+        counts: List[int] = []
+        nodes = -(-leaf_lines // arity)  # ceil: level-0 node per 8 lines
+        while True:
+            counts.append(nodes)
+            if nodes == 1:
+                break
+            nodes = -(-nodes // arity)
+
+        offsets: List[int] = []
+        acc = 0
+        for count in counts:
+            offsets.append(acc)
+            acc += count
+
+        mac_base = region_bytes
+        mac_bytes_total = leaf_lines * MAC_BYTES
+        tree_base = mac_base + mac_bytes_total
+        tree_bytes_total = acc * CACHELINE_BYTES
+        table_base = tree_base + tree_bytes_total
+        return cls(
+            region_bytes=region_bytes,
+            arity=arity,
+            level_counts=tuple(counts),
+            level_offsets=tuple(offsets),
+            mac_base=mac_base,
+            tree_base=tree_base,
+            table_base=table_base,
+        )
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of node levels including the root level."""
+        return len(self.level_counts)
+
+    @property
+    def root_level(self) -> int:
+        """Level index of the root node (held on-chip)."""
+        return self.num_levels - 1
+
+    def span_of_level(self, level: int) -> int:
+        """Bytes of data covered by one node at ``level``."""
+        return CACHELINE_BYTES * self.arity ** (level + 1)
+
+    def node_of_addr(self, addr: int, level: int) -> int:
+        """Index of the level-``level`` node covering byte ``addr``."""
+        self._check_level(level)
+        return addr // self.span_of_level(level)
+
+    def leaf_counter_index(self, addr: int) -> int:
+        """Global index of the fine (64B) counter of ``addr``."""
+        return addr // CACHELINE_BYTES
+
+    def counter_slot(self, addr: int, level: int) -> Tuple[int, int]:
+        """(node index, slot 0..7) of the level-``level`` counter of ``addr``.
+
+        Level 0 is the fine counter in a leaf node; promoted counters
+        of granularity ``64B * 8**l`` live at level ``l`` (paper Eq. 3).
+        """
+        self._check_level(level)
+        region = addr // (CACHELINE_BYTES * self.arity**level)
+        return region // self.arity, region % self.arity
+
+    def parent(self, level: int, node_index: int) -> Tuple[int, int]:
+        """(parent level, parent node index) of a node."""
+        self._check_level(level + 1)
+        return level + 1, node_index // self.arity
+
+    def child_slot(self, level: int, node_index: int) -> int:
+        """Slot (0..7) of this node inside its parent."""
+        return node_index % self.arity
+
+    # -- address computation (timing layer) ----------------------------------
+
+    def node_addr(self, level: int, node_index: int) -> int:
+        """Simulated physical address of a tree-node line (64B-aligned)."""
+        self._check_level(level)
+        if not 0 <= node_index < self.level_counts[level]:
+            raise ConfigError(
+                f"node {node_index} out of range at level {level} "
+                f"(count {self.level_counts[level]})"
+            )
+        return self.tree_base + (self.level_offsets[level] + node_index) * CACHELINE_BYTES
+
+    def fine_mac_addr(self, line_index: int) -> int:
+        """Address of the 8B fine MAC of global line ``line_index``."""
+        return self.mac_base + line_index * MAC_BYTES
+
+    def fine_mac_line_addr(self, line_index: int) -> int:
+        """64B-aligned address of the MAC cacheline holding that MAC."""
+        macs_per_line = CACHELINE_BYTES // MAC_BYTES
+        return self.mac_base + (line_index // macs_per_line) * CACHELINE_BYTES
+
+    def path_to_root(self, addr: int, start_level: int = 0) -> Iterator[Tuple[int, int]]:
+        """Yield (level, node index) from ``start_level`` up to the root.
+
+        The root level itself is included; callers that model the root
+        as on-chip simply skip the final element.
+        """
+        self._check_level(start_level)
+        node = self.node_of_addr(addr, start_level)
+        for level in range(start_level, self.num_levels):
+            yield level, node
+            node //= self.arity
+
+    def counters_at_level(self, level: int) -> int:
+        """Total counters stored at ``level`` (8 per node)."""
+        return self.level_counts[level] * COUNTERS_PER_LINE
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise ConfigError(
+                f"level {level} out of range (tree has {self.num_levels} levels)"
+            )

@@ -1,0 +1,362 @@
+"""Functional 8-ary counter integrity tree with real verification.
+
+This is the replay-protection substrate of the paper's baseline
+(Sec. 2.2): a tree of 64B nodes, each holding 8 counters.  Counter
+``j`` of a level-0 node is the version counter of data line ``8n+j``;
+counter ``j`` of a level-``l>0`` node is the *freshness counter* of its
+``j``-th child node.  Every node carries a MAC bound to its own
+freshness counter in the parent, so rolling any node (or any data
+counter) back to an old value is detected.  The root node's counters
+live on-chip and are trusted.
+
+The same object also serves the multi-granular tree of Sec. 4.3: a
+*promoted* counter of granularity ``64B * 8**l`` is simply the counter
+at ``(level=l, slot)`` -- the slot that would otherwise hold a child's
+freshness counter now versions a whole data region, and the subtree
+below it is never touched (pruned).  ``increment_counter`` /
+``read_counter`` take the level as a parameter, so the baseline is the
+``level=0`` special case.
+
+Attacker primitives (`tamper_*`, `snapshot_node`, `replay_node`) mutate
+the off-chip state directly, mirroring the paper's physical attacker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.constants import CACHELINE_BYTES, COUNTERS_PER_LINE
+from repro.common.errors import CounterOverflowError, IntegrityError, ReplayError
+from repro.crypto.keys import KeySet
+from repro.crypto.mac import macs_equal, node_mac, pack_counters
+from repro.tree.geometry import TreeGeometry
+
+#: Functional counters are 64-bit; overflow would repeat an OTP.
+_COUNTER_LIMIT = 2**64 - 1
+
+NodeId = Tuple[int, int]
+
+
+class CounterTree:
+    """Counter tree over one protected region (functional layer)."""
+
+    def __init__(
+        self,
+        geometry: TreeGeometry,
+        keys: KeySet,
+        trust_cache: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self.keys = keys
+        # Off-chip, attacker-controlled state:
+        self._payloads: Dict[NodeId, List[int]] = {}
+        self._macs: Dict[NodeId, bytes] = {}
+        # On-chip state:
+        self._root: List[int] = [0] * COUNTERS_PER_LINE
+        self._trust_cache_enabled = trust_cache
+        self._trusted: Dict[NodeId, List[int]] = {}
+        # Statistics (functional-layer only; timing stats live elsewhere).
+        self.verifications = 0
+        self.node_fetches = 0
+
+    # ------------------------------------------------------------------
+    # Public counter interface
+    # ------------------------------------------------------------------
+
+    def read_counter(self, addr: int, level: int = 0) -> int:
+        """Verified read of the counter of ``addr`` at ``level``.
+
+        ``level=0`` reads the fine 64B counter; ``level=l`` reads the
+        promoted counter of the ``64B * 8**l`` region (paper Eq. 2-3).
+        """
+        node, slot = self.geometry.counter_slot(addr, level)
+        payload = self._verified_payload(level, node)
+        return payload[slot]
+
+    def increment_counter(self, addr: int, level: int = 0) -> int:
+        """Increment the counter of ``addr`` at ``level`` and reseal the path.
+
+        Bumps the target counter and the freshness counter of every
+        node on the path to the root, then recomputes the affected
+        node MACs bottom-up.  Returns the new counter value.
+        """
+        node, slot = self.geometry.counter_slot(addr, level)
+        self._bump(level, node, slot)
+        return self._verified_payload(level, node)[slot]
+
+    def set_counter(
+        self, addr: int, level: int, value: int, revive: bool = False
+    ) -> None:
+        """Set a counter to an explicit value (granularity switching).
+
+        Scale-up stores ``max(child counters) + 1`` into the parent and
+        scale-down copies the parent value into children (paper
+        Fig. 13); both need raw assignment rather than increment.
+
+        ``revive=True`` is for scale-down: a *pruned* child node has no
+        valid seal (its freshness counter in the parent advanced while
+        it was promoted away), so it is re-initialized from zeros
+        instead of verified.  A node that still carries a MAC must
+        verify -- reviving silently over a tampered seal would let an
+        attacker roll counters back.
+        """
+        node, slot = self.geometry.counter_slot(addr, level)
+        if level == self.geometry.root_level:
+            # Promoted counters can land in the root itself when the
+            # region is small; the root lives on-chip and needs no seal.
+            self._root[slot] = value
+            return
+        if revive:
+            payload = self._revivable_payload(level, node)
+        else:
+            payload = self._verified_payload(level, node)
+        fresh = list(payload)
+        fresh[slot] = value
+        self._commit(level, node, fresh, revive=revive)
+
+    def _revivable_payload(self, level: int, node: int) -> List[int]:
+        """Payload for a scale-down target: verified, or zeros if pruned.
+
+        A pruned node either has no seal at all or a *stale but
+        authentic* one (sealed before promotion, under an old freshness
+        counter) -- both revive from zeros, since the caller overwrites
+        the contents anyway.  A seal that is neither current nor stale-
+        authentic is corruption and still raises.
+        """
+        if level == self.geometry.root_level:
+            return self._root
+        if (level, node) not in self._macs:
+            return [0] * COUNTERS_PER_LINE
+        try:
+            return self._verified_payload(level, node)
+        except ReplayError:
+            return [0] * COUNTERS_PER_LINE
+
+    def prune_subtree(self, addr: int, level: int) -> int:
+        """Drop the pruned descendants of a promoted region (Fig. 10).
+
+        Promotion delegates a region's versioning to the level-``level``
+        counter; every node below it that covered the region becomes
+        dead storage.  Returns the number of nodes reclaimed.
+        """
+        region = CACHELINE_BYTES * (self.geometry.arity ** level)
+        base = addr - addr % region
+        pruned = 0
+        for child_level in range(level):
+            span = self.geometry.span_of_level(child_level)
+            first = base // span
+            last = (base + region - 1) // span
+            for node in range(first, last + 1):
+                existed = self._payloads.pop((child_level, node), None)
+                self._macs.pop((child_level, node), None)
+                self._trusted.pop((child_level, node), None)
+                pruned += existed is not None
+        return pruned
+
+    @property
+    def stored_nodes(self) -> int:
+        """Off-chip tree nodes currently holding state."""
+        return len(self._payloads)
+
+    def render(self, max_span: int = 8) -> str:
+        """ASCII sketch of the tree's stored nodes (Fig. 1/10 style).
+
+        One row per level (root at the top); ``#`` marks a stored node,
+        ``.`` an absent one (pristine or pruned).  Only the first
+        ``max_span`` nodes of each level are drawn -- enough to *see*
+        promotion pruning a subtree in examples and docs.
+        """
+        lines = []
+        for level in reversed(range(self.geometry.num_levels)):
+            count = self.geometry.level_counts[level]
+            shown = min(count, max_span)
+            if level == self.geometry.root_level:
+                cells = "R" * shown
+            else:
+                cells = "".join(
+                    "#" if (level, node) in self._payloads else "."
+                    for node in range(shown)
+                )
+            suffix = f" (+{count - shown} more)" if count > shown else ""
+            lines.append(f"L{level}: {cells}{suffix}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Attacker primitives (off-chip mutation)
+    # ------------------------------------------------------------------
+
+    def tamper_counter(self, addr: int, level: int = 0, delta: int = 1) -> None:
+        """Silently modify a stored counter without resealing MACs."""
+        node, slot = self.geometry.counter_slot(addr, level)
+        payload = self._payloads.setdefault(
+            (level, node), [0] * COUNTERS_PER_LINE
+        )
+        payload[slot] = (payload[slot] + delta) % (2**64)
+        self._trusted.pop((level, node), None)
+
+    def tamper_node_mac(self, addr: int, level: int = 0) -> None:
+        """Flip a bit of a stored node MAC."""
+        node, _ = self.geometry.counter_slot(addr, level)
+        mac = self._macs.get((level, node))
+        if mac is None:
+            raise KeyError(f"node ({level}, {node}) has no stored MAC yet")
+        flipped = bytes([mac[0] ^ 0x01]) + mac[1:]
+        self._macs[(level, node)] = flipped
+        self._trusted.pop((level, node), None)
+
+    def snapshot_node(self, addr: int, level: int = 0) -> Tuple[List[int], Optional[bytes]]:
+        """Capture a node's off-chip state for a later replay."""
+        node, _ = self.geometry.counter_slot(addr, level)
+        payload = self._payloads.get((level, node))
+        return (
+            list(payload) if payload is not None else [0] * COUNTERS_PER_LINE,
+            self._macs.get((level, node)),
+        )
+
+    def replay_node(
+        self, addr: int, snapshot: Tuple[List[int], Optional[bytes]], level: int = 0
+    ) -> None:
+        """Restore a previously captured node (a replay attack)."""
+        node, _ = self.geometry.counter_slot(addr, level)
+        payload, mac = snapshot
+        self._payloads[(level, node)] = list(payload)
+        if mac is None:
+            self._macs.pop((level, node), None)
+        else:
+            self._macs[(level, node)] = mac
+        self._trusted.pop((level, node), None)
+
+    def drop_trust_cache(self) -> None:
+        """Invalidate the on-chip trusted-node cache (e.g. power event)."""
+        self._trusted.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _node_payload(self, level: int, node: int) -> List[int]:
+        return self._payloads.setdefault((level, node), [0] * COUNTERS_PER_LINE)
+
+    def _verified_payload(self, level: int, node: int) -> List[int]:
+        """Return the counters of a node after verifying its path to root."""
+        if level == self.geometry.root_level:
+            return self._root
+        if self._trust_cache_enabled:
+            cached = self._trusted.get((level, node))
+            if cached is not None:
+                return cached
+
+        parent_level, parent_node = self.geometry.parent(level, node)
+        parent_payload = self._verified_payload(parent_level, parent_node)
+        freshness = parent_payload[self.geometry.child_slot(level, node)]
+
+        payload = self._node_payload(level, node)
+        self.node_fetches += 1
+        stored_mac = self._macs.get((level, node))
+        addr = self.geometry.node_addr(level, node)
+        expected = node_mac(
+            self.keys.mac_key, addr, freshness, pack_counters(payload)
+        )
+        self.verifications += 1
+        if stored_mac is None:
+            # A never-sealed node is only acceptable in its pristine
+            # all-zero state under a zero freshness counter.
+            if freshness != 0 or any(payload):
+                raise ReplayError(
+                    f"node (level {level}, index {node}) has no MAC but a "
+                    f"non-pristine state"
+                )
+        elif not macs_equal(stored_mac, expected):
+            if self._seals_older_state(addr, freshness, payload, stored_mac):
+                raise ReplayError(
+                    f"stale tree node detected (level {level}, index {node})"
+                )
+            raise IntegrityError(
+                f"MAC mismatch on tree node (level {level}, index {node})"
+            )
+        if self._trust_cache_enabled:
+            self._trusted[(level, node)] = list(payload)
+        return self._trusted.get((level, node), list(payload))
+
+    def _seals_older_state(
+        self, addr: int, freshness: int, payload: List[int], stored_mac: bytes
+    ) -> bool:
+        """Best-effort replay classification.
+
+        A replayed node carries a MAC that is a *valid seal of its
+        payload under an older freshness counter*.  We probe a small
+        window of older values purely to pick the exception subclass;
+        acceptance is never affected -- the access fails either way.
+        """
+        probe_window = 64
+        packed = pack_counters(payload)
+        for old in range(max(0, freshness - probe_window), freshness):
+            candidate = node_mac(self.keys.mac_key, addr, old, packed)
+            if macs_equal(candidate, stored_mac):
+                return True
+        return False
+
+    def _commit(
+        self, level: int, node: int, payload: List[int], revive: bool = False
+    ) -> None:
+        """Store a node payload and reseal the MAC chain up to the root.
+
+        ``revive=True`` tolerates pruned/stale *ancestors* on the climb
+        (scale-down re-seals a whole chain whose intermediate nodes
+        were pruned by an earlier promotion).
+        """
+        # Changing this node's contents requires bumping its freshness
+        # counter in the parent, which in turn changes the parent, and
+        # so on up to the (on-chip) root.
+        self._payloads[(level, node)] = list(payload)
+        if self._trust_cache_enabled:
+            self._trusted[(level, node)] = list(payload)
+
+        current_level, current_node = level, node
+        while current_level < self.geometry.root_level:
+            parent_level, parent_node = self.geometry.parent(
+                current_level, current_node
+            )
+            slot = self.geometry.child_slot(current_level, current_node)
+            if parent_level == self.geometry.root_level:
+                parent_payload = self._root
+            elif revive:
+                parent_payload = list(
+                    self._revivable_payload(parent_level, parent_node)
+                )
+            else:
+                parent_payload = self._verified_payload(parent_level, parent_node)
+                parent_payload = list(parent_payload)
+            if parent_payload[slot] >= _COUNTER_LIMIT:
+                raise CounterOverflowError(
+                    f"freshness counter overflow at level {parent_level}"
+                )
+            parent_payload[slot] += 1
+
+            if parent_level != self.geometry.root_level:
+                self._payloads[(parent_level, parent_node)] = list(parent_payload)
+                if self._trust_cache_enabled:
+                    self._trusted[(parent_level, parent_node)] = list(parent_payload)
+
+            # Reseal the child under its new freshness counter.
+            child_payload = self._payloads[(current_level, current_node)]
+            addr = self.geometry.node_addr(current_level, current_node)
+            self._macs[(current_level, current_node)] = node_mac(
+                self.keys.mac_key,
+                addr,
+                parent_payload[slot],
+                pack_counters(child_payload),
+            )
+            current_level, current_node = parent_level, parent_node
+
+    def _bump(self, level: int, node: int, slot: int) -> None:
+        payload = list(self._verified_payload(level, node))
+        if payload[slot] >= _COUNTER_LIMIT:
+            raise CounterOverflowError(
+                f"counter overflow at level {level}, node {node}, slot {slot}"
+            )
+        payload[slot] += 1
+        if level == self.geometry.root_level:
+            self._root[slot] = payload[slot]
+            return
+        self._commit(level, node, payload)

@@ -1,0 +1,35 @@
+"""Workload substrate: calibrated synthetics, model/kernel walkers, I/O."""
+
+from repro.workloads.generator import Trace, generate_trace
+from repro.workloads.kernels import GPU_KERNELS, generate_kernel_trace
+from repro.workloads.models import NETWORKS, generate_model_trace
+from repro.workloads.phases import generate_phased_trace
+from repro.workloads.trace_io import load_trace, save_trace
+from repro.workloads.registry import (
+    CPU_WORKLOADS,
+    GPU_WORKLOADS,
+    NPU_WORKLOADS,
+    WORKLOADS,
+    get_workload,
+    workloads_for,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "Trace",
+    "generate_trace",
+    "GPU_KERNELS",
+    "generate_kernel_trace",
+    "NETWORKS",
+    "generate_model_trace",
+    "generate_phased_trace",
+    "load_trace",
+    "save_trace",
+    "CPU_WORKLOADS",
+    "GPU_WORKLOADS",
+    "NPU_WORKLOADS",
+    "WORKLOADS",
+    "get_workload",
+    "workloads_for",
+    "WorkloadSpec",
+]

@@ -1,0 +1,201 @@
+"""CPU access-pattern walkers: algorithm -> LLC-miss stream.
+
+The ChampSim substitute at algorithm fidelity: each of the paper's CPU
+workloads maps to a classic memory access pattern whose miss behaviour
+we walk explicitly:
+
+* ``stream_triad``    -- bw: a[i] = b[i] + s*c[i] over large arrays;
+* ``pointer_chase``   -- mcf: network-simplex arc walking (dependent
+  random hops through a node pool);
+* ``bvh_traversal``   -- ray: packet traversal of a bounding-volume
+  hierarchy (tree descent with spatial locality at the leaves);
+* ``parse_mix``       -- xal / gcc: sequential token scan interleaved
+  with hash/symbol-table lookups;
+* ``stream_cluster``  -- sc: distance evaluations of streamed points
+  against a small resident center set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from repro.common.address import align_up
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES
+from repro.common.errors import ConfigError
+from repro.common.rng import rng_for
+from repro.common.types import DeviceKind
+from repro.workloads.generator import Trace, TraceEntry
+from repro.workloads.spec import WorkloadSpec
+
+#: Double-precision elements for the numeric kernels.
+ELEM = 8
+
+#: Cycles of compute per miss for latency-bound patterns.
+GAP_DEPENDENT = 12.0
+
+#: Cycles between misses in streaming phases.
+GAP_STREAM = 6.0
+
+
+def _spec(name: str, footprint: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=f"{name}_pattern",
+        kind=DeviceKind.CPU,
+        footprint_bytes=max(CHUNK_BYTES, align_up(footprint, CHUNK_BYTES)),
+        class_mix={64: 1.0},  # informational; the walker decides
+        write_fraction=0.3,
+        gap_fine=10.0,
+        gap_burst=1.0,
+        gap_between_bursts=100.0,
+        pattern_label="pattern",
+        traffic_label="pattern",
+    )
+
+
+def stream_triad(
+    array_bytes: int = 4 << 20, iterations: int = 2, base_addr: int = 0
+) -> Trace:
+    """STREAM triad: read b, read c, write a -- three marching fronts."""
+    a_base = base_addr
+    b_base = align_up(a_base + array_bytes, CHUNK_BYTES)
+    c_base = align_up(b_base + array_bytes, CHUNK_BYTES)
+    entries: List[TraceEntry] = []
+    lines = array_bytes // CACHELINE_BYTES
+    for _ in range(iterations):
+        for line in range(lines):
+            off = line * CACHELINE_BYTES
+            entries.append((GAP_STREAM, b_base + off, False))
+            entries.append((GAP_STREAM, c_base + off, False))
+            entries.append((GAP_STREAM, a_base + off, True))
+    footprint = c_base + array_bytes - base_addr
+    return Trace(_spec("bw", footprint), base_addr, tuple(entries))
+
+
+def pointer_chase(
+    nodes: int = 65_536,
+    hops: int = 4_000,
+    node_bytes: int = 128,
+    base_addr: int = 0,
+    seed: int = 0,
+) -> Trace:
+    """Dependent random walk through a node pool (mcf-style)."""
+    rng = rng_for(f"chase:{nodes}", seed)
+    entries: List[TraceEntry] = []
+    current = 0
+    for _ in range(hops):
+        addr = base_addr + current * node_bytes
+        addr -= addr % CACHELINE_BYTES
+        entries.append((GAP_DEPENDENT, addr, False))
+        if rng.random() < 0.25:  # occasional arc-cost update
+            entries.append((2.0, addr + CACHELINE_BYTES, True))
+        current = rng.randrange(nodes)
+    footprint = nodes * node_bytes
+    return Trace(_spec("mcf", footprint), base_addr, tuple(entries))
+
+
+def bvh_traversal(
+    leaves: int = 16_384,
+    rays: int = 600,
+    base_addr: int = 0,
+    seed: int = 0,
+) -> Trace:
+    """Ray-packet BVH descent: log-depth node reads per ray, coherent
+    leaf bursts for nearby rays."""
+    rng = rng_for(f"bvh:{leaves}", seed)
+    depth = max(1, int(math.log2(leaves)))
+    node_bytes = 64
+    tri_base = align_up(base_addr + (2 * leaves) * node_bytes, CHUNK_BYTES)
+    entries: List[TraceEntry] = []
+    for _ in range(rays):
+        node = 1
+        for _ in range(depth):  # dependent descent
+            addr = base_addr + node * node_bytes
+            entries.append((GAP_DEPENDENT, addr, False))
+            node = 2 * node + (rng.random() < 0.5)
+        leaf = node - leaves
+        leaf = max(0, min(leaves - 1, leaf))
+        # Triangle data at the leaf: a short coherent burst.
+        for i in range(3):
+            entries.append(
+                (2.0, tri_base + (leaf * 4 + i) * CACHELINE_BYTES, False)
+            )
+    footprint = tri_base + leaves * 4 * CACHELINE_BYTES - base_addr
+    return Trace(_spec("ray", footprint), base_addr, tuple(entries))
+
+
+def parse_mix(
+    text_bytes: int = 2 << 20,
+    symbols: int = 32_768,
+    base_addr: int = 0,
+    seed: int = 0,
+) -> Trace:
+    """Sequential token scan + hash-table symbol lookups (xal/gcc)."""
+    rng = rng_for(f"parse:{text_bytes}", seed)
+    text_base = base_addr
+    table_base = align_up(text_base + text_bytes, CHUNK_BYTES)
+    entries: List[TraceEntry] = []
+    for line in range(text_bytes // CACHELINE_BYTES):
+        entries.append((GAP_STREAM, text_base + line * CACHELINE_BYTES, False))
+        # ~1 symbol lookup per couple of text lines; some insertions.
+        if rng.random() < 0.5:
+            slot = rng.randrange(symbols)
+            addr = table_base + slot * CACHELINE_BYTES
+            entries.append((GAP_DEPENDENT, addr, rng.random() < 0.2))
+    footprint = table_base + symbols * CACHELINE_BYTES - base_addr
+    return Trace(_spec("xal", footprint), base_addr, tuple(entries))
+
+
+def stream_cluster(
+    points: int = 30_000,
+    centers: int = 256,
+    dims_bytes: int = 128,
+    base_addr: int = 0,
+    seed: int = 0,
+) -> Trace:
+    """Streaming k-center clustering: each point read once, compared
+    against a hot center set (sc of the AutoDrive pipeline)."""
+    rng = rng_for(f"cluster:{points}", seed)
+    point_base = base_addr
+    center_base = align_up(point_base + points * dims_bytes, CHUNK_BYTES)
+    entries: List[TraceEntry] = []
+    for point in range(points):
+        addr = point_base + point * dims_bytes
+        for off in range(0, dims_bytes, CACHELINE_BYTES):
+            entries.append((GAP_STREAM, addr + off, False))
+        # A few center distance reads (hot, mostly cached in reality --
+        # emit sparsely).
+        if rng.random() < 0.2:
+            center = rng.randrange(centers)
+            entries.append(
+                (GAP_DEPENDENT, center_base + center * dims_bytes, False)
+            )
+        if rng.random() < 0.01:  # center update
+            center = rng.randrange(centers)
+            entries.append(
+                (2.0, center_base + center * dims_bytes, True)
+            )
+    footprint = center_base + centers * dims_bytes - base_addr
+    return Trace(_spec("sc", footprint), base_addr, tuple(entries))
+
+
+#: Pattern registry keyed by the paper's CPU workload names.
+CPU_PATTERNS: Dict[str, Callable[..., Trace]] = {
+    "bw": stream_triad,
+    "mcf": pointer_chase,
+    "ray": bvh_traversal,
+    "xal": parse_mix,
+    "gcc": parse_mix,  # same structural mix, different constants
+    "sc": stream_cluster,
+}
+
+
+def generate_pattern_trace(name: str, base_addr: int = 0, **kwargs) -> Trace:
+    """Walk the CPU access pattern behind one of the paper's workloads."""
+    try:
+        pattern = CPU_PATTERNS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown CPU pattern {name!r}; known: {sorted(CPU_PATTERNS)}"
+        ) from None
+    return pattern(base_addr=base_addr, **kwargs)

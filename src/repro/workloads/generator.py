@@ -1,0 +1,188 @@
+"""Synthetic LLC-miss trace generation from a :class:`WorkloadSpec`.
+
+A trace is a list of ``(gap, addr, is_write)`` tuples: ``gap`` is the
+device's compute time (reference cycles) since the previous request.
+Traces are generated to cover a target *duration* of compute time so
+that the devices of a scenario stay concurrently active -- the paper's
+contention effects depend on overlap, not on equal request counts.
+
+Bursts are the unit of generation: a fine "burst" is a short run of
+scattered lines inside one chunk; a coarse burst streams every line of
+an aligned 512B/4KB/32KB region back-to-back (all lines inside the 16K
+cycle detection window, making it a *stream chunk* in the paper's
+terms).  Regions are drawn from a small reuse pool, so streams revisit
+the same chunks -- which is exactly when detected granularity pays off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.common.address import align_down
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES, GRANULARITIES
+from repro.common.rng import rng_for
+from repro.workloads.spec import WorkloadSpec
+
+TraceEntry = Tuple[float, int, bool]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One device's generated request stream."""
+
+    spec: WorkloadSpec
+    base_addr: int
+    entries: Tuple[TraceEntry, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def compute_cycles(self) -> float:
+        return sum(gap for gap, _, _ in self.entries)
+
+    @property
+    def max_addr(self) -> int:
+        if not self.entries:
+            return self.base_addr
+        return max(addr for _, addr, _ in self.entries) + CACHELINE_BYTES
+
+
+class _RegionPool:
+    """Recently used regions with sticky roles, for re-streaming.
+
+    Each region is either an *input* (read-streamed, e.g. weights) or
+    an *output* (write-streamed); the role is fixed at first use, as it
+    is for real tensors and tiles.  Keeping roles sticky is what makes
+    the read-only MAC optimization of [56] (and the paper's Table 2)
+    effective: input regions are never written, so their chunks stay
+    read-only.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.regions: List[Tuple[int, bool]] = []  # (base, is_write)
+
+    def pick_or_new(
+        self,
+        rng: random.Random,
+        new_region: int,
+        reuse_p: float,
+        write_fraction: float,
+    ) -> Tuple[int, bool]:
+        if self.regions and rng.random() < reuse_p:
+            return rng.choice(self.regions)
+        entry = (new_region, rng.random() < write_fraction)
+        self.remember(entry)
+        return entry
+
+    def remember(self, entry: Tuple[int, bool]) -> None:
+        if entry in self.regions:
+            return
+        self.regions.append(entry)
+        if len(self.regions) > self.size:
+            self.regions.pop(0)
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    duration_cycles: float,
+    base_addr: int = 0,
+    seed: int = 0,
+    max_requests: Optional[int] = None,
+) -> Trace:
+    """Generate a trace covering ``duration_cycles`` of device compute."""
+    rng = rng_for(f"trace:{spec.name}:{base_addr}", seed)
+    weights = spec.burst_weights()
+    classes = sorted(weights)
+    cum: List[float] = []
+    acc = 0.0
+    for granularity in classes:
+        acc += weights[granularity]
+        cum.append(acc)
+    total_weight = acc
+
+    pools = {granularity: _RegionPool(spec.pool_size) for granularity in classes}
+    chunks_in_footprint = max(1, spec.footprint_bytes // CHUNK_BYTES)
+
+    entries: List[TraceEntry] = []
+    elapsed = 0.0
+    fine = GRANULARITIES[0]
+
+    def emit(gap: float, addr: int, is_write: bool) -> None:
+        nonlocal elapsed
+        entries.append((gap, addr, is_write))
+        elapsed += gap
+
+    while elapsed < duration_cycles and (
+        max_requests is None or len(entries) < max_requests
+    ):
+        draw = rng.random() * total_weight
+        granularity = classes[-1]
+        for idx, threshold in enumerate(cum):
+            if draw <= threshold:
+                granularity = classes[idx]
+                break
+
+        chunk = base_addr + rng.randrange(chunks_in_footprint) * CHUNK_BYTES
+
+        if granularity == fine:
+            # A short sequential run within one (possibly reused) chunk:
+            # real miss streams stride, so adjacent lines share counter
+            # and MAC lines even at fine granularity.  Sometimes the run
+            # lands inside a chunk the workload also streams (shared
+            # data structures -> the mixed patterns of Sec. 3.3); such
+            # runs inherit the region's role so inputs stay read-only.
+            coarse_regions = [
+                entry
+                for g, pool in pools.items()
+                if g != fine
+                for entry in pool.regions
+            ]
+            if coarse_regions and rng.random() < spec.mixed_chunk_p:
+                region, is_write = rng.choice(coarse_regions)
+                chunk = align_down(region, CHUNK_BYTES)
+            else:
+                chunk, is_write = pools[fine].pick_or_new(
+                    rng, chunk, spec.region_reuse, spec.write_fraction
+                )
+            if rng.random() < spec.scatter_p:
+                run = 1  # isolated pointer-chase miss
+            else:
+                run = rng.randint(2, spec.fine_run_max)
+            lines_per_chunk = CHUNK_BYTES // CACHELINE_BYTES
+            start_line = rng.randrange(lines_per_chunk)
+            for step in range(run):
+                line = (start_line + step) % lines_per_chunk
+                gap = rng.expovariate(1.0 / spec.gap_fine)
+                emit(gap, chunk + line * CACHELINE_BYTES, is_write)
+            continue
+
+        # Coarse stream burst over one aligned region.
+        if granularity == CHUNK_BYTES:
+            candidate = chunk
+        else:
+            regions_per_chunk = CHUNK_BYTES // granularity
+            candidate = chunk + rng.randrange(regions_per_chunk) * granularity
+        region, is_write = pools[granularity].pick_or_new(
+            rng, candidate, spec.region_reuse, spec.write_fraction
+        )
+        region = align_down(region, granularity)
+        burst_bytes = granularity
+        if rng.random() < spec.partial_burst_p:
+            # Boundary tile / early termination: the burst stops in the
+            # second half of the region, leaving it partially covered
+            # (a misprediction source for coarse-granularity schemes).
+            lines = granularity // CACHELINE_BYTES
+            burst_bytes = rng.randrange(lines // 2, lines) * CACHELINE_BYTES
+            burst_bytes = max(CACHELINE_BYTES, burst_bytes)
+        first_gap = rng.expovariate(1.0 / spec.gap_between_bursts)
+        for index, off in enumerate(range(0, burst_bytes, CACHELINE_BYTES)):
+            gap = first_gap if index == 0 else rng.expovariate(
+                1.0 / spec.gap_burst
+            )
+            emit(gap, region + off, is_write)
+
+    return Trace(spec=spec, base_addr=base_addr, entries=tuple(entries))

@@ -1,0 +1,212 @@
+"""GPU kernel walkers: algorithm -> coalesced LLC-miss stream.
+
+The substitute for MGPUSim's traces: each of the paper's GPU workloads
+corresponds to a classic kernel whose memory behaviour we walk
+explicitly at thread-block granularity (coalesced 64B transactions):
+
+* ``tiled_gemm``     -- mm: square tiled matrix multiply;
+* ``stencil2d``      -- sten: 5-point stencil row sweep;
+* ``csr_pagerank``   -- pr: CSR traversal (sequential row pointers +
+  irregular neighbour gathers);
+* ``syr2k_panels``   -- syr2k: symmetric rank-2k panel updates;
+* ``floyd_warshall`` -- floyd: k-phase row/column sweeps (the diverse
+  mix of Table 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from repro.common.address import align_up
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES
+from repro.common.errors import ConfigError
+from repro.common.rng import rng_for
+from repro.common.types import DeviceKind
+from repro.workloads.generator import Trace, TraceEntry
+from repro.workloads.spec import WorkloadSpec
+
+#: FP32 elements (MGPUSim workloads are float kernels).
+ELEM = 4
+
+#: Issue gap between coalesced transactions of one wavefront.
+GAP_COALESCED = 0.5
+
+#: Compute gap between thread-block phases.
+GAP_PHASE = 40.0
+
+
+def _spec(name: str, footprint: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=f"{name}_kernel",
+        kind=DeviceKind.GPU,
+        footprint_bytes=max(CHUNK_BYTES, align_up(footprint, CHUNK_BYTES)),
+        class_mix={64: 1.0},  # informational; the walker decides
+        write_fraction=0.3,
+        gap_fine=10.0,
+        gap_burst=1.0,
+        gap_between_bursts=100.0,
+        pattern_label="kernel",
+        traffic_label="kernel",
+    )
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.entries: List[TraceEntry] = []
+
+    def burst(self, base: int, nbytes: int, is_write: bool, first_gap: float) -> None:
+        lines = max(1, math.ceil(nbytes / CACHELINE_BYTES))
+        base -= base % CACHELINE_BYTES
+        for index in range(lines):
+            gap = first_gap if index == 0 else GAP_COALESCED
+            self.entries.append((gap, base + index * CACHELINE_BYTES, is_write))
+
+    def touch(self, addr: int, is_write: bool, gap: float) -> None:
+        self.entries.append((gap, addr - addr % CACHELINE_BYTES, is_write))
+
+
+def tiled_gemm(n: int = 512, tile: int = 64, base_addr: int = 0) -> Trace:
+    """C = A x B with square tiling: tile-panel streams + C writeback."""
+    a_base = base_addr
+    b_base = align_up(a_base + n * n * ELEM, CHUNK_BYTES)
+    c_base = align_up(b_base + n * n * ELEM, CHUNK_BYTES)
+    out = _Emitter()
+    for ti in range(0, n, tile):
+        for tj in range(0, n, tile):
+            for tk in range(0, n, tile):
+                # A tile rows (sequential), B tile rows (strided panel).
+                for row in range(0, tile, 8):  # 8-row granularity
+                    out.burst(
+                        a_base + ((ti + row) * n + tk) * ELEM,
+                        tile * ELEM * 8,
+                        False,
+                        GAP_PHASE if row == 0 else 2.0,
+                    )
+                for row in range(0, tile, 8):
+                    out.burst(
+                        b_base + ((tk + row) * n + tj) * ELEM,
+                        tile * ELEM * 8,
+                        False,
+                        2.0,
+                    )
+            out.burst(
+                c_base + (ti * n + tj) * ELEM, tile * tile * ELEM, True, 4.0
+            )
+    footprint = c_base + n * n * ELEM - base_addr
+    return Trace(_spec("mm", footprint), base_addr, tuple(out.entries))
+
+
+def stencil2d(n: int = 1024, sweeps: int = 2, base_addr: int = 0) -> Trace:
+    """5-point stencil: each output row reads three input rows."""
+    in_base = base_addr
+    out_base = align_up(in_base + n * n * ELEM, CHUNK_BYTES)
+    row_bytes = n * ELEM
+    out = _Emitter()
+    block = 4
+    for _ in range(sweeps):
+        for row in range(1, n - 1, block):
+            rows_out = min(block, n - 1 - row)
+            # A 5-point stencil block of `rows_out` outputs reads rows
+            # row-1 .. row+rows_out: halo rows are re-read by the
+            # neighbouring block.
+            for read_row in range(row - 1, row + rows_out + 1):
+                out.burst(
+                    in_base + read_row * row_bytes,
+                    row_bytes,
+                    False,
+                    GAP_PHASE if read_row == row - 1 else 1.0,
+                )
+            out.burst(
+                out_base + row * row_bytes, row_bytes * rows_out, True, 1.0
+            )
+    footprint = out_base + n * n * ELEM - base_addr
+    return Trace(_spec("sten", footprint), base_addr, tuple(out.entries))
+
+
+def csr_pagerank(
+    nodes: int = 65_536, avg_degree: int = 8, iterations: int = 2,
+    base_addr: int = 0, seed: int = 0,
+) -> Trace:
+    """PageRank over CSR: sequential row pointers, irregular gathers."""
+    rng = rng_for(f"pr:{nodes}", seed)
+    edges = nodes * avg_degree
+    rowptr_base = base_addr
+    colidx_base = align_up(rowptr_base + (nodes + 1) * ELEM, CHUNK_BYTES)
+    rank_base = align_up(colidx_base + edges * ELEM, CHUNK_BYTES)
+    out_base = align_up(rank_base + nodes * ELEM, CHUNK_BYTES)
+    out = _Emitter()
+    for _ in range(iterations):
+        edge_cursor = 0
+        for node in range(0, nodes, 512):
+            # One wavefront's worth of row pointers: sequential.
+            out.burst(rowptr_base + node * ELEM, 512 * ELEM, False, GAP_PHASE)
+            # Its edges: sequential col_idx block...
+            block_edges = 512 * avg_degree
+            out.burst(
+                colidx_base + edge_cursor * ELEM,
+                block_edges * ELEM,
+                False,
+                1.0,
+            )
+            edge_cursor += block_edges
+            # ...but the rank gathers those edges point at are random.
+            for _ in range(block_edges // 16):  # 64B coalescing factor
+                victim = rng.randrange(nodes)
+                out.touch(rank_base + victim * ELEM, False, 1.0)
+            out.burst(out_base + node * ELEM, 512 * ELEM, True, 1.0)
+    footprint = out_base + nodes * ELEM - base_addr
+    return Trace(_spec("pr", footprint), base_addr, tuple(out.entries))
+
+
+def syr2k_panels(n: int = 384, k: int = 64, base_addr: int = 0) -> Trace:
+    """C += A*B' + B*A': panel reads over A/B, triangular C updates."""
+    a_base = base_addr
+    b_base = align_up(a_base + n * k * ELEM, CHUNK_BYTES)
+    c_base = align_up(b_base + n * k * ELEM, CHUNK_BYTES)
+    out = _Emitter()
+    panel = 32
+    for ci in range(0, n, panel):
+        for cj in range(0, ci + panel, panel):
+            out.burst(a_base + ci * k * ELEM, panel * k * ELEM, False, GAP_PHASE)
+            out.burst(b_base + cj * k * ELEM, panel * k * ELEM, False, 2.0)
+            # Triangular C tile: read-modify-write.
+            out.burst(c_base + (ci * n + cj) * ELEM, panel * panel * ELEM, False, 2.0)
+            out.burst(c_base + (ci * n + cj) * ELEM, panel * panel * ELEM, True, 2.0)
+    footprint = c_base + n * n * ELEM - base_addr
+    return Trace(_spec("syr2k", footprint), base_addr, tuple(out.entries))
+
+
+def floyd_warshall(n: int = 512, phases: int = 24, base_addr: int = 0) -> Trace:
+    """k-phase APSP sweeps: row k broadcast + full-matrix row updates."""
+    dist_base = base_addr
+    row_bytes = n * ELEM
+    out = _Emitter()
+    for k in range(phases):
+        out.burst(dist_base + k * row_bytes, row_bytes, False, GAP_PHASE)
+        for row in range(0, n, 16):
+            out.burst(dist_base + row * row_bytes, row_bytes, False, 1.0)
+            out.burst(dist_base + row * row_bytes, row_bytes, True, 1.0)
+    footprint = n * n * ELEM
+    return Trace(_spec("floyd", footprint), base_addr, tuple(out.entries))
+
+
+#: Kernel registry keyed by the paper's GPU workload names.
+GPU_KERNELS: Dict[str, Callable[..., Trace]] = {
+    "mm": tiled_gemm,
+    "sten": stencil2d,
+    "pr": csr_pagerank,
+    "syr2k": syr2k_panels,
+    "floyd": floyd_warshall,
+}
+
+
+def generate_kernel_trace(name: str, base_addr: int = 0, **kwargs) -> Trace:
+    """Walk the GPU kernel behind one of the paper's workloads."""
+    try:
+        kernel = GPU_KERNELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown GPU kernel {name!r}; known: {sorted(GPU_KERNELS)}"
+        ) from None
+    return kernel(base_addr=base_addr, **kwargs)

@@ -1,0 +1,378 @@
+"""Model-driven NPU trace generation: network -> tensor-tiled miss stream.
+
+The paper's NPU traces come from mNPUsim walking real networks
+(AlexNet, Yolo-Tiny, NCF, DLRM, an LSTM RNN) on a 45x45 systolic array
+with a 2.2MB scratchpad (Table 3).  This module reproduces that walk
+analytically: each layer's weight/input/output tensors get address
+ranges, execution proceeds tile by tile (weights stream in 32KB tiles,
+activations in row blocks, embeddings as sparse row gathers), and the
+compute gap between transfers follows the systolic array's throughput.
+
+The resulting traces have the structure the paper's detector exploits:
+weight tiles are re-streamed every batch (coarse, read-only),
+activations are produced then consumed once (coarse, written), and
+embedding gathers stay fine/512B-grained.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.common.address import align_up
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES
+from repro.common.errors import ConfigError
+from repro.common.rng import rng_for
+from repro.common.types import DeviceKind
+from repro.workloads.generator import Trace, TraceEntry
+from repro.workloads.spec import WorkloadSpec
+
+#: Systolic array MACs per cycle (45 x 45, paper Table 3).
+SYSTOLIC_MACS_PER_CYCLE = 45 * 45
+
+#: Weight/activation element width (INT8, paper Table 3).
+ELEMENT_BYTES = 1
+
+#: Tile size for streaming weights/activations (one chunk).
+TILE_BYTES = CHUNK_BYTES
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """2D convolution: streams weights and input rows, writes outputs."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    in_size: int  # square input feature map
+
+    @property
+    def out_size(self) -> int:
+        return max(1, (self.in_size - self.kernel) // self.stride + 1)
+
+    @property
+    def weight_bytes(self) -> int:
+        return (
+            self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+            * ELEMENT_BYTES
+        )
+
+    @property
+    def input_bytes(self) -> int:
+        return self.in_channels * self.in_size * self.in_size * ELEMENT_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.out_channels * self.out_size * self.out_size * ELEMENT_BYTES
+
+    @property
+    def macs(self) -> int:
+        return (
+            self.out_size
+            * self.out_size
+            * self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+        )
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """Fully connected layer (also models LSTM gate matrices)."""
+
+    name: str
+    in_dim: int
+    out_dim: int
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.in_dim * self.out_dim * ELEMENT_BYTES
+
+    @property
+    def input_bytes(self) -> int:
+        return self.in_dim * ELEMENT_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.out_dim * ELEMENT_BYTES
+
+    @property
+    def macs(self) -> int:
+        return self.in_dim * self.out_dim
+
+
+@dataclass(frozen=True)
+class EmbeddingLayer:
+    """Sparse embedding gathers (recommendation models).
+
+    Each lookup reads one table row -- a short, effectively random
+    burst that never forms a stream chunk.  This is why the paper's
+    ncf/dlrm stay comparatively fine-grained despite being NPU
+    workloads.
+    """
+
+    name: str
+    rows: int
+    dim: int
+    lookups: int  # gathers per batch
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.rows * self.dim * ELEMENT_BYTES
+
+    @property
+    def row_bytes(self) -> int:
+        return max(CACHELINE_BYTES, self.dim * ELEMENT_BYTES)
+
+    @property
+    def output_bytes(self) -> int:
+        return self.lookups * self.dim * ELEMENT_BYTES
+
+    @property
+    def macs(self) -> int:
+        return self.lookups * self.dim
+
+
+Layer = object  # ConvLayer | FCLayer | EmbeddingLayer
+
+#: Network zoo used by the paper's NPU workloads (shapes follow the
+#: original models, scaled where the full model would dwarf the
+#: simulated footprint).
+NETWORKS: Dict[str, Tuple[Layer, ...]] = {
+    "alexnet": (
+        ConvLayer("conv1", 3, 96, 11, 4, 227),
+        ConvLayer("conv2", 96, 256, 5, 1, 27),
+        ConvLayer("conv3", 256, 384, 3, 1, 13),
+        ConvLayer("conv4", 384, 384, 3, 1, 13),
+        ConvLayer("conv5", 384, 256, 3, 1, 13),
+        FCLayer("fc6", 9216, 4096),
+        FCLayer("fc7", 4096, 4096),
+        FCLayer("fc8", 4096, 1000),
+    ),
+    "yolo_tiny": (
+        ConvLayer("conv1", 3, 16, 3, 1, 224),
+        ConvLayer("conv2", 16, 32, 3, 1, 112),
+        ConvLayer("conv3", 32, 64, 3, 1, 56),
+        ConvLayer("conv4", 64, 128, 3, 1, 28),
+        ConvLayer("conv5", 128, 256, 3, 1, 14),
+        ConvLayer("conv6", 256, 512, 3, 1, 7),
+        ConvLayer("conv7", 512, 512, 3, 1, 7),
+        ConvLayer("conv8", 512, 425, 1, 1, 7),
+    ),
+    "dlrm": (
+        EmbeddingLayer("emb0", 200_000, 64, 128),
+        EmbeddingLayer("emb1", 100_000, 64, 128),
+        EmbeddingLayer("emb2", 50_000, 64, 128),
+        FCLayer("bot0", 13, 512),
+        FCLayer("bot1", 512, 256),
+        FCLayer("top0", 479, 1024),
+        FCLayer("top1", 1024, 1024),
+        FCLayer("top2", 1024, 1),
+    ),
+    "ncf": (
+        EmbeddingLayer("user_emb", 138_000, 64, 256),
+        EmbeddingLayer("item_emb", 27_000, 64, 256),
+        FCLayer("mlp0", 128, 256),
+        FCLayer("mlp1", 256, 128),
+        FCLayer("mlp2", 128, 64),
+        FCLayer("mlp3", 64, 1),
+    ),
+    "sfrnn": (
+        # Selfish sparse RNN: stacked LSTM gate matrices.
+        FCLayer("lstm1_ih", 1024, 4 * 1024),
+        FCLayer("lstm1_hh", 1024, 4 * 1024),
+        FCLayer("lstm2_ih", 1024, 4 * 1024),
+        FCLayer("lstm2_hh", 1024, 4 * 1024),
+        FCLayer("proj", 1024, 1024),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TensorMap:
+    """Address layout of one network's tensors."""
+
+    weight_base: Dict[str, int]
+    activation_base: Dict[str, int]
+    total_bytes: int
+
+
+def plan_tensors(layers: Iterable[Layer], base_addr: int = 0) -> TensorMap:
+    """Assign chunk-aligned address ranges to every tensor."""
+    cursor = base_addr
+    weight_base: Dict[str, int] = {}
+    activation_base: Dict[str, int] = {}
+    for layer in layers:
+        weight_base[layer.name] = cursor
+        cursor = align_up(cursor + layer.weight_bytes, CHUNK_BYTES)
+    for layer in layers:
+        activation_base[layer.name] = cursor
+        cursor = align_up(cursor + max(64, layer.output_bytes), CHUNK_BYTES)
+    return TensorMap(weight_base, activation_base, cursor - base_addr)
+
+
+def _npu_spec(network: str, total_bytes: int) -> WorkloadSpec:
+    """A descriptive spec for traces produced by the model walker."""
+    return WorkloadSpec(
+        name=f"{network}_model",
+        kind=DeviceKind.NPU,
+        footprint_bytes=max(CHUNK_BYTES, align_up(total_bytes, CHUNK_BYTES)),
+        class_mix={64: 1.0},  # informational only; the walker decides
+        write_fraction=0.3,
+        gap_fine=10.0,
+        gap_burst=1.0,
+        gap_between_bursts=100.0,
+        pattern_label="model",
+        traffic_label="model",
+    )
+
+
+def scale_network(layers, scale: int):
+    """Shrink a network's channel/dimension counts by ``scale``.
+
+    Useful for fast tests and demos: the trace *structure* (tiled
+    weight streams, sparse gathers, activation hand-off) is preserved
+    while byte volumes drop roughly quadratically.
+    """
+    if scale <= 1:
+        return layers
+    scaled = []
+    for layer in layers:
+        if isinstance(layer, ConvLayer):
+            scaled.append(
+                ConvLayer(
+                    layer.name,
+                    max(1, layer.in_channels // scale),
+                    max(1, layer.out_channels // scale),
+                    layer.kernel,
+                    layer.stride,
+                    layer.in_size,
+                )
+            )
+        elif isinstance(layer, FCLayer):
+            scaled.append(
+                FCLayer(
+                    layer.name,
+                    max(1, layer.in_dim // scale),
+                    max(1, layer.out_dim // scale),
+                )
+            )
+        else:
+            scaled.append(
+                EmbeddingLayer(
+                    layer.name,
+                    max(1, layer.rows // scale),
+                    layer.dim,
+                    max(1, layer.lookups // scale),
+                )
+            )
+    return tuple(scaled)
+
+
+def generate_model_trace(
+    network: str,
+    batches: int = 2,
+    base_addr: int = 0,
+    seed: int = 0,
+    gap_per_line: float = 0.8,
+    scale: int = 1,
+) -> Trace:
+    """Walk ``network`` for ``batches`` inference passes -> miss trace.
+
+    Per layer and batch:
+
+    * weights stream in sequentially, tile by tile (read bursts over
+      the same addresses every batch -- prime promotion targets);
+    * embedding layers gather random rows instead (fine traffic);
+    * the previous layer's activations are read, this layer's written;
+    * between tiles the systolic array computes for
+      ``macs_per_tile / (45*45)`` cycles, producing the bursty gap
+      structure of Sec. 5.4.
+
+    ``scale`` shrinks the network (see :func:`scale_network`) for fast
+    runs; ``scale=1`` walks the full model.
+    """
+    try:
+        layers = NETWORKS[network]
+    except KeyError:
+        raise ConfigError(
+            f"unknown network {network!r}; known: {sorted(NETWORKS)}"
+        ) from None
+    layers = scale_network(layers, scale)
+
+    rng = rng_for(f"model:{network}:{base_addr}", seed)
+    tensors = plan_tensors(layers, base_addr)
+    entries: List[TraceEntry] = []
+
+    def stream(base: int, nbytes: int, is_write: bool, gap_first: float) -> None:
+        lines = max(1, math.ceil(nbytes / CACHELINE_BYTES))
+        for index in range(lines):
+            gap = gap_first if index == 0 else gap_per_line
+            entries.append((gap, base + index * CACHELINE_BYTES, is_write))
+
+    for batch in range(batches):
+        previous_activation = None
+        for layer in layers:
+            weight_base = tensors.weight_base[layer.name]
+            activation = tensors.activation_base[layer.name]
+            compute_gap = max(
+                1.0, layer.macs / SYSTOLIC_MACS_PER_CYCLE / 8.0
+            )
+
+            if isinstance(layer, EmbeddingLayer):
+                # Sparse gathers: random rows, short bursts.
+                for _ in range(layer.lookups):
+                    row = rng.randrange(layer.rows)
+                    addr = weight_base + row * layer.row_bytes
+                    addr -= addr % CACHELINE_BYTES
+                    stream(addr, layer.row_bytes, False, gap_first=4.0)
+                stream(activation, layer.output_bytes, True, compute_gap)
+                previous_activation = (activation, layer.output_bytes)
+                continue
+
+            # Dense layer: stream weights tile by tile.
+            remaining = layer.weight_bytes
+            offset = 0
+            while remaining > 0:
+                tile = min(TILE_BYTES, remaining)
+                stream(weight_base + offset, tile, False, compute_gap)
+                offset += tile
+                remaining -= tile
+            # Read the producer's activations, write our own.
+            if previous_activation is not None:
+                in_base, in_bytes = previous_activation
+                stream(in_base, min(in_bytes, TILE_BYTES * 4), False, 2.0)
+            stream(
+                activation,
+                min(max(64, layer.output_bytes), TILE_BYTES * 4),
+                True,
+                2.0,
+            )
+            previous_activation = (activation, max(64, layer.output_bytes))
+
+    spec = _npu_spec(network, tensors.total_bytes)
+    return Trace(spec=spec, base_addr=base_addr, entries=tuple(entries))
+
+
+def network_summary(network: str) -> List[Dict[str, object]]:
+    """Per-layer byte/MAC summary (useful for docs and tests)."""
+    layers = NETWORKS[network]
+    rows = []
+    for layer in layers:
+        rows.append(
+            {
+                "layer": layer.name,
+                "kind": type(layer).__name__,
+                "weight_bytes": layer.weight_bytes,
+                "output_bytes": layer.output_bytes,
+                "macs": layer.macs,
+            }
+        )
+    return rows

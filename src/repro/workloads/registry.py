@@ -1,0 +1,165 @@
+"""The paper's workload suite (Table 4) as calibrated synthetic specs.
+
+Gap parameters were tuned so that each workload's request-level
+intensity lands in its Table-4 traffic class (s / m / l) and its
+stream-chunk distribution matches its Fig.-4 access-pattern class
+(ff / f / c / cc / d).  ``yt`` (Yolo-Tiny, NPU) and ``sc``
+(Stream-Clustering, CPU) exist only for the Sec.-5.5 real-world
+pipelines (Table 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.types import DeviceKind
+from repro.workloads.spec import WorkloadSpec
+
+_MB = 1024 * 1024
+
+_SPECS: Tuple[WorkloadSpec, ...] = (
+    # ----------------------------------------------------------------- CPU
+    WorkloadSpec(
+        name="bw", kind=DeviceKind.CPU, footprint_bytes=16 * _MB,
+        class_mix={64: 0.94, 512: 0.06}, write_fraction=0.30,
+        gap_fine=38.0, gap_burst=4.0, gap_between_bursts=120.0,
+        pattern_label="ff", traffic_label="s",
+    ),
+    WorkloadSpec(
+        name="gcc", kind=DeviceKind.CPU, footprint_bytes=24 * _MB,
+        class_mix={64: 0.92, 512: 0.08}, write_fraction=0.35,
+        gap_fine=42.0, gap_burst=4.0, gap_between_bursts=150.0,
+        pattern_label="ff", traffic_label="s",
+    ),
+    WorkloadSpec(
+        name="ray", kind=DeviceKind.CPU, footprint_bytes=16 * _MB,
+        class_mix={64: 0.96, 512: 0.04}, write_fraction=0.25,
+        gap_fine=45.0, gap_burst=4.0, gap_between_bursts=160.0,
+        pattern_label="ff", traffic_label="s",
+    ),
+    WorkloadSpec(
+        name="mcf", kind=DeviceKind.CPU, footprint_bytes=48 * _MB,
+        class_mix={64: 0.90, 512: 0.10}, write_fraction=0.30,
+        gap_fine=11.0, gap_burst=3.0, gap_between_bursts=90.0,
+        pattern_label="ff", traffic_label="m",
+    ),
+    WorkloadSpec(
+        name="xal", kind=DeviceKind.CPU, footprint_bytes=24 * _MB,
+        class_mix={64: 0.70, 512: 0.22, 4096: 0.08}, write_fraction=0.35,
+        gap_fine=14.0, gap_burst=3.0, gap_between_bursts=200.0,
+        pattern_label="f", traffic_label="m",
+    ),
+    WorkloadSpec(
+        name="sc", kind=DeviceKind.CPU, footprint_bytes=16 * _MB,
+        class_mix={64: 0.68, 512: 0.22, 4096: 0.10}, write_fraction=0.40,
+        gap_fine=12.0, gap_burst=3.0, gap_between_bursts=220.0,
+        pattern_label="f", traffic_label="m",
+    ),
+    # ----------------------------------------------------------------- GPU
+    WorkloadSpec(
+        name="syr2k", kind=DeviceKind.GPU, footprint_bytes=32 * _MB,
+        class_mix={64: 0.86, 512: 0.14}, write_fraction=0.30,
+        gap_fine=9.0, gap_burst=2.0, gap_between_bursts=100.0,
+        pattern_label="ff", traffic_label="m",
+    ),
+    WorkloadSpec(
+        name="pr", kind=DeviceKind.GPU, footprint_bytes=48 * _MB,
+        class_mix={64: 0.62, 512: 0.26, 4096: 0.12}, write_fraction=0.25,
+        gap_fine=10.0, gap_burst=2.0, gap_between_bursts=150.0,
+        pattern_label="f", traffic_label="m",
+    ),
+    WorkloadSpec(
+        name="floyd", kind=DeviceKind.GPU, footprint_bytes=32 * _MB,
+        class_mix={64: 0.28, 512: 0.22, 4096: 0.28, 32768: 0.22},
+        write_fraction=0.30,
+        gap_fine=25.0, gap_burst=10.0, gap_between_bursts=8000.0,
+        region_reuse=0.75, pool_size=8,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="d", traffic_label="s",
+    ),
+    WorkloadSpec(
+        name="mm", kind=DeviceKind.GPU, footprint_bytes=32 * _MB,
+        class_mix={64: 0.06, 4096: 0.19, 32768: 0.75}, write_fraction=0.35,
+        gap_fine=15.0, gap_burst=2.0, gap_between_bursts=1100.0,
+        region_reuse=0.75, pool_size=8,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="cc", traffic_label="m",
+    ),
+    WorkloadSpec(
+        name="sten", kind=DeviceKind.GPU, footprint_bytes=32 * _MB,
+        class_mix={64: 0.08, 4096: 0.50, 32768: 0.42}, write_fraction=0.40,
+        gap_fine=8.0, gap_burst=1.2, gap_between_bursts=250.0,
+        region_reuse=0.75, pool_size=8,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="c", traffic_label="l",
+    ),
+    # ----------------------------------------------------------------- NPU
+    WorkloadSpec(
+        name="ncf", kind=DeviceKind.NPU, footprint_bytes=16 * _MB,
+        class_mix={64: 0.18, 4096: 0.44, 32768: 0.38}, write_fraction=0.30,
+        gap_fine=30.0, gap_burst=1.0, gap_between_bursts=2800.0,
+        region_reuse=0.8, pool_size=6,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="c", traffic_label="s",
+    ),
+    WorkloadSpec(
+        name="dlrm", kind=DeviceKind.NPU, footprint_bytes=24 * _MB,
+        class_mix={64: 0.22, 4096: 0.42, 32768: 0.36}, write_fraction=0.30,
+        gap_fine=28.0, gap_burst=1.0, gap_between_bursts=2600.0,
+        region_reuse=0.8, pool_size=6,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="c", traffic_label="s",
+    ),
+    WorkloadSpec(
+        name="alex", kind=DeviceKind.NPU, footprint_bytes=24 * _MB,
+        class_mix={64: 0.08, 4096: 0.16, 32768: 0.76}, write_fraction=0.35,
+        gap_fine=20.0, gap_burst=0.8, gap_between_bursts=800.0,
+        region_reuse=0.8, pool_size=6,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="cc", traffic_label="m",
+    ),
+    WorkloadSpec(
+        name="sfrnn", kind=DeviceKind.NPU, footprint_bytes=16 * _MB,
+        class_mix={64: 0.12, 4096: 0.42, 32768: 0.46}, write_fraction=0.45,
+        gap_fine=10.0, gap_burst=0.7, gap_between_bursts=350.0,
+        region_reuse=0.8, pool_size=6,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="c", traffic_label="l",
+    ),
+    WorkloadSpec(
+        name="yt", kind=DeviceKind.NPU, footprint_bytes=16 * _MB,
+        class_mix={64: 0.15, 4096: 0.50, 32768: 0.35}, write_fraction=0.40,
+        gap_fine=15.0, gap_burst=0.8, gap_between_bursts=1200.0,
+        region_reuse=0.8, pool_size=6,
+        mixed_chunk_p=0.04, scatter_p=0.5,
+        pattern_label="c", traffic_label="m",
+    ),
+)
+
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec for spec in _SPECS}
+
+#: The paper's evaluated suite (Table 4), excluding the Sec.-5.5 extras.
+CPU_WORKLOADS = ("bw", "gcc", "mcf", "xal", "ray")
+GPU_WORKLOADS = ("floyd", "mm", "pr", "sten", "syr2k")
+NPU_WORKLOADS = ("ncf", "dlrm", "alex", "sfrnn")
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec by its paper name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def workloads_for(kind: DeviceKind) -> List[WorkloadSpec]:
+    """All evaluated workloads of one device class."""
+    names = {
+        DeviceKind.CPU: CPU_WORKLOADS,
+        DeviceKind.GPU: GPU_WORKLOADS,
+        DeviceKind.NPU: NPU_WORKLOADS,
+    }[kind]
+    return [WORKLOADS[name] for name in names]

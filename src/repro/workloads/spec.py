@@ -1,0 +1,120 @@
+"""Workload specifications.
+
+Each paper workload (Table 4) is modeled as a parameterized synthetic
+LLC-miss stream.  The protection engine only ever sees that stream, so
+the parameters that matter are the ones the paper characterizes:
+
+* the *access-pattern class* -- what fraction of traffic belongs to
+  64B / 512B / 4KB / 32KB stream chunks (Fig. 4), expressed here as
+  ``class_mix`` (request-level fractions per burst granularity);
+* the *traffic intensity* -- requests per cycle (Table 4's s/m/l),
+  expressed through the gap parameters;
+* burstiness -- NPUs issue dense bulk bursts separated by long compute
+  gaps, CPUs issue isolated misses, GPUs sit in between (Sec. 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.constants import CACHELINE_BYTES, GRANULARITIES
+from repro.common.errors import ConfigError
+from repro.common.types import DeviceKind
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one synthetic workload.
+
+    Attributes:
+        name: workload label used in figures (e.g. ``"alex"``).
+        kind: device class the workload runs on.
+        footprint_bytes: memory span the workload touches.
+        class_mix: request-level fraction of traffic per burst
+            granularity in bytes; must sum to 1.
+        write_fraction: probability a burst is a write burst.
+        gap_fine: mean gap (reference cycles) between fine accesses.
+        gap_burst: mean gap between lines *within* a coarse burst.
+        gap_between_bursts: mean compute gap separating bursts.
+        region_reuse: probability a new burst revisits a recent region
+            (re-streaming is what makes detected granularity pay off).
+        pool_size: how many recent regions are candidates for reuse.
+        scatter_p: probability a fine run degenerates to one isolated
+            random line (pointer-chase behaviour); the rest are short
+            sequential runs.
+        partial_burst_p: probability a coarse burst stops early
+            (boundary tiles, early termination) -- the misprediction
+            source that penalizes over-coarse granularity.
+        mixed_chunk_p: probability a fine run lands inside a chunk the
+            workload also streams (shared data structures), creating
+            the mixed access patterns of Sec. 3.3.
+        pattern_label: paper classification (ff / f / c / cc / d).
+        traffic_label: paper traffic class (s / m / l).
+    """
+
+    name: str
+    kind: DeviceKind
+    footprint_bytes: int
+    class_mix: Dict[int, float]
+    write_fraction: float
+    gap_fine: float
+    gap_burst: float
+    gap_between_bursts: float
+    region_reuse: float = 0.75
+    pool_size: int = 12
+    fine_run_max: int = 10
+    scatter_p: float = 0.4
+    partial_burst_p: float = 0.04
+    mixed_chunk_p: float = 0.05
+    pattern_label: str = "ff"
+    traffic_label: str = "m"
+
+    def __post_init__(self) -> None:
+        total = sum(self.class_mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ConfigError(
+                f"{self.name}: class_mix sums to {total}, expected 1.0"
+            )
+        for granularity in self.class_mix:
+            if granularity not in GRANULARITIES:
+                raise ConfigError(
+                    f"{self.name}: unsupported burst granularity {granularity}"
+                )
+        if self.footprint_bytes < GRANULARITIES[-1]:
+            raise ConfigError(f"{self.name}: footprint below one chunk")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ConfigError(f"{self.name}: bad write fraction")
+
+    def burst_weights(self) -> Dict[int, float]:
+        """Burst-level selection weights giving request-level ``class_mix``.
+
+        A burst at granularity ``g`` emits ``g/64`` requests, so burst
+        weights are the request fractions divided by the burst length.
+        """
+        return {
+            granularity: fraction / (granularity // CACHELINE_BYTES)
+            for granularity, fraction in self.class_mix.items()
+            if fraction > 0.0
+        }
+
+    @property
+    def dominant_granularity(self) -> int:
+        """The access class carrying the most traffic.
+
+        This is what a per-device static configuration uses: the paper
+        notes that per-device granularity "only reflects the majority
+        of data accesses, causing mispredictions on the other accesses"
+        (Sec. 3.3) -- the minority classes are exactly what it gets
+        wrong.
+        """
+        return max(self.class_mix, key=lambda g: self.class_mix[g])
+
+    @property
+    def coarse_fraction(self) -> float:
+        """Fraction of traffic in 4KB-or-coarser stream chunks."""
+        return sum(
+            fraction
+            for granularity, fraction in self.class_mix.items()
+            if granularity >= GRANULARITIES[2]
+        )

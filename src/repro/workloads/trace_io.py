@@ -1,0 +1,89 @@
+"""Trace persistence: save/load miss traces in a portable text format.
+
+Lets users bring their own traces (e.g. converted from ChampSim or
+MGPUSim dumps) and replay them through the schemes.  The format is
+deliberately trivial -- gzip-compressed lines of
+
+    <gap_cycles> <hex address> <R|W>
+
+with ``#``-prefixed header lines carrying the workload metadata needed
+to rebuild the :class:`~repro.workloads.generator.Trace` wrapper.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import List, Union
+
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES
+from repro.common.errors import ConfigError
+from repro.common.types import DeviceKind
+from repro.workloads.generator import Trace, TraceEntry
+from repro.workloads.spec import WorkloadSpec
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` (gzip text)."""
+    path = Path(path)
+    with gzip.open(path, "wt", encoding="ascii") as handle:
+        handle.write(f"# repro-trace v{_FORMAT_VERSION}\n")
+        handle.write(f"# name {trace.spec.name}\n")
+        handle.write(f"# kind {trace.spec.kind.value}\n")
+        handle.write(f"# footprint {trace.spec.footprint_bytes}\n")
+        handle.write(f"# base {trace.base_addr}\n")
+        for gap, addr, is_write in trace.entries:
+            handle.write(f"{gap:.4f} {addr:x} {'W' if is_write else 'R'}\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace` (or hand-converted)."""
+    path = Path(path)
+    meta = {"name": path.stem, "kind": "cpu", "footprint": 0, "base": 0}
+    entries: List[TraceEntry] = []
+    with gzip.open(path, "rt", encoding="ascii") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) >= 2 and parts[0] in meta:
+                    meta[parts[0]] = parts[1]
+                continue
+            fields = line.split()
+            if len(fields) != 3 or fields[2] not in ("R", "W"):
+                raise ConfigError(
+                    f"{path}:{line_no}: expected '<gap> <hexaddr> <R|W>', "
+                    f"got {line!r}"
+                )
+            gap = float(fields[0])
+            addr = int(fields[1], 16)
+            if gap < 0 or addr < 0:
+                raise ConfigError(f"{path}:{line_no}: negative gap/address")
+            if addr % CACHELINE_BYTES:
+                addr -= addr % CACHELINE_BYTES  # line-align foreign traces
+            entries.append((gap, addr, fields[2] == "W"))
+    if not entries:
+        raise ConfigError(f"{path}: trace has no requests")
+
+    base = int(meta["base"])
+    max_addr = max(addr for _, addr, _ in entries) + CACHELINE_BYTES
+    footprint = max(
+        int(meta["footprint"]) or 0, max_addr - base, CHUNK_BYTES
+    )
+    spec = WorkloadSpec(
+        name=str(meta["name"]),
+        kind=DeviceKind(str(meta["kind"])),
+        footprint_bytes=footprint,
+        class_mix={64: 1.0},  # informational; the trace speaks for itself
+        write_fraction=0.5,
+        gap_fine=1.0,
+        gap_burst=1.0,
+        gap_between_bursts=1.0,
+        pattern_label="file",
+        traffic_label="file",
+    )
+    return Trace(spec=spec, base_addr=base, entries=tuple(entries))

@@ -1,0 +1,51 @@
+"""Shared fixtures: small deterministic configs, keys, traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    EngineConfig,
+    MemoryConfig,
+    SoCConfig,
+    TrackerConfig,
+)
+from repro.crypto.keys import KeySet
+from repro.tree.geometry import TreeGeometry
+
+
+@pytest.fixture(scope="session")
+def keys() -> KeySet:
+    return KeySet.from_seed(b"repro-test-keys")
+
+
+@pytest.fixture()
+def small_geometry() -> TreeGeometry:
+    """1MB region: 3 tree levels above the leaves, cheap to walk."""
+    return TreeGeometry.build(1 << 20)
+
+
+@pytest.fixture()
+def soc_config() -> SoCConfig:
+    """Default Orin-like config used by the timing layer."""
+    return SoCConfig()
+
+
+@pytest.fixture()
+def tiny_engine_config() -> EngineConfig:
+    """Small caches so eviction paths are exercised quickly."""
+    return EngineConfig(
+        metadata_cache=CacheConfig(1024),
+        mac_cache=CacheConfig(512),
+        table_cache=CacheConfig(512),
+        tracker=TrackerConfig(entries=4, lifetime_cycles=2048),
+    )
+
+
+@pytest.fixture()
+def tiny_soc_config(tiny_engine_config) -> SoCConfig:
+    return SoCConfig(
+        memory=MemoryConfig(protected_bytes=64 << 20),
+        engine=tiny_engine_config,
+    )

@@ -1,0 +1,78 @@
+"""Conservation invariants between scheme, channel and device accounting."""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.schemes.registry import SCHEME_NAMES, build_scheme
+from repro.sim.soc import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import get_workload
+
+DURATION = 2500.0
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [
+        generate_trace(get_workload("xal"), DURATION, base_addr=0, seed=0),
+        generate_trace(
+            get_workload("alex"), DURATION, base_addr=64 << 20, seed=1
+        ),
+    ]
+
+
+def build(name, config):
+    grans = {0: 512, 1: 512} if name == "static_device" else None
+    return build_scheme(
+        name, config, footprint_bytes=128 << 20, device_granularities=grans
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_scheme_traffic_equals_channel_bytes(self, name, traces):
+        """Every byte the scheme accounts for crossed the channel, and
+        nothing crossed the channel unaccounted."""
+        config = SoCConfig()
+        result = simulate(traces, build(name, config), config)
+        assert (
+            result.scheme.stats.traffic.total_bytes
+            == result.channel.bytes_transferred
+        )
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_request_counts_match_traces(self, name, traces):
+        config = SoCConfig()
+        result = simulate(traces, build(name, config), config)
+        assert result.scheme.stats.requests == sum(len(t) for t in traces)
+        assert result.scheme.stats.reads + result.scheme.stats.writes == (
+            result.scheme.stats.requests
+        )
+
+    @pytest.mark.parametrize("name", ("conventional", "ours", "bmf_unused_ours"))
+    def test_data_bytes_at_least_one_line_per_request(self, name, traces):
+        config = SoCConfig()
+        result = simulate(traces, build(name, config), config)
+        assert result.scheme.stats.traffic.data_bytes >= (
+            result.scheme.stats.requests * 64
+        )
+
+    @pytest.mark.parametrize("name", ("conventional", "ours"))
+    def test_finish_cycles_cover_compute(self, name, traces):
+        config = SoCConfig()
+        result = simulate(traces, build(name, config), config)
+        for device in result.devices:
+            assert device.finish_cycle >= 0.9 * device.compute_cycles
+
+    def test_warmup_pass_does_not_leak_into_measured_stats(self, traces):
+        config = SoCConfig()
+        once = simulate(traces, build("ours", config), config, warmup=False)
+        warm = simulate(traces, build("ours", config), config, warmup=True)
+        # The measured pass alone cannot have MORE requests than the
+        # single-pass run (same trace), and its traffic accounting must
+        # still balance with its own channel.
+        assert warm.scheme.stats.requests == once.scheme.stats.requests
+        assert (
+            warm.scheme.stats.traffic.total_bytes
+            == warm.channel.bytes_transferred
+        )

@@ -1,0 +1,123 @@
+"""CPU pattern walkers + functional metadata-footprint accounting."""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES, GRANULARITIES
+from repro.common.errors import ConfigError
+from repro.common.types import DeviceKind
+from repro.crypto.keys import KeySet
+from repro.schemes.registry import build_scheme
+from repro.secure_memory import SecureMemory
+from repro.sim.soc import simulate
+from repro.workloads.cpu_patterns import (
+    CPU_PATTERNS,
+    bvh_traversal,
+    generate_pattern_trace,
+    pointer_chase,
+    stream_triad,
+)
+
+SMALL = {
+    "bw": {"array_bytes": 1 << 19, "iterations": 1},
+    "mcf": {"nodes": 4096, "hops": 800},
+    "ray": {"leaves": 1024, "rays": 120},
+    "xal": {"text_bytes": 1 << 19, "symbols": 4096},
+    "gcc": {"text_bytes": 1 << 19, "symbols": 4096},
+    "sc": {"points": 2000, "centers": 64},
+}
+
+
+class TestCpuPatterns:
+    def test_registry_covers_cpu_suite(self):
+        assert {"bw", "mcf", "ray", "xal", "gcc", "sc"} <= set(CPU_PATTERNS)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_pattern_trace("spice")
+
+    @pytest.mark.parametrize("name", sorted(SMALL))
+    def test_patterns_generate_valid_cpu_traces(self, name):
+        trace = generate_pattern_trace(name, **SMALL[name])
+        assert len(trace) > 50
+        assert trace.spec.kind is DeviceKind.CPU
+        assert all(a % CACHELINE_BYTES == 0 for _, a, _ in trace.entries)
+        assert trace.max_addr <= trace.base_addr + trace.spec.footprint_bytes
+
+    def test_triad_is_three_marching_streams(self):
+        trace = stream_triad(array_bytes=1 << 18, iterations=1)
+        # Exactly one write per two reads, in a regular cadence.
+        writes = sum(1 for _, _, w in trace.entries if w)
+        assert writes * 3 == len(trace)
+
+    def test_pointer_chase_is_irregular(self):
+        trace = pointer_chase(nodes=4096, hops=500)
+        addresses = [a for _, a, w in trace.entries if not w]
+        strides = {y - x for x, y in zip(addresses, addresses[1:])}
+        assert len(strides) > 100
+
+    def test_bvh_descent_reuses_top_levels(self):
+        trace = bvh_traversal(leaves=1024, rays=100)
+        reads = [a for _, a, w in trace.entries if not w]
+        # The root node is read once per ray.
+        root_reads = sum(1 for a in reads if a == 64)
+        assert root_reads >= 100
+
+    def test_patterns_run_through_schemes(self):
+        config = SoCConfig()
+        trace = generate_pattern_trace("mcf", **SMALL["mcf"])
+        result = simulate([trace], build_scheme("ours", config), config)
+        assert result.devices[0].requests == len(trace)
+
+
+class TestMetadataFootprint:
+    def test_promotion_shrinks_stored_metadata(self):
+        data = bytes(CHUNK_BYTES)
+        footprints = {}
+        for policy in ("fixed", "multigranular"):
+            memory = SecureMemory(
+                1 << 20, keys=KeySet.from_seed(b"fp"), policy=policy
+            )
+            memory.write(0, data)
+            memory.write(0, data)  # re-stream -> promote (dynamic)
+            assert memory.read(0, CHUNK_BYTES) == data
+            footprints[policy] = memory.metadata_footprint()
+
+        fixed = footprints["fixed"]
+        multi = footprints["multigranular"]
+        # One chunk fine: 512 MACs (4KB) + 64 leaf nodes + uppers.
+        assert fixed["mac_bytes"] == 512 * 8
+        assert multi["mac_bytes"] < fixed["mac_bytes"] / 100
+        assert multi["tree_node_bytes"] < fixed["tree_node_bytes"] / 10
+        assert multi["coverage_by_granularity"].get(GRANULARITIES[3]) == (
+            CHUNK_BYTES
+        )
+
+    def test_pruned_subtree_nodes_are_reclaimed(self):
+        memory = SecureMemory(
+            1 << 20, keys=KeySet.from_seed(b"prune"), policy="multigranular"
+        )
+        memory.write(0, bytes(CHUNK_BYTES))
+        assert memory.granularity_of(0) == GRANULARITIES[3]
+        # Every node strictly below the promotion level inside the
+        # chunk is gone; reads still verify.
+        for level in range(3):
+            span = memory.geometry.span_of_level(level)
+            for node in range(CHUNK_BYTES // span):
+                assert (level, node) not in memory.tree._payloads
+        assert memory.read(0, 64) == bytes(64)
+
+    def test_scale_down_restores_fine_metadata(self):
+        memory = SecureMemory(
+            1 << 20, keys=KeySet.from_seed(b"down"), policy="multigranular"
+        )
+        memory.write(0, bytes(CHUNK_BYTES))
+        promoted = memory.metadata_footprint()["total_bytes"]
+        # Sparse touches demote via detection: expire the window, then
+        # touch a single line repeatedly across windows.
+        for _ in range(4):
+            memory.advance(20_000)
+            memory.write(64, b"!" * 64)
+        demoted = memory.metadata_footprint()["total_bytes"]
+        assert demoted >= promoted  # finer coverage stores more again
+        assert memory.read(64, 64) == b"!" * 64

@@ -1,0 +1,105 @@
+"""Cross-layer consistency: functional engine vs timing scheme.
+
+Both layers run the same tracker -> detector -> table pipeline from
+``repro.core``; replaying one access sequence through each must yield
+the same learned granularities.  This pins the two layers together: a
+change to detection semantics cannot silently diverge them.
+"""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CHUNK_BYTES, GRANULARITIES
+from repro.common.types import AccessType, MemoryRequest
+from repro.crypto.keys import KeySet
+from repro.mem.channel import MemoryChannel
+from repro.schemes.multigran import MultiGranularScheme
+from repro.secure_memory import SecureMemory
+
+REGION = 512 * 1024
+
+
+def access_sequence():
+    """A deterministic mixed pattern: one streamed chunk, one 4KB group,
+    scattered fine lines in a third chunk."""
+    seq = []
+    for line in range(512):  # chunk 0: full stream (promote to 32KB)
+        seq.append((line * 64, True))
+    base = CHUNK_BYTES
+    for line in range(64):  # chunk 1: one 4KB group
+        seq.append((base + line * 64, False))
+    base = 2 * CHUNK_BYTES
+    for line in (0, 77, 300, 413):  # chunk 2: scattered
+        seq.append((base + line * 64, False))
+    # Revisit everything so lazy switches apply.
+    seq += [(0, False), (CHUNK_BYTES, False), (2 * CHUNK_BYTES, False)]
+    return seq
+
+
+#: Request spacing (cycles).  Small enough that a 512-line stream fits
+#: one 16K-cycle tracker window; the long pause before the final
+#: revisits expires lingering entries so detections bank in both layers.
+SPACING = 10.0
+PAUSE_BEFORE_REVISITS = 20_000
+
+
+@pytest.fixture(scope="module")
+def functional():
+    memory = SecureMemory(REGION, keys=KeySet.from_seed(b"xlayer"))
+    sequence = access_sequence()
+    for index, (addr, is_write) in enumerate(sequence):
+        if index == len(sequence) - 3:
+            memory.advance(PAUSE_BEFORE_REVISITS)
+        if is_write:
+            memory.write(addr, b"w" * 64)
+        else:
+            memory.read(addr, 64)
+        memory.advance(int(SPACING) - 1)  # the engine adds 1 per access
+    return memory
+
+
+@pytest.fixture(scope="module")
+def timing():
+    config = SoCConfig()
+    scheme = MultiGranularScheme(config, REGION)
+    channel = MemoryChannel(config.memory)
+    cycle = 0.0
+    sequence = access_sequence()
+    for index, (addr, is_write) in enumerate(sequence):
+        if index == len(sequence) - 3:
+            cycle += PAUSE_BEFORE_REVISITS
+        cycle += SPACING
+        req = MemoryRequest(
+            int(cycle), addr, 64,
+            AccessType.WRITE if is_write else AccessType.READ,
+        )
+        scheme.process(req, cycle, channel)
+    return scheme
+
+
+class TestLayersAgree:
+    def test_streamed_chunk_promoted_in_both(self, functional, timing):
+        assert functional.granularity_of(0) == GRANULARITIES[3]
+        assert timing.table.peek_granularity(0) == GRANULARITIES[3]
+
+    def test_group_chunk_agrees(self, functional, timing):
+        f = functional.granularity_of(CHUNK_BYTES)
+        t = timing.table.peek_granularity(CHUNK_BYTES)
+        assert f == t
+        # The long pause expired the group's tracker entry, so it was
+        # classified before the revisit.
+        assert functional.table.entry_by_chunk(1).next != 0
+
+    def test_scattered_chunk_stays_fine_in_both(self, functional, timing):
+        assert functional.granularity_of(2 * CHUNK_BYTES) == GRANULARITIES[0]
+        assert timing.table.peek_granularity(2 * CHUNK_BYTES) == GRANULARITIES[0]
+
+    def test_detected_bitmaps_match(self, functional, timing):
+        for chunk in range(3):
+            f_bits = functional.table.entry_by_chunk(chunk).next
+            t_bits = timing.table.entry_by_chunk(chunk).next
+            assert f_bits == t_bits, f"chunk {chunk} diverged"
+
+    def test_functional_data_still_correct_after_everything(self, functional):
+        assert functional.read(0, 64) == b"w" * 64
+        assert functional.read(2 * CHUNK_BYTES, 64) == bytes(64)

@@ -1,0 +1,188 @@
+"""Every experiment regenerates with sane structure at small scale."""
+
+import pytest
+
+from repro.common.constants import GRANULARITIES
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentResult, label
+from repro.experiments import sweep
+
+DURATION = 4000.0
+SAMPLE = 3
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_sweep_cache():
+    sweep.clear_cache()
+    yield
+    sweep.clear_cache()
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ALL_EXPERIMENTS["fig04"].run(duration_cycles=DURATION)
+
+    def test_all_14_workloads_present(self, result):
+        assert len(result.rows) == 14
+
+    def test_ratios_sum_to_one(self, result):
+        for row in result.rows:
+            total = row["64B"] + row["512B"] + row["4KB"] + row["32KB"]
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_cpu_is_fine_dominated(self, result):
+        for row in result.rows:
+            if row["device"] == "cpu":
+                assert row["64B"] > 0.5
+
+    def test_alex_is_chunk_dominated(self, result):
+        alex = next(r for r in result.rows if r["workload"] == "alex")
+        assert alex["32KB"] > 0.5
+
+    def test_table_renders(self, result):
+        text = result.format_table()
+        assert "alex" in text and "Fig. 4" in text
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ALL_EXPERIMENTS["fig05"].run(duration_cycles=DURATION)
+
+    def test_four_device_classes(self, result):
+        assert [row["class"] for row in result.rows] == [
+            "cpu", "gpu", "npu", "hetero",
+        ]
+
+    def test_overheads_are_nonnegative(self, result):
+        for row in result.rows:
+            assert row["total_overhead"] >= -0.01
+            assert row["traffic_increase"] >= 0.0
+
+    def test_breakdown_sums(self, result):
+        for row in result.rows:
+            assert row["mac_overhead"] + row["counter_overhead"] == (
+                pytest.approx(row["total_overhead"], abs=1e-6)
+            )
+
+
+class TestFig06:
+    def test_rows_cover_both_workloads(self):
+        result = ALL_EXPERIMENTS["fig06"].run(duration_cycles=DURATION)
+        assert {row["workload"] for row in result.rows} == {"alex", "sfrnn"}
+        assert len(result.rows) == 4
+
+
+class TestTab02:
+    def test_ratios_sum_to_one(self):
+        result = ALL_EXPERIMENTS["tab02"].run(duration_cycles=DURATION)
+        total = sum(row["ratio"] for row in result.rows)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_correct_prediction_dominates(self):
+        result = ALL_EXPERIMENTS["tab02"].run(duration_cycles=DURATION)
+        correct = next(
+            r for r in result.rows if r["category"] == "correct_prediction"
+        )
+        assert correct["ratio"] > 0.5
+
+
+class TestSweepFigures:
+    @pytest.fixture(scope="class")
+    def fig15(self):
+        return ALL_EXPERIMENTS["fig15"].run(sample=SAMPLE, duration_cycles=DURATION)
+
+    def test_fig15_percentiles_are_ordered(self, fig15):
+        for row in fig15.rows:
+            assert row["p25"] <= row["p50"] <= row["p75"] <= row["p90"]
+
+    def test_fig15_all_schemes_slower_than_unsecure(self, fig15):
+        for row in fig15.rows:
+            assert row["mean"] >= 1.0
+
+    def test_fig16_normalizes_to_ours(self):
+        result = ALL_EXPERIMENTS["fig16"].run(
+            sample=SAMPLE, duration_cycles=DURATION
+        )
+        ours = next(r for r in result.rows if r["scheme"] == label("ours"))
+        assert ours["traffic_vs_ours"] == pytest.approx(1.0)
+        assert ours["misses_vs_ours"] == pytest.approx(1.0)
+
+    def test_fig17_contains_breakdown_schemes(self):
+        result = ALL_EXPERIMENTS["fig17"].run(
+            sample=SAMPLE, duration_cycles=DURATION
+        )
+        schemes = {row["scheme"] for row in result.rows}
+        assert label("conventional") in schemes
+        assert label("ours") in schemes
+
+    def test_fig18_traffic_vs_unsecure_above_one(self):
+        result = ALL_EXPERIMENTS["fig18"].run(
+            sample=SAMPLE, duration_cycles=DURATION
+        )
+        for row in result.rows:
+            assert row["traffic_vs_unsecure"] >= 1.0
+
+    def test_sweep_cache_is_reused(self):
+        before = len(sweep._cache)
+        ALL_EXPERIMENTS["fig15"].run(sample=SAMPLE, duration_cycles=DURATION)
+        ALL_EXPERIMENTS["fig16"].run(sample=SAMPLE, duration_cycles=DURATION)
+        assert len(sweep._cache) == max(1, before)
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return ALL_EXPERIMENTS["fig19"].run(duration_cycles=DURATION)
+
+    def test_three_panels(self, panels):
+        assert set(panels) == {"a", "b", "c"}
+
+    def test_panel_a_has_all_11_scenarios(self, panels):
+        assert len(panels["a"].rows) == 11
+
+    def test_panel_b_distributions_sum_to_one(self, panels):
+        for row in panels["b"].rows:
+            total = row["64B"] + row["512B"] + row["4KB"] + row["32KB"]
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_panel_c_has_four_devices_per_scenario(self, panels):
+        assert len(panels["c"].rows) == 44
+
+
+class TestFig20:
+    def test_mean_row_appended(self):
+        result = ALL_EXPERIMENTS["fig20"].run(duration_cycles=DURATION)
+        assert result.rows[-1]["scenario"] == "MEAN"
+        assert len(result.rows) == 12
+
+    def test_no_switch_never_slower_than_ours(self):
+        result = ALL_EXPERIMENTS["fig20"].run(duration_cycles=DURATION)
+        mean_row = result.rows[-1]
+        assert mean_row["ours_no_switch"] <= mean_row["ours"] + 0.02
+
+
+class TestFig21:
+    def test_both_pipelines_and_all_schemes(self):
+        result = ALL_EXPERIMENTS["fig21"].run(duration_cycles=DURATION)
+        assert {row["pipeline"] for row in result.rows} == {
+            "finance", "autodrive",
+        }
+        assert len(result.rows) == 8
+
+    def test_overhead_matches_norm(self):
+        result = ALL_EXPERIMENTS["fig21"].run(duration_cycles=DURATION)
+        for row in result.rows:
+            assert row["overhead"] == pytest.approx(row["norm_exec"] - 1.0)
+
+
+class TestTab04:
+    def test_all_16_workloads_classified(self):
+        result = ALL_EXPERIMENTS["tab04"].run(duration_cycles=DURATION)
+        assert len(result.rows) == 16
+
+    def test_result_type(self):
+        result = ALL_EXPERIMENTS["tab04"].run(duration_cycles=DURATION)
+        assert isinstance(result, ExperimentResult)
+        assert result.column_values("workload")

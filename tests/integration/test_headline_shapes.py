@@ -1,0 +1,113 @@
+"""Headline result shapes from DESIGN.md's acceptance criteria.
+
+These run a small but meaningful configuration (three contrasting
+scenarios at a moderate duration) and assert the *orderings* the paper
+reports -- not absolute numbers.  They are the repository's regression
+guard for the reproduction itself.
+"""
+
+import pytest
+
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import selected_scenario
+
+DURATION = 20_000.0
+SCHEMES = (
+    "unsecure",
+    "conventional",
+    "adaptive",
+    "common_ctr",
+    "multi_ctr_only",
+    "ours",
+    "bmf_unused",
+    "bmf_unused_ours",
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in ("ff1", "c1", "cc1", "cc2"):
+        out[name] = run_scenario(
+            selected_scenario(name), SCHEMES, duration_cycles=DURATION
+        )
+    return out
+
+
+def norm(results, scenario, scheme):
+    runs = results[scenario]
+    return runs[scheme].mean_normalized_exec_time(runs["unsecure"])
+
+
+def mean_norm(results, scheme):
+    return sum(norm(results, s, scheme) for s in results) / len(results)
+
+
+class TestProtectionCostsExist:
+    def test_every_scheme_is_slower_than_unsecure(self, results):
+        for scenario in results:
+            for scheme in SCHEMES[1:]:
+                assert norm(results, scenario, scheme) > 1.0
+
+    def test_conventional_overhead_is_substantial(self, results):
+        # Paper Sec. 5.3: ~34% average overhead; accept a broad band.
+        overhead = mean_norm(results, "conventional") - 1.0
+        assert 0.15 < overhead < 1.2
+
+
+class TestOursWins:
+    def test_ours_beats_conventional_on_average(self, results):
+        assert mean_norm(results, "ours") < mean_norm(results, "conventional")
+
+    def test_ours_beats_conventional_in_coarse_scenarios(self, results):
+        assert norm(results, "cc1", "ours") < norm(results, "cc1", "conventional")
+        assert norm(results, "cc2", "ours") < norm(results, "cc2", "conventional")
+        assert norm(results, "c1", "ours") < norm(results, "c1", "conventional")
+
+    def test_coarse_scenarios_gain_more_than_fine(self, results):
+        def gain(scenario):
+            conv = norm(results, scenario, "conventional")
+            ours = norm(results, scenario, "ours")
+            return (conv - ours) / conv
+
+        assert gain("cc2") > gain("ff1")
+
+    def test_ours_beats_prior_dual_granularity_schemes(self, results):
+        assert mean_norm(results, "ours") < mean_norm(results, "adaptive")
+        assert mean_norm(results, "ours") < mean_norm(results, "common_ctr")
+
+    def test_full_scheme_beats_counter_only_ablation(self, results):
+        # Paper: optimizing both counters and MACs beats counters alone.
+        assert mean_norm(results, "ours") <= mean_norm(
+            results, "multi_ctr_only"
+        ) + 0.01
+
+
+class TestSubtreeCombination:
+    def test_combined_scheme_beats_ours_alone(self, results):
+        assert mean_norm(results, "bmf_unused_ours") < mean_norm(results, "ours")
+
+    def test_combined_scheme_beats_subtrees_alone(self, results):
+        assert mean_norm(results, "bmf_unused_ours") < mean_norm(
+            results, "bmf_unused"
+        )
+
+    def test_combined_is_best_overall(self, results):
+        combined = mean_norm(results, "bmf_unused_ours")
+        for scheme in SCHEMES[1:-1]:
+            assert combined <= mean_norm(results, scheme) + 1e-9
+
+
+class TestTrafficShapes:
+    def test_ours_reduces_metadata_traffic_in_coarse_scenario(self, results):
+        runs = results["cc2"]
+        conv = runs["conventional"].scheme.stats.traffic.metadata_bytes
+        ours = runs["ours"].scheme.stats.traffic.metadata_bytes
+        assert ours < conv
+
+    def test_ours_reduces_security_cache_misses(self, results):
+        runs = results["cc2"]
+        assert (
+            runs["ours"].security_cache_misses
+            < runs["conventional"].security_cache_misses
+        )

@@ -1,0 +1,115 @@
+"""The paper's im2col misprediction scenario (Sec. 4.4, handler note).
+
+"As for convolution operations, the access patterns of tensors can
+vary significantly depending on where the im2col operation (either in
+CPU or NPU) is performed."  We stage exactly that: a tensor region is
+first streamed coarsely by the NPU (promoted), then the CPU takes over
+im2col and accesses it with a strided, sparse pattern -- the stored
+granularity is now wrong, the misprediction handler must pay once and
+scale the region down, and data must stay correct throughout (checked
+on the functional layer).
+"""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CHUNK_BYTES, GRANULARITIES
+from repro.common.types import AccessType, MemoryRequest
+from repro.crypto.keys import KeySet
+from repro.mem.channel import MemoryChannel
+from repro.schemes.multigran import MultiGranularScheme
+from repro.secure_memory import SecureMemory
+
+REGION = 1 << 20
+
+
+def npu_phase(memory_like_write):
+    """NPU writes the tensor as one coarse stream."""
+    for line in range(512):
+        memory_like_write(line * 64)
+
+
+def cpu_im2col_lines():
+    """Strided column gather: every 9th line, repeatedly."""
+    return [((line * 9) % 512) * 64 for line in range(80)]
+
+
+class TestFunctionalIm2col:
+    def test_data_survives_the_pattern_change(self, keys):
+        memory = SecureMemory(REGION, keys=keys, policy="multigranular")
+        tensor = bytes(range(256)) * (CHUNK_BYTES // 256)
+        memory.write(0, tensor)  # NPU streams the tensor
+        assert memory.granularity_of(0) == GRANULARITIES[3]
+
+        # CPU im2col: strided sparse reads + occasional patch writes,
+        # with enough idle time between batches for re-detection.
+        for batch in range(3):
+            memory.advance(20_000)
+            for addr in cpu_im2col_lines():
+                expected = tensor[addr : addr + 64]
+                assert memory.read(addr, 64) == expected
+            memory.write(64 * 9, b"!" * 64)
+            tensor = tensor[: 64 * 9] + b"!" * 64 + tensor[64 * 10 :]
+
+        # All data is still exactly right after every re-keying.
+        assert memory.read(0, CHUNK_BYTES) == tensor
+
+    def test_region_demotes_under_sparse_reuse(self, keys):
+        memory = SecureMemory(REGION, keys=keys, policy="multigranular")
+        memory.write(0, bytes(CHUNK_BYTES))
+        assert memory.granularity_of(0) == GRANULARITIES[3]
+        for _ in range(4):
+            memory.advance(20_000)
+            for addr in cpu_im2col_lines():
+                memory.read(addr, 64)
+        # Sparse windows re-detect finer: no longer whole-chunk.
+        assert memory.granularity_of(0) < GRANULARITIES[3]
+
+    def test_switches_were_paid_not_free(self, keys):
+        memory = SecureMemory(REGION, keys=keys, policy="multigranular")
+        memory.write(0, bytes(CHUNK_BYTES))
+        for _ in range(3):
+            memory.advance(20_000)
+            for addr in cpu_im2col_lines():
+                memory.read(addr, 64)
+        assert memory.switching.total_switches >= 2
+        assert "coarse_to_fine" in memory.switching.events_by_category
+
+
+class TestTimingIm2col:
+    def test_handler_contains_the_damage(self):
+        """After the one-time scale-down, sparse reads stop paying
+        region-sized debts: the second im2col batch moves less data
+        than the first."""
+        config = SoCConfig()
+        scheme = MultiGranularScheme(config, REGION)
+        channel = MemoryChannel(config.memory)
+        cycle = 0.0
+
+        def go(addr, is_write, gap=2.0):
+            nonlocal cycle
+            cycle += gap
+            req = MemoryRequest(
+                int(cycle), addr, 64,
+                AccessType.WRITE if is_write else AccessType.READ,
+            )
+            scheme.process(req, cycle, channel)
+
+        for line in range(512):  # NPU stream (write role)
+            go(line * 64, True, gap=1.0)
+        for line in range(512):  # re-stream -> promoted
+            go(line * 64, True, gap=1.0)
+
+        def batch_bytes():
+            before = scheme.stats.traffic.total_bytes
+            for addr in cpu_im2col_lines():
+                go(addr, False, gap=30.0)
+            return scheme.stats.traffic.total_bytes - before
+
+        cycle += 20_000
+        first = batch_bytes()
+        cycle += 20_000
+        second = batch_bytes()
+        cycle += 20_000
+        third = batch_bytes()
+        assert min(second, third) <= first

@@ -1,0 +1,125 @@
+"""GPU kernel walkers and trace file I/O."""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CACHELINE_BYTES, GRANULARITIES
+from repro.common.errors import ConfigError
+from repro.common.types import DeviceKind
+from repro.schemes.registry import build_scheme
+from repro.sim.soc import simulate
+from repro.workloads.kernels import (
+    GPU_KERNELS,
+    csr_pagerank,
+    generate_kernel_trace,
+    stencil2d,
+    tiled_gemm,
+)
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+class TestKernelRegistry:
+    def test_all_paper_gpu_workloads_have_kernels(self):
+        assert set(GPU_KERNELS) == {"mm", "sten", "pr", "syr2k", "floyd"}
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_kernel_trace("raytrace")
+
+    @pytest.mark.parametrize("name", sorted(GPU_KERNELS))
+    def test_every_kernel_generates_a_valid_trace(self, name):
+        kwargs = {
+            "mm": {"n": 128, "tile": 32},
+            "sten": {"n": 256, "sweeps": 1},
+            "pr": {"nodes": 4096, "iterations": 1},
+            "syr2k": {"n": 128, "k": 32},
+            "floyd": {"n": 128, "phases": 4},
+        }[name]
+        trace = generate_kernel_trace(name, **kwargs)
+        assert len(trace) > 100
+        assert trace.spec.kind is DeviceKind.GPU
+        assert all(addr % CACHELINE_BYTES == 0 for _, addr, _ in trace.entries)
+        assert trace.max_addr <= trace.base_addr + trace.spec.footprint_bytes
+
+
+class TestKernelCharacter:
+    def test_gemm_restreams_tiles(self):
+        trace = tiled_gemm(n=128, tile=32)
+        addresses = [a for _, a, _ in trace.entries]
+        # A-tiles are revisited across tj loops: repeated addresses.
+        assert len(set(addresses)) < len(addresses)
+
+    def test_stencil_rows_reread(self):
+        trace = stencil2d(n=256, sweeps=1)
+        reads = [a for _, a, w in trace.entries if not w]
+        assert len(set(reads)) < len(reads)  # each row read ~3x
+
+    def test_pagerank_has_irregular_gathers(self):
+        trace = csr_pagerank(nodes=4096, iterations=1)
+        addresses = [a for _, a, _ in trace.entries]
+        strides = {y - x for x, y in zip(addresses, addresses[1:])}
+        assert len(strides) > 10  # not a pure stream
+
+    def test_gemm_promotes_under_ours(self):
+        config = SoCConfig()
+        trace = tiled_gemm(n=128, tile=32)
+        scheme = build_scheme("ours", config)
+        simulate([trace], scheme, config, warmup=True)
+        hist = scheme.stats.granularity_hist
+        coarse = sum(
+            hist.buckets.get(g, 0) for g in GRANULARITIES[1:]
+        )
+        assert coarse > 0
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path):
+        original = tiled_gemm(n=64, tile=32)
+        path = tmp_path / "mm.trace.gz"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(original)
+        assert [a for _, a, _ in loaded.entries] == [
+            a for _, a, _ in original.entries
+        ]
+        assert [w for _, _, w in loaded.entries] == [
+            w for _, _, w in original.entries
+        ]
+        assert loaded.spec.kind is DeviceKind.GPU
+
+    def test_loaded_trace_simulates(self, tmp_path):
+        path = tmp_path / "t.gz"
+        save_trace(stencil2d(n=128, sweeps=1), path)
+        loaded = load_trace(path)
+        config = SoCConfig()
+        result = simulate([loaded], build_scheme("ours", config), config)
+        assert result.devices[0].requests == len(loaded)
+
+    def test_foreign_addresses_get_line_aligned(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "foreign.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("# name foreign\n# kind npu\n")
+            handle.write("1.0 7f R\n2.0 1000 W\n")
+        trace = load_trace(path)
+        assert trace.entries[0][1] == 0x40
+        assert trace.spec.kind is DeviceKind.NPU
+
+    def test_malformed_line_rejected(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("1.0 abc\n")
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "empty.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("# name x\n")
+        with pytest.raises(ConfigError):
+            load_trace(path)

@@ -1,0 +1,70 @@
+"""Aggregation metrics over real simulation results."""
+
+import pytest
+
+from repro.common.types import DeviceKind
+from repro.sim import metrics
+from repro.sim.runner import run_many, run_scenario
+from repro.sim.scenario import SELECTED_SCENARIOS, selected_scenario
+
+DURATION = 3000.0
+SCHEMES = ("unsecure", "conventional", "ours")
+
+
+@pytest.fixture(scope="module")
+def cc1_runs():
+    return run_scenario(
+        selected_scenario("cc1"), SCHEMES, duration_cycles=DURATION
+    )
+
+
+class TestScalarMetrics:
+    def test_normalized_of_unsecure_is_one(self, cc1_runs):
+        assert metrics.normalized(cc1_runs, "unsecure") == pytest.approx(1.0)
+
+    def test_overhead_is_norm_minus_one(self, cc1_runs):
+        assert metrics.overhead(cc1_runs, "conventional") == pytest.approx(
+            metrics.normalized(cc1_runs, "conventional") - 1.0
+        )
+
+    def test_gain_is_symmetric_zero_against_self(self, cc1_runs):
+        assert metrics.gain(cc1_runs, "ours", "ours") == pytest.approx(0.0)
+
+    def test_gain_sign_matches_ordering(self, cc1_runs):
+        value = metrics.gain(cc1_runs, "ours", "conventional")
+        conv = metrics.normalized(cc1_runs, "conventional")
+        ours = metrics.normalized(cc1_runs, "ours")
+        assert (value > 0) == (ours < conv)
+
+
+class TestGrouping:
+    def test_scenario_groups(self):
+        assert metrics.scenario_group(selected_scenario("cc1")) == "cc"
+        assert metrics.scenario_group(selected_scenario("ff2")) == "ff"
+
+    def test_group_gains_over_two_groups(self):
+        results = run_many(
+            [selected_scenario("ff1"), selected_scenario("cc1")],
+            SCHEMES,
+            duration_cycles=DURATION,
+        )
+        gains = metrics.group_gains(results)
+        assert set(gains) == {"ff", "cc"}
+
+    def test_device_class_breakdown_covers_all_kinds(self, cc1_runs):
+        by_kind = metrics.device_class_normalized(cc1_runs, "conventional")
+        assert set(by_kind) == {DeviceKind.CPU, DeviceKind.GPU, DeviceKind.NPU}
+        assert all(value >= 1.0 for value in by_kind.values())
+
+
+class TestSweepSummary:
+    def test_summary_fields(self):
+        results = run_many(
+            SELECTED_SCENARIOS[:2], SCHEMES, duration_cycles=DURATION
+        )
+        summary = metrics.sweep_summary(results, SCHEMES)
+        for scheme in SCHEMES:
+            row = summary[scheme]
+            assert row["geomean"] <= row["mean"] + 1e-9
+            assert row["traffic_vs_unsecure"] >= 1.0 or scheme == "unsecure"
+        assert summary["unsecure"]["mean"] == pytest.approx(1.0)

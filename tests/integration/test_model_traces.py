@@ -1,0 +1,147 @@
+"""Model-driven NPU traces: network zoo, tensor layout, detection."""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES, GRANULARITIES
+from repro.common.errors import ConfigError
+from repro.schemes.registry import build_scheme
+from repro.sim.soc import simulate
+from repro.workloads.models import (
+    NETWORKS,
+    generate_model_trace,
+    network_summary,
+    plan_tensors,
+    scale_network,
+)
+
+
+class TestNetworkZoo:
+    def test_paper_networks_present(self):
+        assert set(NETWORKS) == {"alexnet", "yolo_tiny", "dlrm", "ncf", "sfrnn"}
+
+    def test_alexnet_conv1_shape(self):
+        conv1 = NETWORKS["alexnet"][0]
+        assert conv1.weight_bytes == 96 * 3 * 11 * 11
+        assert conv1.out_size == 55
+        assert conv1.macs == 55 * 55 * 96 * 3 * 11 * 11
+
+    def test_fc_layer_arithmetic(self):
+        fc = NETWORKS["alexnet"][5]
+        assert fc.weight_bytes == 9216 * 4096
+        assert fc.macs == 9216 * 4096
+
+    def test_embedding_row_bytes_at_least_one_line(self):
+        emb = NETWORKS["dlrm"][0]
+        assert emb.row_bytes >= CACHELINE_BYTES
+
+    def test_scale_network_shrinks_weights(self):
+        full = NETWORKS["alexnet"]
+        small = scale_network(full, 4)
+        assert sum(l.weight_bytes for l in small) < sum(
+            l.weight_bytes for l in full
+        )
+        assert [l.name for l in small] == [l.name for l in full]
+
+    def test_network_summary(self):
+        rows = network_summary("ncf")
+        assert len(rows) == len(NETWORKS["ncf"])
+        assert all(row["macs"] > 0 for row in rows)
+
+
+class TestTensorPlanning:
+    def test_tensors_are_chunk_aligned_and_disjoint(self):
+        tensors = plan_tensors(NETWORKS["alexnet"], base_addr=0)
+        bases = sorted(
+            list(tensors.weight_base.values())
+            + list(tensors.activation_base.values())
+        )
+        assert all(base % CHUNK_BYTES == 0 for base in bases)
+        assert len(set(bases)) == len(bases)
+
+    def test_total_bytes_covers_all_tensors(self):
+        layers = NETWORKS["yolo_tiny"]
+        tensors = plan_tensors(layers, base_addr=0)
+        used = sum(l.weight_bytes for l in layers) + sum(
+            max(64, l.output_bytes) for l in layers
+        )
+        assert tensors.total_bytes >= used
+
+
+class TestGeneratedModelTraces:
+    def test_unknown_network_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_model_trace("resnet9000")
+
+    def test_trace_is_deterministic(self):
+        a = generate_model_trace("ncf", batches=1, seed=4, scale=4)
+        b = generate_model_trace("ncf", batches=1, seed=4, scale=4)
+        assert a.entries == b.entries
+
+    def test_batches_rescan_weights(self):
+        one = generate_model_trace("sfrnn", batches=1, scale=4)
+        two = generate_model_trace("sfrnn", batches=2, scale=4)
+        assert len(two) == 2 * len(one)
+
+    def test_addresses_line_aligned(self):
+        trace = generate_model_trace("ncf", batches=1, scale=4)
+        assert all(addr % CACHELINE_BYTES == 0 for _, addr, _ in trace.entries)
+
+    def test_trace_mixes_reads_and_writes(self):
+        trace = generate_model_trace("alexnet", batches=1, scale=8)
+        kinds = {is_write for _, _, is_write in trace.entries}
+        assert kinds == {True, False}
+
+    def test_embedding_networks_have_fine_gathers(self):
+        trace = generate_model_trace("dlrm", batches=1, scale=4)
+        # Gathers are scattered: consecutive addresses rarely adjacent.
+        addresses = [a for _, a, _ in trace.entries[:256]]
+        adjacent = sum(
+            1
+            for x, y in zip(addresses, addresses[1:])
+            if y == x + CACHELINE_BYTES
+        )
+        assert adjacent < len(addresses) * 0.9
+
+
+class TestDetectionOnModelTraces:
+    def test_alexnet_weights_get_promoted(self):
+        """The detector promotes re-streamed weight tensors to coarse."""
+        config = SoCConfig()
+        trace = generate_model_trace("alexnet", batches=2, scale=8)
+        scheme = build_scheme("ours", config)
+        simulate([trace], scheme, config, warmup=True)
+        hist = scheme.stats.granularity_hist.buckets
+        coarse = sum(hist.get(g, 0) for g in GRANULARITIES[2:])
+        assert coarse > hist.get(GRANULARITIES[0], 0)
+
+    def test_dlrm_stays_finer_than_alexnet(self):
+        """Embedding gathers resist promotion (paper: ncf/dlrm are the
+        fine-leaning NPU workloads despite coarse bursts elsewhere)."""
+        config = SoCConfig()
+
+        def coarse_fraction(network):
+            trace = generate_model_trace(network, batches=2, scale=8)
+            scheme = build_scheme("ours", config)
+            simulate([trace], scheme, config, warmup=True)
+            hist = scheme.stats.granularity_hist
+            total = max(1, hist.total)
+            return sum(
+                hist.buckets.get(g, 0) for g in GRANULARITIES[1:]
+            ) / total
+
+        assert coarse_fraction("dlrm") < coarse_fraction("alexnet")
+
+    def test_ours_beats_conventional_on_alexnet_trace(self):
+        config = SoCConfig()
+        trace = generate_model_trace("alexnet", batches=2, scale=8)
+        conv = simulate(
+            [trace], build_scheme("conventional", config), config, warmup=True
+        )
+        ours = simulate(
+            [trace], build_scheme("ours", config), config, warmup=True
+        )
+        assert (
+            ours.scheme.stats.traffic.metadata_bytes
+            < conv.scheme.stats.traffic.metadata_bytes
+        )

@@ -1,0 +1,43 @@
+"""Phased trace generation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.phases import generate_phased_trace
+from repro.workloads.registry import get_workload
+
+
+class TestPhasedTraces:
+    def test_phases_concatenate(self):
+        alex = get_workload("alex")
+        one = generate_phased_trace([alex], 2000, phases=1)
+        two = generate_phased_trace([alex], 2000, phases=2)
+        assert len(two) > len(one)
+
+    def test_alternation_changes_character(self):
+        alex, mcf = get_workload("alex"), get_workload("mcf")
+        trace = generate_phased_trace([alex, mcf], 2000, phases=2)
+        # Phase 0 (alex) is bursty sequential; phase 1 (mcf) scattered.
+        assert trace.spec.name.startswith("phased(")
+        assert trace.spec.pattern_label == "phased"
+
+    def test_shared_footprint_is_the_maximum(self):
+        alex, mcf = get_workload("alex"), get_workload("mcf")
+        trace = generate_phased_trace([alex, mcf], 1000, phases=2)
+        assert trace.spec.footprint_bytes == max(
+            alex.footprint_bytes, mcf.footprint_bytes
+        )
+
+    def test_addresses_stay_in_range(self):
+        alex, mcf = get_workload("alex"), get_workload("mcf")
+        trace = generate_phased_trace(
+            [alex, mcf], 1500, phases=3, base_addr=1 << 20
+        )
+        for _, addr, _ in trace.entries:
+            assert (1 << 20) <= addr < (1 << 20) + trace.spec.footprint_bytes
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            generate_phased_trace([], 1000, phases=1)
+        with pytest.raises(ConfigError):
+            generate_phased_trace([get_workload("bw")], 0, phases=1)

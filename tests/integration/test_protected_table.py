@@ -1,0 +1,88 @@
+"""Protected granularity-table storage (paper Sec. 4.4 table region)."""
+
+import pytest
+
+from repro.common.constants import CHUNK_BYTES, GRANULARITIES
+from repro.common.errors import SecurityError
+from repro.core.gran_table import GranularityTable
+from repro.core.stream_part import FULL_MASK
+from repro.crypto.keys import KeySet
+from repro.secure_memory import ProtectedTableStore, SecureMemory
+
+
+@pytest.fixture()
+def store(keys):
+    return ProtectedTableStore(chunks=64, keys=keys)
+
+
+class TestEntryLifecycle:
+    def test_store_load_roundtrip(self, store):
+        store.store(3, FULL_MASK, 0xFF)
+        assert store.load(3) == (FULL_MASK, 0xFF)
+
+    def test_unwritten_entries_read_empty(self, store):
+        assert store.load(10) == (0, 0)
+
+    def test_bounds_checked(self, store):
+        with pytest.raises(IndexError):
+            store.load(64)
+        with pytest.raises(IndexError):
+            store.store(-1, 0, 0)
+
+    def test_invalid_size_rejected(self, keys):
+        with pytest.raises(ValueError):
+            ProtectedTableStore(chunks=0, keys=keys)
+
+
+class TestCheckpointRestore:
+    def test_working_table_survives_a_power_cycle(self, store):
+        table = GranularityTable()
+        table.record_detection(0, FULL_MASK)
+        table.resolve(0, is_write=False)  # apply -> current = FULL
+        table.record_detection(5, 0xFF)
+        assert store.checkpoint(table) == 2
+
+        fresh = GranularityTable()
+        store.restore(fresh)
+        assert fresh.peek_granularity(0) == GRANULARITIES[3]
+        assert fresh.entry_by_chunk(5).next == 0xFF
+
+    def test_checkpoint_skips_empty_entries(self, store):
+        table = GranularityTable()
+        table.resolve(7 * CHUNK_BYTES, is_write=False)  # entry exists, empty
+        assert store.checkpoint(table) == 0
+
+
+class TestTableAttackSurface:
+    def test_forged_entry_is_detected_on_load(self, store):
+        store.store(3, FULL_MASK, FULL_MASK)
+        store.tamper_entry(3)
+        with pytest.raises(SecurityError):
+            store.load(3)
+
+    def test_restore_fails_closed_on_tampered_region(self, store):
+        table = GranularityTable()
+        table.record_detection(2, FULL_MASK)
+        store.checkpoint(table)
+        store.tamper_entry(2)
+        with pytest.raises(SecurityError):
+            store.restore(GranularityTable())
+
+    def test_replaying_a_stale_entry_is_detected(self, store):
+        store.store(4, 0, 0xFF)
+        stale = store._memory.snapshot(4 * 16)
+        store.store(4, FULL_MASK, FULL_MASK)
+        store._memory.replay(4 * 16, stale)
+        with pytest.raises(SecurityError):
+            store.load(4)
+
+    def test_independent_keys_isolate_tables(self):
+        a = ProtectedTableStore(chunks=8, keys=KeySet.from_seed(b"a"))
+        b = ProtectedTableStore(chunks=8, keys=KeySet.from_seed(b"b"))
+        a.store(0, 1, 2)
+        # Graft A's sealed region onto B: every load must fail.
+        b._memory.dram = a._memory.dram
+        b._memory._macs = a._memory._macs
+        b._memory.tree = a._memory.tree
+        with pytest.raises(SecurityError):
+            b.load(0)

@@ -1,0 +1,129 @@
+"""Scenario assembly and runners: 250-sweep structure, allocation, seeds."""
+
+import pytest
+
+from repro.common.constants import CHUNK_BYTES
+from repro.common.errors import ConfigError
+from repro.sim.runner import (
+    best_static_granularities,
+    run_many,
+    run_scenario,
+    sweep_scenarios,
+)
+from repro.sim.scenario import (
+    REALWORLD_SCENARIOS,
+    SELECTED_GROUPS,
+    SELECTED_SCENARIOS,
+    Scenario,
+    all_scenarios,
+    make_scenario,
+    selected_scenario,
+)
+
+DURATION = 3000.0
+
+
+class TestScenarioEnumeration:
+    def test_sweep_has_exactly_250_scenarios(self):
+        assert len(all_scenarios()) == 250
+
+    def test_sweep_names_are_unique(self):
+        names = [s.name for s in all_scenarios()]
+        assert len(set(names)) == 250
+
+    def test_selected_scenarios_match_table4(self):
+        byname = {s.name: s for s in SELECTED_SCENARIOS}
+        assert byname["cc1"].workload_names == ("xal", "mm", "alex", "dlrm")
+        assert byname["ff1"].workload_names == ("bw", "syr2k", "ncf", "dlrm")
+        assert byname["c3"].workload_names == ("mcf", "sten", "sfrnn", "sfrnn")
+
+    def test_groups_cover_all_selected(self):
+        grouped = [name for names in SELECTED_GROUPS.values() for name in names]
+        assert sorted(grouped) == sorted(s.name for s in SELECTED_SCENARIOS)
+
+    def test_unknown_selected_scenario(self):
+        with pytest.raises(ConfigError):
+            selected_scenario("zz9")
+
+    def test_subsample_is_deterministic_and_sized(self):
+        scenarios = all_scenarios()
+        sample = sweep_scenarios(scenarios, 10)
+        assert len(sample) == 10
+        assert sample == sweep_scenarios(scenarios, 10)
+
+    def test_subsample_none_returns_all(self):
+        assert len(sweep_scenarios(all_scenarios(), None)) == 250
+
+
+class TestAllocation:
+    def test_device_slices_do_not_overlap(self):
+        scenario = make_scenario("t", "bw", "mm", "alex", "dlrm")
+        traces, footprint = scenario.build_traces(DURATION, seed=0)
+        spans = []
+        for trace in traces:
+            spans.append((trace.base_addr, trace.base_addr + trace.spec.footprint_bytes))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+        assert footprint <= spans[-1][1] + CHUNK_BYTES
+
+    def test_pipeline_overlap_shares_chunks(self):
+        scenario = REALWORLD_SCENARIOS[0]
+        traces, _ = scenario.build_traces(DURATION, seed=0)
+        producer, consumer = traces[0], traces[1]
+        producer_end = producer.base_addr + producer.spec.footprint_bytes
+        assert consumer.base_addr < producer_end  # slices overlap
+
+    def test_bad_overlap_order_rejected(self):
+        scenario = Scenario(
+            name="bad",
+            workload_names=("bw", "mm"),
+            overlaps=((1, 0, 1024),),
+        )
+        with pytest.raises(ConfigError):
+            scenario.build_traces(DURATION)
+
+    def test_traces_are_seed_stable(self):
+        scenario = selected_scenario("cc1")
+        a, _ = scenario.build_traces(DURATION, seed=5)
+        b, _ = scenario.build_traces(DURATION, seed=5)
+        assert all(x.entries == y.entries for x, y in zip(a, b))
+
+
+class TestRunners:
+    def test_run_scenario_returns_all_schemes(self):
+        runs = run_scenario(
+            selected_scenario("cc1"),
+            ("unsecure", "conventional", "ours"),
+            duration_cycles=DURATION,
+        )
+        assert set(runs) == {"unsecure", "conventional", "ours"}
+        base = runs["unsecure"]
+        assert runs["conventional"].mean_normalized_exec_time(base) >= 1.0
+
+    def test_run_many(self):
+        results = run_many(
+            SELECTED_SCENARIOS[:2], ("unsecure",), duration_cycles=DURATION
+        )
+        assert len(results) == 2
+        assert all("unsecure" in runs for _, runs in results)
+
+    def test_static_best_granularities_are_supported_sizes(self):
+        traces, _ = selected_scenario("cc1").build_traces(DURATION)
+        grans = best_static_granularities(traces)
+        assert set(grans) == {0, 1, 2, 3}
+        assert all(g in (64, 512, 4096, 32768) for g in grans.values())
+
+    def test_static_scheme_runs_in_scenario(self):
+        runs = run_scenario(
+            selected_scenario("cc2"),
+            ("unsecure", "static_device"),
+            duration_cycles=DURATION,
+        )
+        assert runs["static_device"].finish_cycle > 0
+
+    def test_realworld_scenarios_run_with_three_devices(self):
+        runs = run_scenario(
+            REALWORLD_SCENARIOS[1], ("unsecure", "ours"), duration_cycles=DURATION
+        )
+        assert len(runs["unsecure"].devices) == 3

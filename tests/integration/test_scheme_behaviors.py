@@ -1,0 +1,166 @@
+"""Scheme-specific behavioural tests: the mechanisms behind the numbers."""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.common.constants import CHUNK_BYTES, GRANULARITIES
+from repro.common.types import AccessType, MemoryRequest, MetadataKind
+from repro.mem.channel import MemoryChannel
+from repro.schemes.adaptive import AdaptiveMacScheme
+from repro.schemes.common_counters import CommonCountersScheme
+from repro.schemes.conventional import ConventionalScheme
+from repro.schemes.multigran import MultiGranularScheme
+from repro.subtree.bmf import SubtreeRootCache
+
+REGION = 64 << 20
+
+
+@pytest.fixture()
+def config():
+    return SoCConfig()
+
+
+def drive(scheme, config, accesses, start=0.0, step=1.0):
+    channel = MemoryChannel(config.memory)
+    cycle = start
+    for addr, is_write in accesses:
+        cycle += step
+        req = MemoryRequest(
+            int(cycle), addr, 64,
+            AccessType.WRITE if is_write else AccessType.READ,
+        )
+        scheme.process(req, cycle, channel)
+    return channel
+
+
+def stream_chunk(chunk_index, write=False):
+    base = chunk_index * CHUNK_BYTES
+    return [(base + line * 64, write) for line in range(512)]
+
+
+class TestPromotionMechanics:
+    def test_restream_costs_far_less_metadata(self, config):
+        scheme = MultiGranularScheme(config, REGION)
+        drive(scheme, config, stream_chunk(0))
+        first_ctr = scheme.stats.traffic.bytes_by_kind[MetadataKind.COUNTER]
+        first_mac = scheme.stats.traffic.bytes_by_kind[MetadataKind.MAC]
+        scheme.reset_stats()
+        drive(scheme, config, stream_chunk(0), start=100_000)
+        second_ctr = scheme.stats.traffic.bytes_by_kind[MetadataKind.COUNTER]
+        second_mac = scheme.stats.traffic.bytes_by_kind[MetadataKind.MAC]
+        assert second_ctr < first_ctr / 4
+        assert second_mac < first_mac / 4
+
+    def test_conventional_restream_pays_again(self, config):
+        scheme = ConventionalScheme(config, REGION)
+        drive(scheme, config, stream_chunk(0))
+        first = scheme.stats.traffic.metadata_bytes
+        scheme.reset_stats()
+        # Thrash the metadata cache in between so re-streaming misses.
+        drive(
+            scheme, config,
+            [(CHUNK_BYTES * (2 + i), False) for i in range(2000)],
+            start=50_000,
+        )
+        scheme.reset_stats()
+        drive(scheme, config, stream_chunk(0), start=200_000)
+        again = scheme.stats.traffic.metadata_bytes
+        assert again > first / 2  # no learning: pays the full fine cost
+
+    def test_promoted_walk_is_shorter(self, config):
+        # Thrash the metadata cache between streams so the re-stream
+        # must refetch: ours refetches one promoted node, conventional
+        # refetches the chunk's 64 leaf lines (plus uppers).
+        thrash = [(CHUNK_BYTES * (4 + i), False) for i in range(2000)]
+
+        def fetches(scheme):
+            drive(scheme, config, stream_chunk(0))
+            drive(scheme, config, thrash, start=50_000)
+            scheme.stats.serialized_level_fetches = 0
+            drive(scheme, config, stream_chunk(0), start=300_000)
+            return scheme.stats.serialized_level_fetches
+
+        promoted = fetches(MultiGranularScheme(config, REGION))
+        baseline = fetches(ConventionalScheme(config, REGION))
+        assert promoted < baseline / 4
+
+
+class TestSubtreeRootCacheEffect:
+    def test_cached_roots_shorten_walks(self, config):
+        plain = ConventionalScheme(config, REGION)
+        forest = ConventionalScheme(
+            config, REGION, subtree=SubtreeRootCache(entries=64, level=2)
+        )
+        pattern = stream_chunk(0) + stream_chunk(0)
+        drive(plain, config, pattern)
+        drive(forest, config, pattern)
+        assert forest.subtree.hits > 0
+        assert (
+            forest.stats.serialized_level_fetches
+            <= plain.stats.serialized_level_fetches
+        )
+
+    def test_write_walk_stops_at_cached_root(self, config):
+        forest = ConventionalScheme(
+            config, REGION, subtree=SubtreeRootCache(entries=4, level=2)
+        )
+        drive(forest, config, stream_chunk(0, write=True))
+        writes_dirty = forest.metadata_cache.stats()["writebacks"]
+        drive(forest, config, stream_chunk(0, write=True), start=50_000)
+        assert forest.subtree.hits > 0
+        assert forest.metadata_cache.stats()["writebacks"] >= writes_dirty
+
+
+class TestCommonCountersMechanics:
+    def test_shared_chunk_skips_counter_traffic(self, config):
+        scheme = CommonCountersScheme(config, REGION)
+        drive(scheme, config, stream_chunk(0))  # detect + admit
+        scheme.reset_stats()
+        drive(scheme, config, stream_chunk(0), start=100_000)
+        ctr_bytes = scheme.stats.traffic.bytes_by_kind[MetadataKind.COUNTER]
+        # Re-streaming a shared chunk needs no counter fetches beyond
+        # the admission scans of newly detected chunks.
+        assert scheme.shared_hits >= 512
+        assert ctr_bytes < 100 * 64
+
+    def test_capacity_churn_with_many_chunks(self, config):
+        scheme = CommonCountersScheme(config, REGION, shared_counters=4)
+        for chunk in range(8):
+            drive(scheme, config, stream_chunk(chunk), start=chunk * 10_000)
+        # More streamed chunks than slots -> repeated scans (the
+        # paper's scalability critique of the 16-entry design).
+        assert scheme.scans >= 8
+
+    def test_macs_stay_fine_grained(self, config):
+        scheme = CommonCountersScheme(config, REGION)
+        drive(scheme, config, stream_chunk(0))
+        hist = scheme.stats.granularity_hist.buckets
+        # Counters may be shared (32KB) but the scheme's MAC path is
+        # untouched; its granularity histogram tracks counters only.
+        assert set(hist) <= {GRANULARITIES[0], GRANULARITIES[3]}
+
+
+class TestAdaptiveMechanics:
+    def test_dual_mac_promotes_to_page_only(self, config):
+        scheme = AdaptiveMacScheme(config, REGION)
+        drive(scheme, config, stream_chunk(0))
+        drive(scheme, config, stream_chunk(0), start=100_000)
+        hist = scheme.stats.granularity_hist.buckets
+        assert hist.get(GRANULARITIES[2], 0) > 0  # 4KB pages appear
+        assert hist.get(GRANULARITIES[3], 0) == 0  # never 32KB
+        assert hist.get(GRANULARITIES[1], 0) == 0  # never 512B
+
+    def test_counters_never_promoted(self, config):
+        scheme = AdaptiveMacScheme(config, REGION)
+        drive(scheme, config, stream_chunk(0))
+        drive(scheme, config, stream_chunk(0), start=100_000)
+        # Counter traffic stays fine-grained: the walk always starts at
+        # level 0, so level-0 nodes keep getting fetched on re-streams.
+        assert scheme.stats.traffic.bytes_by_kind[MetadataKind.COUNTER] > 0
+
+    def test_coarse_macs_live_in_their_own_region(self, config):
+        scheme = AdaptiveMacScheme(config, REGION)
+        fine_line = scheme._mac_line_of(0, GRANULARITIES[0])
+        coarse_line = scheme._mac_line_of(0, GRANULARITIES[2])
+        assert coarse_line >= scheme.coarse_mac_base
+        assert fine_line < scheme.coarse_mac_base

@@ -1,0 +1,176 @@
+"""Timing-layer schemes: per-scheme invariants over small traces."""
+
+import pytest
+
+from repro.common.config import SoCConfig
+from repro.common.constants import GRANULARITIES
+from repro.common.errors import ConfigError
+from repro.common.types import AccessType, MemoryRequest, MetadataKind
+from repro.mem.channel import MemoryChannel
+from repro.schemes.registry import SCHEME_NAMES, build_scheme
+from repro.sim.soc import simulate
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import get_workload
+
+DURATION = 4000.0
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SoCConfig()
+
+
+@pytest.fixture(scope="module")
+def alex_trace():
+    return generate_trace(get_workload("alex"), DURATION, seed=1)
+
+
+@pytest.fixture(scope="module")
+def bw_trace():
+    return generate_trace(get_workload("bw"), DURATION, seed=1)
+
+
+def build(name, config, footprint=64 << 20):
+    grans = {0: 512} if name == "static_device" else None
+    return build_scheme(
+        name, config, footprint_bytes=footprint, device_granularities=grans
+    )
+
+
+class TestRegistry:
+    def test_all_names_build(self, config):
+        for name in SCHEME_NAMES:
+            scheme = build(name, config)
+            assert scheme.process is not None
+
+    def test_unknown_name_raises(self, config):
+        with pytest.raises(ConfigError):
+            build_scheme("bogus", config)
+
+    def test_static_requires_granularities(self, config):
+        with pytest.raises(ConfigError):
+            build_scheme("static_device", config)
+
+    def test_bmf_schemes_prune_tree_to_footprint(self, config):
+        pruned = build_scheme("bmf_unused", config, footprint_bytes=1 << 20)
+        full = build_scheme("conventional", config)
+        assert pruned.geometry.num_levels < full.geometry.num_levels
+
+
+class TestSchemeInvariants:
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_completions_are_causal(self, name, config, alex_trace, bw_trace):
+        scheme = build(name, config)
+        channel = MemoryChannel(config.memory)
+        cycle = 0.0
+        for gap, addr, is_write in alex_trace.entries[:600]:
+            cycle += gap
+            req = MemoryRequest(
+                int(cycle), addr, 64,
+                AccessType.WRITE if is_write else AccessType.READ,
+            )
+            done = scheme.process(req, cycle, channel)
+            assert done >= cycle
+        scheme.finish(channel)
+        assert scheme.stats.requests == 600
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_every_request_moves_its_data(self, name, config, alex_trace):
+        scheme = build(name, config)
+        channel = MemoryChannel(config.memory)
+        cycle = 0.0
+        n = 500
+        for gap, addr, is_write in alex_trace.entries[:n]:
+            cycle += gap
+            req = MemoryRequest(
+                int(cycle), addr, 64,
+                AccessType.WRITE if is_write else AccessType.READ,
+            )
+            scheme.process(req, cycle, channel)
+        data_bytes = scheme.stats.traffic.bytes_by_kind[MetadataKind.DATA]
+        assert data_bytes >= n * 64  # own line always transfers
+
+    def test_unsecure_has_zero_metadata(self, config, alex_trace):
+        scheme = build("unsecure", config)
+        result = simulate([alex_trace], scheme, config)
+        assert result.scheme.stats.traffic.metadata_bytes == 0
+        assert result.security_cache_misses == 0
+
+    def test_conventional_adds_counter_and_mac_traffic(self, config, bw_trace):
+        result = simulate([bw_trace], build("conventional", config), config)
+        kinds = result.scheme.stats.traffic.bytes_by_kind
+        assert kinds[MetadataKind.COUNTER] > 0
+        assert kinds[MetadataKind.MAC] > 0
+        assert kinds[MetadataKind.GRAN_TABLE] == 0
+
+    def test_ours_uses_granularity_table(self, config, alex_trace):
+        result = simulate([alex_trace], build("ours", config), config)
+        kinds = result.scheme.stats.traffic.bytes_by_kind
+        assert kinds[MetadataKind.GRAN_TABLE] > 0
+
+    def test_ours_detects_coarse_granularities(self, config, alex_trace):
+        scheme = build("ours", config)
+        simulate([alex_trace], scheme, config, warmup=True)
+        hist = scheme.stats.granularity_hist.buckets
+        coarse = sum(
+            hist.get(granularity, 0) for granularity in GRANULARITIES[1:]
+        )
+        assert coarse > 0
+
+    def test_multi_ctr_only_keeps_fine_macs(self, config, alex_trace):
+        scheme = build("multi_ctr_only", config)
+        simulate([alex_trace], scheme, config, warmup=True)
+        # Counter promotion happens, but all MAC lines come from the
+        # fine-grained MAC array.
+        assert scheme.stats.granularity_hist.buckets.get(32768, 0) > 0
+
+    def test_dual_ablation_never_uses_middle_granularities(
+        self, config, alex_trace
+    ):
+        scheme = build("ours_dual", config)
+        simulate([alex_trace], scheme, config, warmup=True)
+        hist = scheme.stats.granularity_hist.buckets
+        assert hist.get(GRANULARITIES[1], 0) == 0
+        assert hist.get(GRANULARITIES[2], 0) == 0
+
+    def test_no_switch_ablation_records_but_does_not_charge(
+        self, config, alex_trace
+    ):
+        scheme = build("ours_no_switch", config)
+        simulate([alex_trace], scheme, config, warmup=True)
+        kinds = scheme.stats.traffic.bytes_by_kind
+        assert kinds[MetadataKind.SWITCH] == 0
+
+    def test_common_ctr_admits_shared_chunks(self, config, alex_trace):
+        scheme = build("common_ctr", config)
+        simulate([alex_trace], scheme, config, warmup=True)
+        assert scheme.scans > 0
+        assert scheme.shared_hits > 0
+
+    def test_adaptive_resolves_dual_mac_granularity(self, config, alex_trace):
+        scheme = build("adaptive", config)
+        simulate([alex_trace], scheme, config, warmup=True)
+        hist = scheme.stats.granularity_hist.buckets
+        assert set(hist) <= {GRANULARITIES[0], GRANULARITIES[2]}
+
+    def test_subtree_cache_gets_hits(self, config, alex_trace):
+        scheme = build_scheme(
+            "bmf_unused", config, footprint_bytes=alex_trace.max_addr
+        )
+        simulate([alex_trace], scheme, config, warmup=True)
+        assert scheme.subtree.hits > 0
+
+    def test_static_rejects_bad_granularity(self, config):
+        from repro.schemes.static import StaticGranularScheme
+
+        with pytest.raises(ConfigError):
+            StaticGranularScheme(config, {0: 128})
+
+    def test_reset_stats_clears_counters_keeps_state(self, config, alex_trace):
+        scheme = build("ours", config)
+        simulate([alex_trace], scheme, config)  # no warmup, one pass
+        table_len = len(scheme.table)
+        scheme.reset_stats()
+        assert scheme.stats.requests == 0
+        assert scheme.metadata_cache.misses == 0
+        assert len(scheme.table) >= table_len  # learned state survives

@@ -1,0 +1,153 @@
+"""End-to-end functional secure memory: both policies, full attack matrix."""
+
+import pytest
+
+from repro.common.constants import CHUNK_BYTES, GRANULARITIES
+from repro.common.errors import (
+    AddressError,
+    IntegrityError,
+    ReplayError,
+    SecurityError,
+)
+from repro.crypto.keys import KeySet
+from repro.secure_memory import SecureMemory
+
+REGION = 1 << 20
+
+
+@pytest.fixture(params=["fixed", "multigranular"])
+def memory(request, keys):
+    return SecureMemory(REGION, keys=keys, policy=request.param)
+
+
+class TestRoundtrips:
+    def test_single_line(self, memory):
+        memory.write(0, b"A" * 64)
+        assert memory.read(0, 64) == b"A" * 64
+
+    def test_multi_line(self, memory):
+        data = bytes(range(256))
+        memory.write(512, data)
+        assert memory.read(512, 256) == data
+
+    def test_overwrite(self, memory):
+        memory.write(0, b"1" * 64)
+        memory.write(0, b"2" * 64)
+        assert memory.read(0, 64) == b"2" * 64
+
+    def test_pristine_memory_reads_zero(self, memory):
+        assert memory.read(4096, 128) == bytes(128)
+
+    def test_sparse_writes_do_not_interfere(self, memory):
+        memory.write(0, b"a" * 64)
+        memory.write(64 * 100, b"b" * 64)
+        assert memory.read(0, 64) == b"a" * 64
+        assert memory.read(64 * 100, 64) == b"b" * 64
+
+    def test_ciphertext_differs_from_plaintext(self, memory):
+        memory.write(0, b"secret-data!" + bytes(52))
+        stored = memory.dram.read_line(0)
+        assert b"secret-data!" not in stored
+
+    def test_same_plaintext_two_addresses_distinct_ciphertext(self, memory):
+        memory.write(0, b"x" * 64)
+        memory.write(64, b"x" * 64)
+        assert memory.dram.read_line(0) != memory.dram.read_line(64)
+
+    def test_rewrite_changes_ciphertext(self, memory):
+        memory.write(0, b"x" * 64)
+        first = memory.dram.read_line(0)
+        memory.write(0, b"x" * 64)
+        assert memory.dram.read_line(0) != first  # fresh counter -> fresh pad
+
+    def test_unaligned_helpers(self, memory):
+        memory.write_bytes(100, b"hello")
+        assert memory.read_bytes(100, 5) == b"hello"
+        assert memory.read_bytes(99, 1) == b"\0"
+
+    def test_alignment_enforced(self, memory):
+        with pytest.raises(AddressError):
+            memory.write(1, b"x" * 64)
+        with pytest.raises(AddressError):
+            memory.read(0, 65)
+
+    def test_out_of_region_rejected(self, memory):
+        with pytest.raises(AddressError):
+            memory.write(REGION, b"x" * 64)
+
+
+class TestAttackMatrix:
+    def test_data_tamper_detected(self, memory):
+        memory.write(0, b"v" * 64)
+        memory.tamper_data(0)
+        with pytest.raises(IntegrityError):
+            memory.read(0, 64)
+
+    def test_mac_tamper_detected(self, memory):
+        memory.write(0, b"v" * 64)
+        memory.tamper_mac(0)
+        with pytest.raises(IntegrityError):
+            memory.read(0, 64)
+
+    def test_replay_detected(self, memory):
+        memory.write(0, b"v1" * 32)
+        snapshot = memory.snapshot(0)
+        memory.write(0, b"v2" * 32)
+        memory.replay(0, snapshot)
+        with pytest.raises(SecurityError):
+            memory.read(0, 64)
+
+    def test_counter_tamper_detected(self, memory):
+        memory.write(0, b"v" * 64)
+        memory.tree.tamper_counter(0)
+        memory.tree.drop_trust_cache()
+        with pytest.raises(SecurityError):
+            memory.read(0, 64)
+
+    def test_relocation_attack_detected(self, memory):
+        # Move a valid ciphertext line to a different address.
+        memory.write(0, b"v" * 64)
+        memory.write(64, b"w" * 64)
+        stolen = memory.dram.read_line(0)
+        memory.dram.write_line(64, stolen)
+        with pytest.raises(SecurityError):
+            memory.read(64, 64)
+
+    def test_tamper_untouched_line_of_written_region(self, memory):
+        memory.write(0, b"v" * 128)
+        memory.tamper_data(64, flip_mask=0xFF)
+        with pytest.raises(SecurityError):
+            memory.read(64, 64)
+
+
+class TestKeyIsolation:
+    def test_distinct_keys_produce_distinct_ciphertext(self):
+        a = SecureMemory(REGION, keys=KeySet.from_seed(b"a"), policy="fixed")
+        b = SecureMemory(REGION, keys=KeySet.from_seed(b"b"), policy="fixed")
+        a.write(0, b"same" * 16)
+        b.write(0, b"same" * 16)
+        assert a.dram.read_line(0) != b.dram.read_line(0)
+
+
+class TestCounters:
+    def test_write_counter_advances(self, memory):
+        memory.write(0, b"x" * 64)
+        if memory.policy == "fixed":
+            assert memory.tree.read_counter(0) == 1
+            memory.write(0, b"y" * 64)
+            assert memory.tree.read_counter(0) == 2
+
+    def test_reads_do_not_advance_counters(self, memory):
+        memory.write(0, b"x" * 64)
+        before = memory.tree.verifications
+        memory.read(0, 64)
+        memory.read(0, 64)
+        assert memory.tree.verifications >= before
+        if memory.policy == "fixed":
+            assert memory.tree.read_counter(0) == 1
+
+    def test_stats_count_accesses(self, memory):
+        memory.write(0, b"x" * 128)
+        memory.read(0, 128)
+        assert memory.writes == 2
+        assert memory.reads == 2

@@ -1,0 +1,113 @@
+"""Multi-granular functional behaviour: promotion, demotion, merged MACs."""
+
+import pytest
+
+from repro.common.constants import CHUNK_BYTES, GRANULARITIES
+from repro.common.errors import SecurityError
+from repro.crypto.keys import KeySet
+from repro.secure_memory import SecureMemory
+
+REGION = 1 << 20
+CHUNK_DATA = bytes(range(256)) * (CHUNK_BYTES // 256)
+
+
+@pytest.fixture()
+def memory(keys):
+    return SecureMemory(REGION, keys=keys, policy="multigranular")
+
+
+def stream_chunk(memory, base=0, data=CHUNK_DATA):
+    memory.write(base, data)
+
+
+class TestPromotion:
+    def test_full_stream_promotes_to_chunk_granularity(self, memory):
+        stream_chunk(memory)
+        assert memory.granularity_of(0) == GRANULARITIES[3]
+
+    def test_promoted_data_survives(self, memory):
+        stream_chunk(memory)
+        assert memory.read(0, CHUNK_BYTES) == CHUNK_DATA
+
+    def test_promotion_is_per_chunk(self, memory):
+        stream_chunk(memory, base=0)
+        assert memory.granularity_of(CHUNK_BYTES) == GRANULARITIES[0]
+
+    def test_partition_stream_promotes_to_512(self, memory):
+        base = 2 * CHUNK_BYTES
+        # Stream one 512B partition repeatedly within the window.
+        for _ in range(3):
+            memory.write(base, b"p" * 512)
+        memory.advance(20_000)  # expire the tracker entry
+        memory.write(base + CHUNK_BYTES, b"x" * 64)  # unrelated access
+        memory.write(base, b"q" * 512)
+        assert memory.granularity_of(base) in (
+            GRANULARITIES[1],
+            GRANULARITIES[2],
+        )
+        assert memory.read(base, 512) == b"q" * 512
+
+    def test_rewrite_of_promoted_chunk_still_roundtrips(self, memory):
+        stream_chunk(memory)
+        stream_chunk(memory, data=bytes(reversed(CHUNK_DATA)))
+        assert memory.read(0, CHUNK_BYTES) == bytes(reversed(CHUNK_DATA))
+
+    def test_partial_write_into_promoted_chunk(self, memory):
+        stream_chunk(memory)
+        memory.write(64, b"!" * 64)
+        expected = CHUNK_DATA[:64] + b"!" * 64 + CHUNK_DATA[128:]
+        assert memory.read(0, CHUNK_BYTES) == expected
+
+
+class TestMergedMacSecurity:
+    def test_tamper_any_line_of_promoted_chunk_detected(self, memory):
+        stream_chunk(memory)
+        assert memory.granularity_of(0) == GRANULARITIES[3]
+        memory.tamper_data(64 * 300)
+        with pytest.raises(SecurityError):
+            memory.read(0, 64)  # any read verifies the merged MAC
+
+    def test_tamper_merged_mac_detected(self, memory):
+        stream_chunk(memory)
+        memory.tamper_mac(0)
+        with pytest.raises(SecurityError):
+            memory.read(0, 64)
+
+    def test_replay_of_promoted_region_line_detected(self, memory):
+        stream_chunk(memory)
+        old_line = memory.dram.snapshot_line(0)
+        stream_chunk(memory, data=bytes(reversed(CHUNK_DATA)))
+        memory.dram.replay_line(0, old_line)
+        with pytest.raises(SecurityError):
+            memory.read(0, 64)
+
+    def test_shared_counter_used_by_whole_region(self, memory):
+        stream_chunk(memory)
+        level = GRANULARITIES.index(memory.granularity_of(0))
+        shared = memory.tree.read_counter(0, level=level)
+        assert shared > 0
+
+
+class TestSwitchAccounting:
+    def test_switch_events_recorded(self, memory):
+        stream_chunk(memory)
+        assert memory.switches >= 1
+        assert memory.switching.total_switches == memory.switches
+
+    def test_correct_prediction_dominates(self, memory):
+        stream_chunk(memory)
+        stream_chunk(memory)
+        ratios = memory.switching.ratios()
+        assert ratios["correct_prediction"] > 0.9
+
+    def test_fixed_policy_never_switches(self, keys):
+        memory = SecureMemory(REGION, keys=keys, policy="fixed")
+        memory.write(0, CHUNK_DATA)
+        assert memory.switches == 0
+        assert memory.granularity_of(0) == GRANULARITIES[0]
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self, keys):
+        with pytest.raises(ValueError):
+            SecureMemory(REGION, keys=keys, policy="magic")

@@ -1,0 +1,128 @@
+"""Event-driven SoC simulation: device windows, contention, warmup."""
+
+import pytest
+
+from repro.common.config import DeviceConfig, SoCConfig
+from repro.common.types import DeviceKind
+from repro.schemes.registry import build_scheme
+from repro.sim.soc import DeviceResult, RunResult, device_config_for, simulate
+from repro.workloads.generator import Trace, generate_trace
+from repro.workloads.registry import get_workload
+from repro.workloads.spec import WorkloadSpec
+
+DURATION = 3000.0
+
+
+def make_trace(name="bw", duration=DURATION, base=0, seed=0):
+    return generate_trace(get_workload(name), duration, base_addr=base, seed=seed)
+
+
+class TestSingleDevice:
+    def test_execution_time_at_least_compute_time(self, soc_config):
+        trace = make_trace()
+        result = simulate([trace], build_scheme("unsecure", soc_config), soc_config)
+        assert result.devices[0].finish_cycle >= 0.9 * trace.compute_cycles
+
+    def test_protection_never_speeds_up_a_device(self, soc_config):
+        trace = make_trace("mcf")
+        unsec = simulate([trace], build_scheme("unsecure", soc_config), soc_config)
+        conv = simulate(
+            [trace], build_scheme("conventional", soc_config), soc_config
+        )
+        assert conv.devices[0].finish_cycle >= unsec.devices[0].finish_cycle
+
+    def test_device_result_fields(self, soc_config):
+        trace = make_trace()
+        result = simulate([trace], build_scheme("unsecure", soc_config), soc_config)
+        device = result.devices[0]
+        assert device.workload == "bw"
+        assert device.requests == len(trace)
+        assert device.stall_cycles >= 0.0
+
+
+class TestContention:
+    def test_added_devices_slow_each_other(self, soc_config):
+        cpu = make_trace("mcf")
+        alone = simulate([cpu], build_scheme("unsecure", soc_config), soc_config)
+        npus = [
+            make_trace("sfrnn", base=(64 << 20) * (i + 1), seed=i)
+            for i in range(3)
+        ]
+        together = simulate(
+            [cpu] + npus, build_scheme("unsecure", soc_config), soc_config
+        )
+        assert (
+            together.devices[0].finish_cycle >= alone.devices[0].finish_cycle
+        )
+
+    def test_mlp_window_limits_throughput(self):
+        # Same trace, but a 1-deep window must be slower than a deep one.
+        trace = make_trace("sten")
+        config = SoCConfig()
+        shallow = simulate(
+            [trace],
+            build_scheme("unsecure", config),
+            config,
+            device_configs=[DeviceConfig("d", max_outstanding=1)],
+        )
+        deep = simulate(
+            [trace],
+            build_scheme("unsecure", config),
+            config,
+            device_configs=[DeviceConfig("d", max_outstanding=64)],
+        )
+        assert shallow.devices[0].finish_cycle > deep.devices[0].finish_cycle
+
+    def test_device_config_count_must_match(self, soc_config):
+        with pytest.raises(ValueError):
+            simulate(
+                [make_trace()],
+                build_scheme("unsecure", soc_config),
+                soc_config,
+                device_configs=[],
+            )
+
+
+class TestNormalization:
+    def test_self_normalization_is_one(self, soc_config):
+        trace = make_trace()
+        result = simulate([trace], build_scheme("unsecure", soc_config), soc_config)
+        assert result.mean_normalized_exec_time(result) == pytest.approx(1.0)
+
+    def test_mismatched_scenarios_rejected(self, soc_config):
+        a = simulate([make_trace()], build_scheme("unsecure", soc_config), soc_config)
+        b = simulate(
+            [make_trace(), make_trace("alex", base=64 << 20)],
+            build_scheme("unsecure", soc_config),
+            soc_config,
+        )
+        with pytest.raises(ValueError):
+            a.normalized_exec_times(b)
+
+
+class TestWarmup:
+    def test_warmup_reduces_dynamic_scheme_cold_misses(self, soc_config):
+        trace = make_trace("alex", duration=6000)
+        cold = build_scheme("ours", soc_config)
+        cold_result = simulate([trace], cold, soc_config, warmup=False)
+        warm = build_scheme("ours", soc_config)
+        warm_result = simulate([trace], warm, soc_config, warmup=True)
+        assert (
+            warm_result.security_cache_misses
+            <= cold_result.security_cache_misses
+        )
+
+    def test_warmup_does_not_change_request_counts(self, soc_config):
+        trace = make_trace()
+        result = simulate(
+            [trace], build_scheme("unsecure", soc_config), soc_config, warmup=True
+        )
+        assert result.devices[0].requests == len(trace)
+
+
+class TestDeviceConfigFor:
+    def test_kinds_map_to_expected_windows(self):
+        cpu = device_config_for(DeviceKind.CPU, "c")
+        gpu = device_config_for(DeviceKind.GPU, "g")
+        npu = device_config_for(DeviceKind.NPU, "n")
+        assert cpu.max_outstanding < npu.max_outstanding < gpu.max_outstanding

@@ -1,0 +1,162 @@
+"""Property-based tests for the core bitmap / addressing algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.address import chunk_offset
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    GRANULARITIES,
+    LINES_PER_CHUNK,
+    PARTITIONS_PER_CHUNK,
+)
+from repro.core import addressing, stream_part
+from repro.core.detector import (
+    detect_paper_order,
+    detect_stream_partitions,
+    merge_detection,
+)
+
+bitmaps = st.integers(min_value=0, max_value=stream_part.FULL_MASK)
+vectors = st.integers(min_value=0, max_value=(1 << LINES_PER_CHUNK) - 1)
+chunk_addrs = st.integers(min_value=0, max_value=CHUNK_BYTES - 1).map(
+    lambda a: a - a % CACHELINE_BYTES
+)
+granularities = st.sampled_from(GRANULARITIES)
+
+
+class TestResolveProperties:
+    @given(bitmaps, chunk_addrs)
+    def test_resolution_is_a_supported_granularity(self, bits, addr):
+        assert stream_part.resolve_granularity(bits, addr) in GRANULARITIES
+
+    @given(bitmaps, chunk_addrs, granularities)
+    def test_cap_is_respected(self, bits, addr, cap):
+        assert stream_part.resolve_granularity(bits, addr, cap) <= cap
+
+    @given(bitmaps, chunk_addrs)
+    def test_all_lines_of_a_region_resolve_identically(self, bits, addr):
+        granularity = stream_part.resolve_granularity(bits, addr)
+        base = addr - addr % granularity
+        for off in range(0, granularity, max(64, granularity // 8)):
+            assert (
+                stream_part.resolve_granularity(bits, base + off)
+                == granularity
+            )
+
+    @given(bitmaps)
+    def test_histogram_covers_exactly_one_chunk(self, bits):
+        sizes = stream_part.granularity_histogram(bits)
+        assert sum(sizes.values()) == CHUNK_BYTES
+
+    @given(bitmaps, st.sampled_from(GRANULARITIES[1:]))
+    def test_quantize_only_clears_bits(self, bits, min_coarse):
+        quantized = stream_part.quantize_bits(bits, min_coarse)
+        assert quantized & ~bits == 0
+
+    @given(bitmaps)
+    def test_algorithm1_encoding_is_involutive(self, bits):
+        encoded = stream_part.algorithm1_encoding(bits)
+        assert stream_part.algorithm1_encoding(encoded) == bits
+
+
+class TestMacCompactionProperties:
+    @settings(max_examples=40)
+    @given(bitmaps)
+    def test_compaction_is_dense_and_collision_free(self, bits):
+        """Distinct protection regions get distinct, gap-free indices."""
+        indices = []
+        addr = 0
+        while addr < CHUNK_BYTES:
+            granularity = stream_part.resolve_granularity(bits, addr)
+            if granularity == 64:
+                for line in range(8):  # one partition's worth
+                    indices.append(
+                        addressing.mac_index_in_chunk(bits, addr + line * 64)
+                    )
+                addr += 512
+            else:
+                indices.append(addressing.mac_index_in_chunk(bits, addr))
+                addr += granularity
+        assert len(set(indices)) == len(indices)
+        assert sorted(indices) == list(range(len(indices)))
+        assert len(indices) == addressing.macs_per_chunk(bits)
+
+    @settings(max_examples=40)
+    @given(bitmaps, chunk_addrs)
+    def test_lines_of_one_region_share_a_mac_index(self, bits, addr):
+        granularity = stream_part.resolve_granularity(bits, addr)
+        base = addr - addr % granularity
+        first = addressing.mac_index_in_chunk(bits, base)
+        if granularity == 64:
+            assert addressing.mac_index_in_chunk(bits, addr) == (
+                first + (addr - base) // 64
+            )
+        else:
+            assert addressing.mac_index_in_chunk(bits, addr) == first
+
+    @given(bitmaps)
+    def test_merged_count_never_exceeds_fine_count(self, bits):
+        assert 1 <= addressing.macs_per_chunk(bits) <= LINES_PER_CHUNK
+
+
+class TestDetectorProperties:
+    @given(vectors)
+    def test_detected_bits_subset_of_touched_partitions(self, vector):
+        detected = detect_stream_partitions(vector)
+        for part in range(PARTITIONS_PER_CHUNK):
+            window = (vector >> (part * 8)) & 0xFF
+            if detected & (1 << part):
+                assert window == 0xFF
+
+    @given(vectors)
+    def test_paper_order_is_bit_reverse(self, vector):
+        assert detect_paper_order(vector) == stream_part.algorithm1_encoding(
+            detect_stream_partitions(vector)
+        )
+
+    @given(bitmaps, vectors)
+    def test_merge_preserves_untouched_and_tracks_streams(self, prev, vector):
+        merged = merge_detection(prev, vector)
+        for part in range(PARTITIONS_PER_CHUNK):
+            window = (vector >> (part * 8)) & 0xFF
+            bit = 1 << part
+            if window == 0xFF:
+                assert merged & bit
+            elif window:
+                assert not merged & bit
+            else:
+                assert bool(merged & bit) == bool(prev & bit)
+
+    @given(bitmaps, vectors)
+    def test_merge_is_idempotent_for_same_observation(self, prev, vector):
+        once = merge_detection(prev, vector)
+        assert merge_detection(once, vector) == once
+
+
+class TestCounterLocationProperties:
+    @settings(max_examples=40)
+    @given(chunk_addrs, granularities)
+    def test_counter_location_consistent_within_region(self, addr, granularity):
+        from repro.tree.geometry import TreeGeometry
+
+        geometry = TreeGeometry.build(1 << 20)
+        base = addr - addr % granularity
+        loc = addressing.locate_counter(geometry, base, granularity)
+        other = addressing.locate_counter(
+            geometry, base + granularity - 64, granularity
+        )
+        assert (loc.node_index, loc.slot) == (other.node_index, other.slot)
+        assert loc.level == GRANULARITIES.index(granularity)
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=0, max_value=(1 << 20) // 512 - 1))
+    def test_adjacent_regions_never_share_a_counter(self, region):
+        from repro.tree.geometry import TreeGeometry
+
+        geometry = TreeGeometry.build(1 << 20)
+        a = addressing.locate_counter(geometry, region * 512, 512)
+        if (region + 1) * 512 < (1 << 20):
+            b = addressing.locate_counter(geometry, (region + 1) * 512, 512)
+            assert (a.node_index, a.slot) != (b.node_index, b.slot)

@@ -1,0 +1,102 @@
+"""Stateful property tests: SecureMemory matches a reference model.
+
+A plain dict is the reference; random interleavings of aligned writes,
+reads and granularity-affecting streams must always agree with it, and
+any single off-chip mutation must be detected by the next covering
+read.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES
+from repro.common.errors import SecurityError
+from repro.crypto.keys import KeySet
+from repro.secure_memory import SecureMemory
+
+KEYS = KeySet.from_seed(b"stateful")
+REGION = 256 * 1024  # 8 chunks: big enough for promotion, fast enough
+
+line_indices = st.integers(min_value=0, max_value=REGION // 64 - 1)
+payload_bytes = st.integers(min_value=0, max_value=255)
+
+write_ops = st.tuples(st.just("write"), line_indices, payload_bytes)
+read_ops = st.tuples(st.just("read"), line_indices, st.just(0))
+stream_ops = st.tuples(
+    st.just("stream"),
+    st.integers(min_value=0, max_value=REGION // CHUNK_BYTES - 1),
+    payload_bytes,
+)
+operations = st.lists(
+    st.one_of(write_ops, read_ops, stream_ops), min_size=1, max_size=25
+)
+
+
+def apply_ops(memory, reference, ops):
+    for op, where, value in ops:
+        if op == "write":
+            addr = where * CACHELINE_BYTES
+            data = bytes([value]) * CACHELINE_BYTES
+            memory.write(addr, data)
+            reference[where] = data
+        elif op == "read":
+            addr = where * CACHELINE_BYTES
+            expected = reference.get(where, bytes(CACHELINE_BYTES))
+            assert memory.read(addr, CACHELINE_BYTES) == expected
+        else:  # stream a whole chunk (drives promotion)
+            base = where * CHUNK_BYTES
+            data = bytes([value]) * CHUNK_BYTES
+            memory.write(base, data)
+            for line in range(CHUNK_BYTES // CACHELINE_BYTES):
+                reference[base // 64 + line] = data[:CACHELINE_BYTES]
+
+
+class TestAgainstReferenceModel:
+    @settings(max_examples=12, deadline=None)
+    @given(operations)
+    def test_multigranular_matches_reference(self, ops):
+        memory = SecureMemory(REGION, keys=KEYS, policy="multigranular")
+        reference = {}
+        apply_ops(memory, reference, ops)
+        for line, expected in reference.items():
+            assert memory.read(line * 64, 64) == expected
+
+    @settings(max_examples=12, deadline=None)
+    @given(operations)
+    def test_fixed_matches_reference(self, ops):
+        memory = SecureMemory(REGION, keys=KEYS, policy="fixed")
+        reference = {}
+        apply_ops(memory, reference, ops)
+        for line, expected in reference.items():
+            assert memory.read(line * 64, 64) == expected
+
+
+class TestTamperAlwaysDetected:
+    @settings(max_examples=12, deadline=None)
+    @given(operations, st.integers(min_value=0, max_value=7))
+    def test_data_tamper_after_any_history(self, ops, byte_offset):
+        memory = SecureMemory(REGION, keys=KEYS, policy="multigranular")
+        reference = {}
+        apply_ops(memory, reference, ops)
+        written = [line for line in reference if any(reference[line])]
+        if not written:
+            return
+        victim = written[0]
+        memory.tamper_data(victim * 64, flip_mask=1 << byte_offset)
+        with pytest.raises(SecurityError):
+            memory.read(victim * 64, 64)
+
+    @settings(max_examples=12, deadline=None)
+    @given(operations)
+    def test_mac_tamper_after_any_history(self, ops):
+        memory = SecureMemory(REGION, keys=KEYS, policy="multigranular")
+        reference = {}
+        apply_ops(memory, reference, ops)
+        written = [line for line in reference if any(reference[line])]
+        if not written:
+            return
+        victim = written[-1]
+        memory.tamper_mac(victim * 64)
+        with pytest.raises(SecurityError):
+            memory.read(victim * 64, 64)

@@ -1,0 +1,133 @@
+"""Property-based tests for the timing-layer components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig, MemoryConfig
+from repro.core.gran_table import GranularityTable
+from repro.core import stream_part
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.channel import MemoryChannel
+from repro.schemes.base import RegionBuffer
+
+granularities = st.sampled_from([512, 4096, 32768])
+bitmaps = st.integers(min_value=0, max_value=stream_part.FULL_MASK)
+
+
+class TestCacheProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, lines):
+        cache = SetAssociativeCache(CacheConfig(512, 64, 2))
+        for line in lines:
+            cache.access(line * 64)
+        assert cache.hits + cache.misses == len(lines)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100))
+    def test_small_working_set_eventually_all_hits(self, lines):
+        # 32 distinct lines fit a 512-line cache: second pass all hits.
+        cache = SetAssociativeCache(CacheConfig(32 * 1024, 64, 8))
+        for line in lines:
+            cache.access(line * 64)
+        cache.reset_stats()
+        for line in lines:
+            assert cache.access(line * 64).hit
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_writebacks_never_exceed_writes(self, ops):
+        cache = SetAssociativeCache(CacheConfig(256, 64, 2))
+        writes = 0
+        for line, is_write in ops:
+            cache.access(line * 64, write=is_write)
+            writes += is_write
+        cache.flush()
+        assert cache.writebacks <= writes
+
+
+class TestChannelProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(min_value=0, max_value=1e5), min_size=1, max_size=60))
+    def test_completions_respect_latency_and_order(self, arrivals):
+        channel = MemoryChannel(MemoryConfig(bytes_per_cycle=16, latency_cycles=50))
+        last_start = 0.0
+        for arrival in sorted(arrivals):
+            start, done = channel.submit(arrival)
+            assert start >= arrival
+            assert start >= last_start  # FCFS never reorders
+            assert done >= start + 50
+            last_start = start
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=100))
+    def test_busy_cycles_track_bytes(self, n):
+        channel = MemoryChannel(MemoryConfig(bytes_per_cycle=16))
+        for _ in range(n):
+            channel.submit(0.0, 64)
+        assert channel.stats.busy_cycles * 16 == channel.stats.bytes_transferred
+
+
+class TestRegionBufferProperties:
+    @settings(max_examples=30)
+    @given(
+        granularities,
+        st.lists(st.integers(min_value=0, max_value=511), min_size=1, max_size=64),
+        st.booleans(),
+    )
+    def test_debt_bounded_by_region_size(self, granularity, offsets, is_write):
+        buffer = RegionBuffer()
+        lines = granularity // 64
+        for off in offsets:
+            buffer.touch(0, granularity, off % lines, False, is_write)
+        total_data = total_mac = 0
+        for victim in buffer.flush():
+            d, m = RegionBuffer.eviction_penalty(victim)
+            total_data += d
+            total_mac += m
+        assert 0 <= total_data <= lines
+        covered = len({off % lines for off in offsets})
+        assert total_data <= lines - covered + 1 or total_data == 0
+
+    @settings(max_examples=30)
+    @given(granularities)
+    def test_full_coverage_never_owes(self, granularity):
+        buffer = RegionBuffer()
+        for off in range(granularity // 64):
+            buffer.touch(0, granularity, off, False, True)
+        for victim in buffer.flush():
+            assert RegionBuffer.eviction_penalty(victim) == (0, 0)
+
+
+class TestGranularityTableProperties:
+    @settings(max_examples=40)
+    @given(bitmaps, st.lists(st.integers(min_value=0, max_value=32767), min_size=1, max_size=30))
+    def test_resolution_converges_to_detection(self, bits, addrs):
+        """After enough touches, ``current`` matches ``next`` wherever
+        accessed, and resolution equals the detected granularity."""
+        table = GranularityTable()
+        table.record_detection(0, bits)
+        for addr in addrs:
+            table.resolve(addr, is_write=False)
+        for addr in addrs:
+            granularity, event = table.resolve(addr, is_write=False)
+            assert event is None
+            assert granularity == stream_part.resolve_granularity(bits, addr)
+
+    @settings(max_examples=40)
+    @given(bitmaps, st.integers(min_value=0, max_value=32767))
+    def test_switch_event_direction_consistent(self, bits, addr):
+        table = GranularityTable()
+        table.record_detection(0, bits)
+        granularity, event = table.resolve(addr, is_write=False)
+        if event is not None:
+            assert event.scale_up == (
+                event.new_granularity > event.old_granularity
+            )
+            assert granularity == event.new_granularity

@@ -1,0 +1,99 @@
+"""Property-based tests for workload generation and trace I/O."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES
+from repro.common.types import DeviceKind
+from repro.workloads.generator import Trace, generate_trace
+from repro.workloads.registry import WORKLOADS
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.trace_io import load_trace, save_trace
+
+workload_names = st.sampled_from(sorted(WORKLOADS))
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(workload_names, st.integers(min_value=0, max_value=10))
+    def test_traces_are_well_formed(self, name, seed):
+        spec = WORKLOADS[name]
+        trace = generate_trace(spec, 3000, base_addr=CHUNK_BYTES, seed=seed)
+        assert len(trace) > 0
+        for gap, addr, is_write in trace.entries:
+            assert gap >= 0
+            assert addr % CACHELINE_BYTES == 0
+            assert CHUNK_BYTES <= addr < CHUNK_BYTES + spec.footprint_bytes
+            assert isinstance(is_write, bool)
+
+    @settings(max_examples=20, deadline=None)
+    @given(workload_names, st.integers(min_value=0, max_value=10))
+    def test_generation_is_pure(self, name, seed):
+        spec = WORKLOADS[name]
+        assert (
+            generate_trace(spec, 2000, seed=seed).entries
+            == generate_trace(spec, 2000, seed=seed).entries
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload_names)
+    def test_longer_duration_extends_the_same_prefix(self, name):
+        spec = WORKLOADS[name]
+        short = generate_trace(spec, 1500, seed=0)
+        long = generate_trace(spec, 3000, seed=0)
+        assert len(long) >= len(short)
+        # The generator is a deterministic stream: the short trace is a
+        # prefix of the long one (modulo the final burst boundary).
+        prefix = long.entries[: len(short.entries)]
+        assert prefix == short.entries
+
+
+class TestTraceIORoundtrip:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1e4),
+                st.integers(min_value=0, max_value=2**30),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        st.sampled_from(list(DeviceKind)),
+    )
+    def test_arbitrary_traces_roundtrip(self, raw_entries, kind):
+        entries = tuple(
+            (round(gap, 4), addr - addr % CACHELINE_BYTES, is_write)
+            for gap, addr, is_write in raw_entries
+        )
+        footprint = max(
+            CHUNK_BYTES, max(a for _, a, _ in entries) + CACHELINE_BYTES
+        )
+        spec = WorkloadSpec(
+            name="prop",
+            kind=kind,
+            footprint_bytes=footprint,
+            class_mix={64: 1.0},
+            write_fraction=0.5,
+            gap_fine=1.0,
+            gap_burst=1.0,
+            gap_between_bursts=1.0,
+        )
+        trace = Trace(spec=spec, base_addr=0, entries=entries)
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.gz"
+            save_trace(trace, path)
+            loaded = load_trace(path)
+        assert loaded.spec.kind is kind
+        assert [a for _, a, _ in loaded.entries] == [
+            a for _, a, _ in entries
+        ]
+        assert [w for _, _, w in loaded.entries] == [
+            w for _, _, w in entries
+        ]
+        for (g1, _, _), (g2, _, _) in zip(loaded.entries, entries):
+            assert abs(g1 - g2) < 1e-3

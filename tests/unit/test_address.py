@@ -1,0 +1,107 @@
+"""Address algebra: chunk/partition/line decomposition."""
+
+import pytest
+
+from repro.common import address
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES, PARTITION_BYTES
+from repro.common.errors import AddressError
+
+
+class TestAlignment:
+    @pytest.mark.parametrize(
+        "addr,granularity,expected",
+        [
+            (0, 64, 0),
+            (63, 64, 0),
+            (64, 64, 64),
+            (100, 64, 64),
+            (32767, 32768, 0),
+            (32768, 32768, 32768),
+            (5000, 512, 4608),
+        ],
+    )
+    def test_align_down(self, addr, granularity, expected):
+        assert address.align_down(addr, granularity) == expected
+
+    @pytest.mark.parametrize(
+        "addr,granularity,expected",
+        [(0, 64, 0), (1, 64, 64), (64, 64, 64), (65, 512, 512)],
+    )
+    def test_align_up(self, addr, granularity, expected):
+        assert address.align_up(addr, granularity) == expected
+
+    def test_is_aligned(self):
+        assert address.is_aligned(128, 64)
+        assert not address.is_aligned(100, 64)
+
+
+class TestChunkDecomposition:
+    def test_chunk_index_shifts_15_bits(self):
+        assert address.chunk_index(0) == 0
+        assert address.chunk_index(CHUNK_BYTES - 1) == 0
+        assert address.chunk_index(CHUNK_BYTES) == 1
+        assert address.chunk_index(5 * CHUNK_BYTES + 123) == 5
+
+    def test_chunk_base_plus_offset_reconstructs(self):
+        for addr in (0, 1, 64, 32767, 32768, 987654):
+            assert (
+                address.chunk_base(addr) + address.chunk_offset(addr) == addr
+            )
+
+    def test_cacheline_in_chunk_range(self):
+        assert address.cacheline_in_chunk(0) == 0
+        assert address.cacheline_in_chunk(CHUNK_BYTES - 1) == 511
+        assert address.cacheline_in_chunk(CHUNK_BYTES + 64) == 1
+
+    def test_partition_in_chunk_range(self):
+        assert address.partition_in_chunk(0) == 0
+        assert address.partition_in_chunk(PARTITION_BYTES) == 1
+        assert address.partition_in_chunk(CHUNK_BYTES - 1) == 63
+
+    def test_line_in_partition(self):
+        assert address.line_in_partition(0) == 0
+        assert address.line_in_partition(64) == 1
+        assert address.line_in_partition(PARTITION_BYTES - 1) == 7
+        assert address.line_in_partition(PARTITION_BYTES) == 0
+
+    def test_partitions_of_chunk(self):
+        parts = address.partitions_of_chunk(2)
+        assert parts.start == 128 and parts.stop == 192
+
+
+class TestIterLines:
+    def test_single_line(self):
+        assert list(address.iter_lines(0, 64)) == [0]
+
+    def test_unaligned_range_covers_both_lines(self):
+        assert list(address.iter_lines(60, 8)) == [0, 1]
+
+    def test_multi_line(self):
+        assert list(address.iter_lines(128, 192)) == [2, 3, 4]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AddressError):
+            list(address.iter_lines(0, 0))
+
+
+class TestCheckRange:
+    def test_in_range_passes(self):
+        address.check_range(0, 64, 1024)
+        address.check_range(960, 64, 1024)
+
+    @pytest.mark.parametrize(
+        "addr,size", [(-64, 64), (0, 0), (1024, 64), (1000, 64)]
+    )
+    def test_out_of_range_rejected(self, addr, size):
+        with pytest.raises(AddressError):
+            address.check_range(addr, size, 1024)
+
+
+class TestLineHelpers:
+    def test_line_index_and_base(self):
+        assert address.line_index(130) == 2
+        assert address.line_base(130) == 128
+        assert address.line_base(128) == 128
+
+    def test_partition_index_global(self):
+        assert address.partition_index(PARTITION_BYTES * 7 + 3) == 7

@@ -1,0 +1,134 @@
+"""Set-associative LRU cache model."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigError
+from repro.mem.cache import SetAssociativeCache
+
+
+def make_cache(capacity=512, ways=2, line=64):
+    return SetAssociativeCache(CacheConfig(capacity, line, ways))
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert not cache.access(0).hit
+        assert cache.misses == 1
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(0).hit
+        assert cache.hits == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.access(63).hit
+
+    def test_adjacent_lines_are_distinct(self):
+        cache = make_cache()
+        cache.access(0)
+        assert not cache.access(64).hit
+
+    def test_probe_has_no_side_effects(self):
+        cache = make_cache()
+        assert not cache.probe(0)
+        assert cache.misses == 0
+        cache.access(0)
+        assert cache.probe(0)
+
+
+class TestLRUEviction:
+    def test_lru_victim_is_oldest(self):
+        # 2-way cache, 4 sets of 64B lines; set stride = 4 * 64 = 256.
+        cache = make_cache(capacity=512, ways=2)
+        cache.access(0)      # set 0
+        cache.access(256)    # set 0
+        cache.access(0)      # refresh line 0 -> 256 becomes LRU
+        cache.access(512)    # set 0, evicts 256
+        assert cache.access(0).hit
+        assert not cache.access(256).hit
+
+    def test_clean_eviction_has_no_writeback(self):
+        cache = make_cache(capacity=512, ways=2)
+        cache.access(0)
+        cache.access(256)
+        result = cache.access(512)
+        assert result.writeback_addr is None
+        assert cache.writebacks == 0
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = make_cache(capacity=512, ways=2)
+        cache.access(0, write=True)
+        cache.access(256)
+        result = cache.access(512)
+        assert result.writeback_addr == 0
+        assert cache.writebacks == 1
+
+    def test_read_after_write_keeps_dirty(self):
+        cache = make_cache(capacity=512, ways=2)
+        cache.access(0, write=True)
+        cache.access(0)  # read hit must not clear dirtiness
+        cache.access(256)
+        result = cache.access(512)
+        assert result.writeback_addr == 0
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.invalidate(0)
+        assert not cache.probe(0)
+        assert not cache.invalidate(0)
+
+    def test_flush_counts_dirty_lines(self):
+        cache = make_cache()
+        cache.access(0, write=True)
+        cache.access(64, write=True)
+        cache.access(128)
+        assert cache.flush() == 2
+        assert not cache.probe(0)
+
+    def test_touch_dirty_marks_existing_line(self):
+        cache = make_cache(capacity=512, ways=2)
+        cache.access(0)
+        cache.touch_dirty(0)
+        cache.access(256)
+        assert cache.access(512).writeback_addr == 0
+
+    def test_reset_stats_preserves_contents(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.misses == 0
+        assert cache.access(0).hit  # contents survived
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_stats_dict(self):
+        cache = make_cache()
+        cache.access(0)
+        assert cache.stats() == {"hits": 0, "misses": 1, "writebacks": 0}
+
+
+class TestConfigValidation:
+    def test_rejects_non_divisible_ways(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_bytes=512, line_bytes=64, ways=3)
+
+    def test_rejects_sub_line_capacity(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity_bytes=32, line_bytes=64, ways=1)
+
+    def test_geometry_properties(self):
+        config = CacheConfig(1024, 64, 4)
+        assert config.num_lines == 16
+        assert config.num_sets == 4

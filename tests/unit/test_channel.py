@@ -1,0 +1,70 @@
+"""Shared memory channel: latency, occupancy, FCFS queueing."""
+
+import pytest
+
+from repro.common.config import MemoryConfig
+from repro.mem.channel import MemoryChannel
+
+
+def make_channel(bw=16.0, latency=100):
+    return MemoryChannel(MemoryConfig(bytes_per_cycle=bw, latency_cycles=latency))
+
+
+class TestUnloadedLatency:
+    def test_single_transaction_timing(self):
+        channel = make_channel(bw=16.0, latency=100)
+        start, done = channel.submit(0.0, 64)
+        assert start == 0.0
+        assert done == pytest.approx(104.0)  # 4 cycles occupancy + 100
+
+    def test_idle_channel_starts_immediately(self):
+        channel = make_channel()
+        channel.submit(0.0)
+        start, _ = channel.submit(1000.0)
+        assert start == 1000.0
+
+
+class TestQueueing:
+    def test_back_to_back_serializes_occupancy(self):
+        channel = make_channel(bw=16.0, latency=100)
+        channel.submit(0.0, 64)
+        start, done = channel.submit(0.0, 64)
+        assert start == pytest.approx(4.0)
+        assert done == pytest.approx(108.0)
+
+    def test_queue_delay_accumulates(self):
+        channel = make_channel(bw=16.0, latency=0)
+        for _ in range(10):
+            channel.submit(0.0, 64)
+        assert channel.free_at == pytest.approx(40.0)
+        assert channel.stats.queue_cycles == pytest.approx(
+            sum(4.0 * i for i in range(10))
+        )
+
+
+class TestAccounting:
+    def test_bytes_and_transactions(self):
+        channel = make_channel()
+        channel.submit(0.0, 64)
+        channel.submit(0.0, 128)
+        assert channel.stats.transactions == 2
+        assert channel.stats.bytes_transferred == 192
+
+    def test_busy_cycles_equal_bytes_over_bw(self):
+        channel = make_channel(bw=16.0)
+        channel.submit(0.0, 64)
+        channel.submit(0.0, 64)
+        assert channel.stats.busy_cycles == pytest.approx(8.0)
+
+    def test_utilization_saturates_at_one(self):
+        channel = make_channel(bw=16.0, latency=0)
+        for _ in range(100):
+            channel.submit(0.0, 64)
+        assert channel.utilization(100.0) == 1.0
+
+    def test_utilization_zero_elapsed(self):
+        assert make_channel().utilization(0.0) == 0.0
+
+    def test_bandwidth_defines_line_occupancy(self):
+        config = MemoryConfig(bytes_per_cycle=17.0)
+        assert config.line_occupancy_cycles == pytest.approx(64 / 17.0)

@@ -1,0 +1,104 @@
+"""CLI: listing, simulation and experiment commands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_defaults_to_all(self):
+        args = build_parser().parse_args(["list"])
+        assert args.what == "all"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scenario == "cc1"
+        assert "ours" in args.schemes
+
+
+class TestListCommand:
+    def test_list_workloads(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "alex" in out and "mcf" in out
+
+    def test_list_scenarios(self, capsys):
+        assert main(["list", "scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "cc1" in out and "finance" in out and "250" in out
+
+    def test_list_schemes(self, capsys):
+        assert main(["list", "schemes"]) == 0
+        assert "bmf_unused_ours" in capsys.readouterr().out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list", "experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig15" in out and "tab_hw" in out
+
+
+class TestSimulateCommand:
+    def test_simulate_selected_scenario(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scenario", "cc3",
+                "--schemes", "conventional,ours",
+                "--duration", "1500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Conventional" in out and "Ours" in out
+
+    def test_simulate_custom_workloads(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--workloads", "bw+mm+alex+ncf",
+                "--schemes", "ours",
+                "--duration", "1200",
+            ]
+        )
+        assert code == 0
+        assert "custom" in capsys.readouterr().out
+
+    def test_simulate_bad_workload_combo(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--workloads", "bw+mm"])
+
+    def test_simulate_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scenario", "nope"])
+
+
+class TestExperimentCommand:
+    def test_tab_hw_is_analytic_and_fast(self, capsys):
+        assert main(["experiment", "tab_hw"]) == 0
+        assert "842B" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_tab02_with_duration(self, capsys):
+        assert main(["experiment", "tab02", "--duration", "1200"]) == 0
+        assert "correct_prediction" in capsys.readouterr().out
+
+
+class TestPlotFlag:
+    def test_fig17_plot_renders_cdf(self, capsys):
+        code = main(
+            [
+                "experiment", "fig17",
+                "--plot", "--sample", "2", "--duration", "1500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized execution time" in out
+        assert "o=" in out  # legend glyphs

@@ -1,0 +1,163 @@
+"""Functional crypto: OTP uniqueness, MAC binding, nested MAC folding."""
+
+import pytest
+
+from repro.crypto.keys import KEY_BYTES, KeySet
+from repro.crypto.mac import (
+    compute_mac,
+    macs_equal,
+    nested_mac,
+    node_mac,
+    pack_counters,
+)
+from repro.crypto.otp import decrypt_line, encrypt_line, generate_otp, xor_bytes
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return KeySet.from_seed(b"crypto-tests")
+
+
+class TestKeySet:
+    def test_from_seed_is_deterministic(self):
+        a = KeySet.from_seed(b"seed")
+        b = KeySet.from_seed(b"seed")
+        assert a.encryption_key == b.encryption_key
+        assert a.mac_key == b.mac_key
+
+    def test_different_seeds_differ(self):
+        assert (
+            KeySet.from_seed(b"a").encryption_key
+            != KeySet.from_seed(b"b").encryption_key
+        )
+
+    def test_encryption_and_mac_keys_differ(self, keys):
+        assert keys.encryption_key != keys.mac_key
+
+    def test_generate_is_random(self):
+        assert KeySet.generate().encryption_key != KeySet.generate().encryption_key
+
+    def test_rejects_short_keys(self):
+        with pytest.raises(ValueError):
+            KeySet(b"short", b"x" * KEY_BYTES)
+
+
+class TestOTP:
+    def test_pad_length(self, keys):
+        assert len(generate_otp(keys.encryption_key, 0, 0, 64)) == 64
+        assert len(generate_otp(keys.encryption_key, 0, 0, 200)) == 200
+
+    def test_pad_depends_on_address(self, keys):
+        assert generate_otp(keys.encryption_key, 0, 5) != generate_otp(
+            keys.encryption_key, 64, 5
+        )
+
+    def test_pad_depends_on_counter(self, keys):
+        assert generate_otp(keys.encryption_key, 0, 5) != generate_otp(
+            keys.encryption_key, 0, 6
+        )
+
+    def test_pad_depends_on_key(self, keys):
+        other = KeySet.from_seed(b"other")
+        assert generate_otp(keys.encryption_key, 0, 5) != generate_otp(
+            other.encryption_key, 0, 5
+        )
+
+    def test_rejects_nonpositive_length(self, keys):
+        with pytest.raises(ValueError):
+            generate_otp(keys.encryption_key, 0, 0, 0)
+
+    def test_encrypt_decrypt_roundtrip(self, keys):
+        plaintext = bytes(range(64))
+        ciphertext = encrypt_line(keys.encryption_key, 128, 7, plaintext)
+        assert ciphertext != plaintext
+        assert decrypt_line(keys.encryption_key, 128, 7, ciphertext) == plaintext
+
+    def test_wrong_counter_garbles(self, keys):
+        plaintext = bytes(range(64))
+        ciphertext = encrypt_line(keys.encryption_key, 128, 7, plaintext)
+        assert decrypt_line(keys.encryption_key, 128, 8, ciphertext) != plaintext
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestMac:
+    def test_mac_is_8_bytes(self, keys):
+        assert len(compute_mac(keys.mac_key, 0, 0, b"x" * 64)) == 8
+
+    def test_mac_binds_address(self, keys):
+        data = b"d" * 64
+        assert compute_mac(keys.mac_key, 0, 1, data) != compute_mac(
+            keys.mac_key, 64, 1, data
+        )
+
+    def test_mac_binds_counter(self, keys):
+        data = b"d" * 64
+        assert compute_mac(keys.mac_key, 0, 1, data) != compute_mac(
+            keys.mac_key, 0, 2, data
+        )
+
+    def test_mac_binds_data(self, keys):
+        assert compute_mac(keys.mac_key, 0, 1, b"a" * 64) != compute_mac(
+            keys.mac_key, 0, 1, b"b" * 64
+        )
+
+    def test_macs_equal_constant_time_wrapper(self, keys):
+        mac = compute_mac(keys.mac_key, 0, 1, b"a" * 64)
+        assert macs_equal(mac, bytes(mac))
+        assert not macs_equal(mac, bytes(8))
+
+
+class TestNestedMac:
+    def test_order_sensitivity(self, keys):
+        m1 = compute_mac(keys.mac_key, 0, 1, b"a" * 64)
+        m2 = compute_mac(keys.mac_key, 64, 1, b"b" * 64)
+        assert nested_mac(keys.mac_key, [m1, m2]) != nested_mac(
+            keys.mac_key, [m2, m1]
+        )
+
+    def test_single_mac_fold_differs_from_raw(self, keys):
+        m1 = compute_mac(keys.mac_key, 0, 1, b"a" * 64)
+        assert nested_mac(keys.mac_key, [m1]) != m1
+
+    def test_deterministic(self, keys):
+        macs = [
+            compute_mac(keys.mac_key, i * 64, 1, bytes([i]) * 64)
+            for i in range(8)
+        ]
+        assert nested_mac(keys.mac_key, macs) == nested_mac(keys.mac_key, macs)
+
+    def test_empty_rejected(self, keys):
+        with pytest.raises(ValueError):
+            nested_mac(keys.mac_key, [])
+
+    def test_any_constituent_change_propagates(self, keys):
+        macs = [
+            compute_mac(keys.mac_key, i * 64, 1, bytes([i]) * 64)
+            for i in range(8)
+        ]
+        merged = nested_mac(keys.mac_key, macs)
+        for i in range(8):
+            mutated = list(macs)
+            mutated[i] = compute_mac(keys.mac_key, i * 64, 2, bytes([i]) * 64)
+            assert nested_mac(keys.mac_key, mutated) != merged
+
+
+class TestNodeMac:
+    def test_binds_parent_counter(self, keys):
+        payload = pack_counters(range(8))
+        assert node_mac(keys.mac_key, 0, 1, payload) != node_mac(
+            keys.mac_key, 0, 2, payload
+        )
+
+    def test_binds_payload(self, keys):
+        assert node_mac(
+            keys.mac_key, 0, 1, pack_counters(range(8))
+        ) != node_mac(keys.mac_key, 0, 1, pack_counters(range(1, 9)))
+
+    def test_pack_counters_layout(self):
+        packed = pack_counters([1, 2])
+        assert len(packed) == 16
+        assert packed[:8] == (1).to_bytes(8, "little")

@@ -1,0 +1,104 @@
+"""Device issue models: windows, dependency draws, replay mechanics."""
+
+import pytest
+
+from repro.common.config import DeviceConfig
+from repro.common.types import DeviceKind
+from repro.devices.issue import DeviceIssueState, device_config_for
+from repro.workloads.generator import Trace
+from repro.workloads.registry import get_workload
+
+
+def make_trace(entries):
+    return Trace(spec=get_workload("bw"), base_addr=0, entries=tuple(entries))
+
+
+def state(entries, max_outstanding=2, dependent=0.0, index=0):
+    return DeviceIssueState(
+        index,
+        make_trace(entries),
+        DeviceConfig("d", max_outstanding, dependent_loads=dependent),
+    )
+
+
+class TestIssueTiming:
+    def test_gap_delays_issue(self):
+        st = state([(10.0, 0, False), (5.0, 64, False)])
+        assert st.next_issue_time() == 10.0
+        st.issue(10.0, 50.0, False)
+        assert st.next_issue_time() == 15.0
+
+    def test_full_window_blocks(self):
+        st = state([(0.0, 0, False)] * 3, max_outstanding=2)
+        st.issue(0.0, 100.0, False)
+        st.issue(0.0, 200.0, False)
+        # Window full: must wait for the earliest completion (100).
+        assert st.next_issue_time() == 100.0
+
+    def test_writes_do_not_occupy_window(self):
+        st = state([(0.0, 0, True)] * 3 + [(0.0, 0, False)], max_outstanding=1)
+        st.issue(0.0, 0.0, True)
+        st.issue(0.0, 0.0, True)
+        assert st.next_issue_time() == 0.0
+
+    def test_completed_reads_free_the_window(self):
+        st = state([(0.0, 0, False)] * 3, max_outstanding=1)
+        st.issue(0.0, 30.0, False)
+        st.issue(30.0, 60.0, False)
+        assert st.next_issue_time() == 60.0
+
+    def test_finish_tracks_latest_completion(self):
+        st = state([(0.0, 0, False), (0.0, 64, False)])
+        st.issue(0.0, 500.0, False)
+        st.issue(1.0, 90.0, False)
+        assert st.finish == 500.0
+
+    def test_done_after_all_entries(self):
+        st = state([(0.0, 0, False)])
+        assert not st.done
+        st.issue(0.0, 1.0, False)
+        assert st.done
+
+
+class TestDependentLoads:
+    def test_zero_fraction_never_depends(self):
+        st = state([(0.0, 0, False)] * 10, dependent=0.0)
+        for cursor in range(10):
+            st.cursor = cursor
+            assert not st.is_dependent()
+
+    def test_full_fraction_always_depends(self):
+        st = state([(0.0, 0, False)] * 10, dependent=1.0)
+        for cursor in range(10):
+            st.cursor = cursor
+            assert st.is_dependent()
+
+    def test_draw_is_deterministic(self):
+        a = state([(0.0, 0, False)] * 50, dependent=0.5)
+        b = state([(0.0, 0, False)] * 50, dependent=0.5)
+        draws_a, draws_b = [], []
+        for cursor in range(50):
+            a.cursor = b.cursor = cursor
+            draws_a.append(a.is_dependent())
+            draws_b.append(b.is_dependent())
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_dependent_read_waits_for_previous(self):
+        st = state([(0.0, 0, False)] * 4, max_outstanding=8, dependent=1.0)
+        st.issue(0.0, 300.0, False)
+        assert st.next_issue_time() == 300.0
+
+    def test_independent_read_does_not_wait(self):
+        st = state([(0.0, 0, False)] * 4, max_outstanding=8, dependent=0.0)
+        st.issue(0.0, 300.0, False)
+        assert st.next_issue_time() == 0.0
+
+
+class TestDeviceDefaults:
+    def test_config_for_each_kind(self):
+        cpu = device_config_for(DeviceKind.CPU, "c")
+        gpu = device_config_for(DeviceKind.GPU, "g")
+        npu = device_config_for(DeviceKind.NPU, "n")
+        assert cpu.dependent_loads > npu.dependent_loads > gpu.dependent_loads
+        assert gpu.max_outstanding > npu.max_outstanding > cpu.max_outstanding

@@ -1,0 +1,104 @@
+"""Bank-aware DRAM model: row hits, bank conflicts, factory."""
+
+import pytest
+
+from repro.common.config import EngineConfig, MemoryConfig, SoCConfig
+from repro.mem.channel import MemoryChannel
+from repro.mem.dram import BankedMemoryChannel, make_channel
+
+
+def make(banks=4, row_bytes=2048, bw=16.0, latency=100):
+    return BankedMemoryChannel(
+        MemoryConfig(bytes_per_cycle=bw, latency_cycles=latency),
+        banks=banks,
+        row_bytes=row_bytes,
+    )
+
+
+class TestRowBuffer:
+    def test_first_access_is_a_row_miss(self):
+        channel = make()
+        channel.submit(0.0, 64, addr=0)
+        assert channel.row_misses == 1
+        assert channel.row_hits == 0
+
+    def test_same_row_hits(self):
+        channel = make()
+        channel.submit(0.0, 64, addr=0)
+        channel.submit(10.0, 64, addr=64)
+        assert channel.row_hits == 1
+
+    def test_row_hit_is_faster(self):
+        channel = make()
+        _, miss_done = channel.submit(0.0, 64, addr=0)
+        _, hit_done = channel.submit(1000.0, 64, addr=64)
+        assert hit_done - 1000.0 < miss_done - 0.0
+
+    def test_row_conflict_is_slower_than_cold_miss(self):
+        channel = make(banks=1, row_bytes=2048)
+        _, cold = channel.submit(0.0, 64, addr=0)
+        _, conflict = channel.submit(10_000.0, 64, addr=4096)
+        assert conflict - 10_000.0 > cold - 0.0
+
+    def test_different_banks_do_not_conflict(self):
+        channel = make(banks=4, row_bytes=2048)
+        channel.submit(0.0, 64, addr=0)       # bank 0
+        channel.submit(0.0, 64, addr=2048)    # bank 1
+        # Bank 1's first access is a cold miss, not a conflict: its
+        # latency matches bank 0's cold miss.
+        assert channel.row_misses == 2
+
+    def test_row_hit_rate(self):
+        channel = make()
+        for i in range(10):
+            channel.submit(float(i), 64, addr=i * 64)
+        assert channel.row_hit_rate == pytest.approx(0.9)
+
+
+class TestAddresslessPath:
+    def test_bookkeeping_transfer_does_not_touch_banks(self):
+        channel = make()
+        channel.submit(0.0, 64, addr=None)
+        assert channel.row_hits == 0 and channel.row_misses == 0
+        channel.submit(0.0, 64, addr=0)
+        assert channel.row_misses == 1
+
+
+class TestBusSharing:
+    def test_bus_serializes_occupancy(self):
+        channel = make(bw=16.0)
+        channel.submit(0.0, 64, addr=0)
+        start, _ = channel.submit(0.0, 64, addr=2048)  # other bank
+        assert start == pytest.approx(4.0)
+
+    def test_stats_accumulate(self):
+        channel = make()
+        channel.submit(0.0, 64, addr=0)
+        channel.submit(0.0, 128, addr=2048)
+        assert channel.stats.transactions == 2
+        assert channel.stats.bytes_transferred == 192
+
+
+class TestFactoryAndConfig:
+    def test_factory_returns_simple_by_default(self):
+        assert isinstance(make_channel(MemoryConfig()), MemoryChannel)
+
+    def test_factory_returns_banked_when_configured(self):
+        assert isinstance(
+            make_channel(MemoryConfig(banks=8)), BankedMemoryChannel
+        )
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            BankedMemoryChannel(MemoryConfig(), banks=0)
+
+    def test_unified_cache_aliases_mac_cache(self):
+        from repro.schemes.registry import build_scheme
+
+        unified = build_scheme(
+            "conventional",
+            SoCConfig(engine=EngineConfig(unified_metadata_cache=True)),
+        )
+        assert unified.mac_cache is unified.metadata_cache
+        split = build_scheme("conventional", SoCConfig())
+        assert split.mac_cache is not split.metadata_cache

@@ -1,0 +1,80 @@
+"""Experiment infrastructure: result formatting, labels, sweep helpers."""
+
+import pytest
+
+from repro.common.errors import (
+    AddressError,
+    ConfigError,
+    CounterOverflowError,
+    IntegrityError,
+    ReplayError,
+    ReproError,
+    SecurityError,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    default_sweep_sample,
+    label,
+    mean,
+)
+
+
+class TestExperimentResult:
+    @pytest.fixture()
+    def result(self):
+        return ExperimentResult(
+            experiment="t",
+            title="Title",
+            columns=["a", "b"],
+            rows=[{"a": "x", "b": 1.23456}, {"a": "yy", "b": 2.0}],
+            notes=["note"],
+        )
+
+    def test_format_table_contains_everything(self, result):
+        text = result.format_table()
+        assert "Title" in text
+        assert "1.235" in text  # floats render at 3 decimals
+        assert "note" in text
+        assert "yy" in text
+
+    def test_column_values(self, result):
+        assert result.column_values("a") == ["x", "yy"]
+        assert result.column_values("missing") == [None, None]
+
+    def test_empty_rows_render(self):
+        empty = ExperimentResult("t", "T", ["a"], [])
+        assert "T" in empty.format_table()
+
+
+class TestHelpers:
+    def test_label_known_and_unknown(self):
+        assert label("ours") == "Ours"
+        assert label("made_up") == "made_up"
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_default_sweep_sample_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_SAMPLE", raising=False)
+        assert default_sweep_sample(7) == 7
+        monkeypatch.setenv("REPRO_SWEEP_SAMPLE", "3")
+        assert default_sweep_sample(7) == 3
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (
+            ConfigError, AddressError, SecurityError,
+            IntegrityError, ReplayError, CounterOverflowError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_security_branch(self):
+        for exc in (IntegrityError, ReplayError, CounterOverflowError):
+            assert issubclass(exc, SecurityError)
+        assert not issubclass(ConfigError, SecurityError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise IntegrityError("x")

@@ -1,0 +1,137 @@
+"""Granularity table: lazy switching, quantization, entry addressing."""
+
+import pytest
+
+from repro.common.constants import CHUNK_BYTES
+from repro.core import stream_part
+from repro.core.gran_table import GranularityTable, TABLE_ENTRY_BYTES
+
+
+@pytest.fixture()
+def table():
+    return GranularityTable(table_base=1 << 30)
+
+
+class TestEntryAddressing:
+    def test_entry_is_16_bytes(self):
+        assert TABLE_ENTRY_BYTES == 16
+
+    def test_entry_addr_per_chunk(self, table):
+        assert table.entry_addr(0) == 1 << 30
+        assert table.entry_addr(CHUNK_BYTES) == (1 << 30) + 16
+        assert table.entry_addr(CHUNK_BYTES + 5) == (1 << 30) + 16
+
+    def test_four_entries_per_line(self, table):
+        lines = {table.entry_line_addr(i * CHUNK_BYTES) for i in range(4)}
+        assert len(lines) == 1
+        assert table.entry_line_addr(4 * CHUNK_BYTES) != table.entry_line_addr(0)
+
+
+class TestDetectionRecording:
+    def test_record_sets_next_only(self, table):
+        assert table.record_detection(0, 0b1)
+        entry = table.entry_by_chunk(0)
+        assert entry.next == 0b1
+        assert entry.current == 0
+
+    def test_duplicate_detection_reports_unchanged(self, table):
+        table.record_detection(0, 0b1)
+        assert not table.record_detection(0, 0b1)
+
+    def test_min_coarse_quantizes(self):
+        table = GranularityTable(min_coarse=4096)
+        table.record_detection(0, 0xFF | (1 << 20))
+        assert table.entry_by_chunk(0).next == 0xFF
+
+    def test_demote_hold_blocks_promotion(self, table):
+        entry = table.entry_by_chunk(0)
+        entry.next = 0b1
+        entry.demote_hold = 1
+        table.record_detection(0, 0b11)  # would promote partition 1
+        assert entry.next == 0b1  # held
+        table.record_detection(0, 0b11)  # hold expired
+        assert entry.next == 0b11
+
+    def test_demote_hold_still_allows_demotion(self, table):
+        entry = table.entry_by_chunk(0)
+        entry.next = 0b11
+        entry.demote_hold = 2
+        table.record_detection(0, 0b01)
+        assert entry.next == 0b01
+
+
+class TestLazyResolve:
+    def test_unknown_chunk_is_fine(self, table):
+        granularity, event = table.resolve(0, is_write=False)
+        assert granularity == 64
+        assert event is None
+
+    def test_switch_fires_on_first_touch_after_detection(self, table):
+        table.record_detection(0, stream_part.FULL_MASK)
+        granularity, event = table.resolve(100, is_write=False)
+        assert granularity == 32768
+        assert event is not None
+        assert event.scale_up
+        assert event.old_granularity == 64
+        assert event.new_granularity == 32768
+
+    def test_second_touch_does_not_switch_again(self, table):
+        table.record_detection(0, stream_part.FULL_MASK)
+        table.resolve(100, is_write=False)
+        granularity, event = table.resolve(200, is_write=False)
+        assert granularity == 32768
+        assert event is None
+
+    def test_switch_is_lazy_per_region(self, table):
+        # Two separate partitions detected: touching one must not
+        # switch the other.
+        table.record_detection(0, 0b1 | (1 << 9))
+        table.resolve(0, is_write=False)
+        entry = table.entry_by_chunk(0)
+        assert entry.current == 0b1  # partition 9 still pending
+        assert entry.pending_switch
+
+    def test_scale_down_event(self, table):
+        table.record_detection(0, stream_part.FULL_MASK)
+        table.resolve(0, is_write=True)
+        table.record_detection(0, 0)
+        granularity, event = table.resolve(64, is_write=False)
+        assert granularity == 64
+        assert event is not None and not event.scale_up
+        assert event.old_granularity == 32768
+
+    def test_event_records_read_write_history(self, table):
+        table.resolve(0, is_write=True)  # chunk becomes written
+        table.record_detection(0, stream_part.FULL_MASK)
+        _, event = table.resolve(0, is_write=False)
+        assert event.prev_was_write
+        assert not event.is_write
+        assert not event.read_only
+
+    def test_read_only_flag(self, table):
+        table.record_detection(0, stream_part.FULL_MASK)
+        _, event = table.resolve(0, is_write=False)
+        assert event.read_only
+
+    def test_event_carries_old_and_new_bits(self, table):
+        table.record_detection(0, stream_part.FULL_MASK)
+        _, event = table.resolve(0, is_write=False)
+        assert event.old_bits == 0
+        assert event.new_bits == stream_part.FULL_MASK
+
+    def test_peek_has_no_side_effects(self, table):
+        table.record_detection(0, stream_part.FULL_MASK)
+        assert table.peek_granularity(0) == 64  # current still fine
+        entry = table.entry_by_chunk(0)
+        assert entry.current == 0
+
+    def test_max_granularity_respected(self):
+        table = GranularityTable(min_coarse=4096, max_granularity=4096)
+        table.record_detection(0, stream_part.FULL_MASK)
+        granularity, _ = table.resolve(0, is_write=False)
+        assert granularity == 4096
+
+    def test_len_counts_chunks(self, table):
+        table.resolve(0, False)
+        table.resolve(CHUNK_BYTES, False)
+        assert len(table) == 2

@@ -1,0 +1,168 @@
+"""Stats helpers, RNG derivation, configs, value types, backing store."""
+
+import pytest
+
+from repro.common import stats
+from repro.common.config import (
+    DeviceConfig,
+    MemoryConfig,
+    SoCConfig,
+    default_cpu_config,
+    default_gpu_config,
+    default_npu_config,
+)
+from repro.common.errors import ConfigError
+from repro.common.rng import rng_for, seed_from_label
+from repro.common.types import (
+    AccessType,
+    MemoryRequest,
+    MetadataKind,
+    TrafficBreakdown,
+)
+from repro.mem.backing_store import BackingStore
+
+
+class TestStats:
+    def test_mean_and_geomean(self):
+        assert stats.mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert stats.geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert stats.mean([]) == 0.0
+        assert stats.geomean([]) == 0.0
+
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert stats.percentile(values, 0) == 1.0
+        assert stats.percentile(values, 100) == 4.0
+        assert stats.percentile(values, 50) == pytest.approx(2.5)
+        assert stats.percentile([7.0], 90) == 7.0
+
+    def test_cdf_points(self):
+        points = stats.cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_counter_stats(self):
+        cs = stats.CounterStats()
+        cs.bump("a")
+        cs.bump("a", 2)
+        assert cs.get("a") == 3
+        assert cs.ratio("a", "missing") == 0.0
+        other = stats.CounterStats()
+        other.bump("a")
+        cs.merge(other)
+        assert cs.as_dict()["a"] == 4
+
+    def test_running_mean(self):
+        rm = stats.RunningMean()
+        assert rm.value == 0.0
+        rm.add(2.0)
+        rm.add(4.0)
+        assert rm.value == pytest.approx(3.0)
+
+    def test_histogram_fractions(self):
+        hist = stats.Histogram()
+        hist.add(64, 3)
+        hist.add(512, 1)
+        assert hist.total == 4
+        assert hist.fraction(64) == pytest.approx(0.75)
+        assert hist.fractions()[512] == pytest.approx(0.25)
+        assert stats.Histogram().fraction(64) == 0.0
+
+
+class TestRng:
+    def test_seed_is_stable(self):
+        assert seed_from_label("x", 1) == seed_from_label("x", 1)
+
+    def test_labels_decorrelate(self):
+        assert seed_from_label("x") != seed_from_label("y")
+        assert seed_from_label("x", 0) != seed_from_label("x", 1)
+
+    def test_rng_streams_reproduce(self):
+        assert rng_for("lbl").random() == rng_for("lbl").random()
+
+
+class TestConfigs:
+    def test_device_defaults_reflect_mlp_hierarchy(self):
+        cpu, gpu, npu = (
+            default_cpu_config(),
+            default_gpu_config(),
+            default_npu_config(),
+        )
+        assert cpu.max_outstanding < npu.max_outstanding < gpu.max_outstanding
+        assert cpu.clock_ratio == pytest.approx(2.2)
+
+    def test_invalid_device_config(self):
+        with pytest.raises(ConfigError):
+            DeviceConfig(name="x", max_outstanding=0)
+
+    def test_invalid_memory_config(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(bytes_per_cycle=0.0)
+
+    def test_soc_rejects_duplicate_device_names(self):
+        with pytest.raises(ConfigError):
+            SoCConfig(devices=(default_cpu_config("a"), default_gpu_config("a")))
+
+    def test_default_soc_is_orin_shaped(self):
+        soc = SoCConfig()
+        kinds = [d.name for d in soc.devices]
+        assert kinds == ["cpu", "gpu", "npu0", "npu1"]
+
+
+class TestTypes:
+    def test_access_type(self):
+        assert AccessType.WRITE.is_write
+        assert not AccessType.READ.is_write
+
+    def test_memory_request_is_frozen(self):
+        req = MemoryRequest(0, 0, 64, AccessType.READ)
+        with pytest.raises(AttributeError):
+            req.addr = 1
+
+    def test_traffic_breakdown(self):
+        traffic = TrafficBreakdown()
+        traffic.add(MetadataKind.DATA, 64)
+        traffic.add(MetadataKind.MAC, 64)
+        assert traffic.total_bytes == 128
+        assert traffic.data_bytes == 64
+        assert traffic.metadata_bytes == 64
+        merged = traffic.merged_with(traffic)
+        assert merged.total_bytes == 256
+
+
+class TestBackingStore:
+    def test_unwritten_lines_read_zero(self):
+        store = BackingStore()
+        assert store.read_line(0) == bytes(64)
+        assert store.populated_lines == 0
+
+    def test_write_read_roundtrip(self):
+        store = BackingStore()
+        store.write_line(64, b"x" * 64)
+        assert store.read_line(64) == b"x" * 64
+
+    def test_alignment_enforced(self):
+        store = BackingStore()
+        with pytest.raises(ValueError):
+            store.read_line(1)
+        with pytest.raises(ValueError):
+            store.write_line(0, b"short")
+
+    def test_corrupt_flips_bits(self):
+        store = BackingStore()
+        store.write_line(0, bytes(64))
+        store.corrupt(0, offset=3, flip_mask=0x80)
+        assert store.read_line(0)[3] == 0x80
+
+    def test_snapshot_and_replay(self):
+        store = BackingStore()
+        store.write_line(0, b"v1" * 32)
+        old = store.snapshot_line(0)
+        store.write_line(0, b"v2" * 32)
+        store.replay_line(0, old)
+        assert store.read_line(0) == b"v1" * 32
+
+    def test_lines_iterates_sorted(self):
+        store = BackingStore()
+        store.write_line(128, b"b" * 64)
+        store.write_line(0, b"a" * 64)
+        assert [addr for addr, _ in store.lines()] == [0, 128]

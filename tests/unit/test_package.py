@@ -1,0 +1,35 @@
+"""Top-level package surface."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_headline_exports(self):
+        for name in (
+            "SecureMemory", "SoCConfig", "run_scenario", "simulate",
+            "SCHEME_NAMES", "build_scheme", "SELECTED_SCENARIOS",
+            "REALWORLD_SCENARIOS", "all_scenarios", "WORKLOADS",
+            "generate_trace", "get_workload",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_is_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_every_registry_name_builds(self):
+        from repro.schemes.registry import SCHEME_NAMES, build_scheme
+        from repro.schemes.base import ProtectionScheme
+        from repro.common.config import SoCConfig
+
+        config = SoCConfig()
+        for name in SCHEME_NAMES:
+            grans = {0: 64} if name == "static_device" else None
+            scheme = build_scheme(
+                name, config, footprint_bytes=1 << 20,
+                device_granularities=grans,
+            )
+            assert isinstance(scheme, ProtectionScheme)

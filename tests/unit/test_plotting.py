@@ -1,0 +1,36 @@
+"""ASCII plotting helpers."""
+
+from repro.experiments.plotting import ascii_bars, ascii_cdf
+
+
+class TestAsciiCdf:
+    def test_empty_series(self):
+        assert ascii_cdf({}) == "(no data)"
+
+    def test_glyphs_and_legend(self):
+        text = ascii_cdf({"a": [1.0, 2.0], "b": [1.5, 2.5]}, width=20, height=6)
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels_span_data(self):
+        text = ascii_cdf({"a": [1.0, 3.0]}, width=30, height=5)
+        assert "1.000" in text and "3.000" in text
+
+    def test_single_value_series(self):
+        text = ascii_cdf({"a": [2.0]}, width=10, height=4)
+        assert "o" in text
+
+
+class TestAsciiBars:
+    def test_empty(self):
+        assert ascii_bars([]) == "(no data)"
+
+    def test_bars_scale_with_values(self):
+        text = ascii_bars([("big", 2.0), ("small", 1.5)], width=20, baseline=1.0)
+        big_line, small_line = text.splitlines()
+        assert big_line.count("#") > small_line.count("#")
+        assert "2.000" in big_line
+
+    def test_baseline_clamps_to_zero(self):
+        text = ascii_bars([("below", 0.5)], width=10, baseline=1.0)
+        assert "#" not in text

@@ -1,0 +1,111 @@
+"""Region buffer: coverage tracking, debts, dirty draining."""
+
+from repro.schemes.base import RegionBuffer
+
+
+def full_coverage(buffer, base, granularity, is_write=False, read_only=True):
+    victims = []
+    for offset in range(granularity // 64):
+        _, v = buffer.touch(base, granularity, offset, read_only, is_write)
+        victims += v
+    return victims
+
+
+class TestCoverage:
+    def test_streamed_region_owes_nothing(self):
+        buffer = RegionBuffer()
+        full_coverage(buffer, 0, 4096)
+        victims = buffer.flush()
+        assert len(victims) == 1
+        assert RegionBuffer.eviction_penalty(victims[0]) == (0, 0)
+
+    def test_partial_written_region_owes_missing_lines(self):
+        buffer = RegionBuffer()
+        buffer.touch(0, 4096, 0, read_only=False, is_write=True)
+        buffer.touch(0, 4096, 1, read_only=False, is_write=True)
+        (victim,) = buffer.flush()
+        data, mac = RegionBuffer.eviction_penalty(victim)
+        assert data == 62
+        assert mac == 0
+
+    def test_partial_read_only_region_owes_fine_mac_fallback(self):
+        buffer = RegionBuffer()
+        for offset in range(16):
+            buffer.touch(0, 4096, offset, read_only=True, is_write=False)
+        (victim,) = buffer.flush()
+        data, mac = RegionBuffer.eviction_penalty(victim)
+        assert data == 0
+        assert mac == 2  # 16 covered lines -> 2 fine-MAC lines
+
+    def test_write_makes_chunk_non_read_only(self):
+        buffer = RegionBuffer()
+        buffer.touch(0, 4096, 0, read_only=True, is_write=False)
+        buffer.touch(0, 4096, 1, read_only=False, is_write=True)
+        (victim,) = buffer.flush()
+        data, _ = RegionBuffer.eviction_penalty(victim)
+        assert data == 62
+
+    def test_reopen_after_flush_starts_clean(self):
+        buffer = RegionBuffer()
+        full_coverage(buffer, 0, 512)
+        buffer.flush()
+        was_open, _ = buffer.touch(0, 512, 0, read_only=True, is_write=False)
+        assert not was_open
+
+
+class TestCapacity:
+    def test_capacity_evicts_lru(self):
+        buffer = RegionBuffer(capacity_lines=128)  # two 4KB regions
+        buffer.touch(0, 4096, 0, read_only=True, is_write=False)
+        buffer.touch(8192, 4096, 0, read_only=True, is_write=False)
+        _, victims = buffer.touch(16384, 4096, 0, read_only=True, is_write=False)
+        assert len(victims) == 1
+        assert victims[0]["base"] == 0
+
+    def test_touch_refreshes_lru(self):
+        buffer = RegionBuffer(capacity_lines=128)
+        buffer.touch(0, 4096, 0, read_only=True, is_write=False)
+        buffer.touch(8192, 4096, 0, read_only=True, is_write=False)
+        buffer.touch(0, 4096, 1, read_only=True, is_write=False)
+        _, victims = buffer.touch(16384, 4096, 0, read_only=True, is_write=False)
+        assert victims[0]["base"] == 8192
+
+
+class TestDirtyDrain:
+    def test_dirty_cap_drains_oldest_written(self):
+        buffer = RegionBuffer(max_dirty_regions=2)
+        buffer.touch(0, 512, 0, read_only=False, is_write=True)
+        buffer.touch(512, 512, 0, read_only=False, is_write=True)
+        _, victims = buffer.touch(1024, 512, 0, read_only=False, is_write=True)
+        assert len(victims) == 1
+        assert victims[0]["base"] == 0
+
+    def test_active_write_stream_is_protected(self):
+        buffer = RegionBuffer(max_dirty_regions=1)
+        # The region being written right now must never drain itself.
+        _, victims = buffer.touch(0, 512, 0, read_only=False, is_write=True)
+        assert victims == []
+        _, victims = buffer.touch(0, 512, 1, read_only=False, is_write=True)
+        assert victims == []
+
+    def test_reads_do_not_consume_dirty_slots(self):
+        buffer = RegionBuffer(max_dirty_regions=1)
+        buffer.touch(0, 512, 0, read_only=True, is_write=False)
+        buffer.touch(512, 512, 0, read_only=True, is_write=False)
+        _, victims = buffer.touch(1024, 512, 0, read_only=False, is_write=True)
+        assert victims == []
+
+    def test_drained_region_pays_rmw(self):
+        buffer = RegionBuffer(max_dirty_regions=1)
+        buffer.touch(0, 512, 0, read_only=False, is_write=True)
+        _, victims = buffer.touch(512, 512, 0, read_only=False, is_write=True)
+        (victim,) = victims
+        data, mac = RegionBuffer.eviction_penalty(victim)
+        assert data == 7  # 8 lines - 1 covered
+
+    def test_flush_resets_dirty_count(self):
+        buffer = RegionBuffer(max_dirty_regions=1)
+        buffer.touch(0, 512, 0, read_only=False, is_write=True)
+        buffer.flush()
+        _, victims = buffer.touch(512, 512, 0, read_only=False, is_write=True)
+        assert victims == []

@@ -1,0 +1,117 @@
+"""stream_part bitmap algebra: resolution, quantization, histograms."""
+
+import pytest
+
+from repro.core import stream_part
+from repro.common.constants import GRANULARITIES
+
+
+class TestResolveGranularity:
+    def test_empty_bitmap_is_fine(self):
+        assert stream_part.resolve_granularity(0, 0) == 64
+        assert stream_part.resolve_granularity(0, 32000) == 64
+
+    def test_full_bitmap_is_chunk(self):
+        for addr in (0, 512, 4096, 32767):
+            assert (
+                stream_part.resolve_granularity(stream_part.FULL_MASK, addr)
+                == 32768
+            )
+
+    def test_single_partition_bit(self):
+        bits = 1 << 5  # partition 5 = bytes [2560, 3072)
+        assert stream_part.resolve_granularity(bits, 5 * 512) == 512
+        assert stream_part.resolve_granularity(bits, 5 * 512 + 511) == 512
+        assert stream_part.resolve_granularity(bits, 4 * 512) == 64
+
+    def test_full_group_is_4kb(self):
+        bits = 0xFF  # partitions 0..7 = first 4KB group
+        assert stream_part.resolve_granularity(bits, 0) == 4096
+        assert stream_part.resolve_granularity(bits, 4095) == 4096
+        assert stream_part.resolve_granularity(bits, 4096) == 64
+
+    def test_partial_group_resolves_per_partition(self):
+        bits = 0x7F  # partitions 0..6 set, 7 clear
+        assert stream_part.resolve_granularity(bits, 0) == 512
+        assert stream_part.resolve_granularity(bits, 7 * 512) == 64
+
+    def test_max_granularity_caps_chunk(self):
+        bits = stream_part.FULL_MASK
+        assert stream_part.resolve_granularity(bits, 0, 4096) == 4096
+        assert stream_part.resolve_granularity(bits, 0, 512) == 512
+        assert stream_part.resolve_granularity(bits, 0, 64) == 64
+
+
+class TestQuantizeBits:
+    def test_min_512_is_identity(self):
+        assert stream_part.quantize_bits(0x1234, 512) == 0x1234
+
+    def test_min_4096_keeps_only_full_groups(self):
+        bits = 0xFF | (1 << 10)  # full group 0 + lone partition 10
+        assert stream_part.quantize_bits(bits, 4096) == 0xFF
+
+    def test_min_32768_requires_full_mask(self):
+        assert stream_part.quantize_bits(stream_part.FULL_MASK, 32768) == (
+            stream_part.FULL_MASK
+        )
+        assert stream_part.quantize_bits(stream_part.FULL_MASK - 1, 32768) == 0
+
+    def test_quantize_is_idempotent(self):
+        for min_coarse in (512, 4096, 32768):
+            bits = 0xFF00FF
+            once = stream_part.quantize_bits(bits, min_coarse)
+            assert stream_part.quantize_bits(once, min_coarse) == once
+
+    def test_rejects_bad_min(self):
+        with pytest.raises(ValueError):
+            stream_part.quantize_bits(0, 1024)
+
+
+class TestHistogram:
+    def test_full_mask_histogram(self):
+        sizes = stream_part.granularity_histogram(stream_part.FULL_MASK)
+        assert sizes[32768] == 32768
+        assert sizes[64] == sizes[512] == sizes[4096] == 0
+
+    def test_empty_histogram_is_all_fine(self):
+        sizes = stream_part.granularity_histogram(0)
+        assert sizes[64] == 32768
+
+    def test_mixed_histogram_covers_chunk(self):
+        bits = 0xFF | (1 << 9)  # group 0 at 4KB, partition 9 at 512B
+        sizes = stream_part.granularity_histogram(bits)
+        assert sizes[4096] == 4096
+        assert sizes[512] == 512
+        assert sum(sizes.values()) == 32768
+
+
+class TestEncodingHelpers:
+    def test_partition_flags_roundtrip(self):
+        bits = (1 << 0) | (1 << 13) | (1 << 63)
+        flags = stream_part.partitions_as_list(bits)
+        assert flags[0] and flags[13] and flags[63]
+        assert stream_part.from_partition_flags(flags) == bits
+
+    def test_from_partition_flags_length_checked(self):
+        with pytest.raises(ValueError):
+            stream_part.from_partition_flags([True] * 10)
+
+    def test_algorithm1_encoding_is_bit_reverse(self):
+        bits = 0b1011
+        encoded = stream_part.algorithm1_encoding(bits)
+        # partition 0 lands in the MSB of the 64-bit field.
+        assert encoded >> 63 == 1
+        assert stream_part.algorithm1_encoding(encoded) == bits
+
+    def test_region_base_and_size(self):
+        bits = 0xFF
+        base, size = stream_part.region_base_and_size(bits, 100, 0)
+        assert (base, size) == (0, 4096)
+        base, size = stream_part.region_base_and_size(0, 100, 0)
+        assert (base, size) == (64, 64)
+
+    def test_mac_count_of_partition(self):
+        assert stream_part.mac_count_of_partition(1, 0) == 1
+        assert stream_part.mac_count_of_partition(0, 0) == 8
+        # A capped scheme never merges at partition level.
+        assert stream_part.mac_count_of_partition(1, 0, max_granularity=64) == 8

@@ -1,0 +1,54 @@
+"""BMF-style subtree root cache."""
+
+import pytest
+
+from repro.subtree.bmf import SubtreeRootCache
+
+
+class TestTrustedStops:
+    def test_empty_cache_trusts_nothing(self):
+        cache = SubtreeRootCache(entries=4, level=2)
+        assert not cache.trusted(2, 0)
+
+    def test_admitted_node_is_trusted_at_its_level(self):
+        cache = SubtreeRootCache(entries=4, level=2)
+        cache.admit(7)
+        assert cache.trusted(2, 7)
+        assert cache.hits == 1
+
+    def test_other_levels_never_trusted(self):
+        cache = SubtreeRootCache(entries=4, level=2)
+        cache.admit(7)
+        assert not cache.trusted(1, 7)
+        assert not cache.trusted(3, 7)
+
+    def test_lru_eviction(self):
+        cache = SubtreeRootCache(entries=2, level=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(1)  # refresh
+        cache.admit(3)  # evicts 2
+        assert cache.trusted(2, 1)
+        assert not cache.trusted(2, 2)
+        assert cache.trusted(2, 3)
+        assert cache.evictions == 1
+
+    def test_trusted_refreshes_lru(self):
+        cache = SubtreeRootCache(entries=2, level=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.trusted(2, 1)
+        cache.admit(3)
+        assert cache.trusted(2, 1)
+        assert not cache.trusted(2, 2)
+
+    def test_readmission_is_not_counted_twice(self):
+        cache = SubtreeRootCache(entries=4, level=2)
+        cache.admit(1)
+        cache.admit(1)
+        assert cache.admissions == 1
+        assert len(cache) == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SubtreeRootCache(entries=0)

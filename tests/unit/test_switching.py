@@ -1,0 +1,97 @@
+"""Table-2 switching categories and cost accounting."""
+
+import pytest
+
+from repro.core.gran_table import SwitchEvent
+from repro.core.switching import SwitchAccounting, categorize, cost_of
+
+
+def event(old, new, prev_write=False, is_write=False, read_only=False):
+    return SwitchEvent(
+        addr=0,
+        old_granularity=old,
+        new_granularity=new,
+        prev_was_write=prev_write,
+        is_write=is_write,
+        read_only=read_only,
+    )
+
+
+class TestCategorize:
+    def test_scale_down_category(self):
+        assert categorize(event(32768, 64)) == "coarse_to_fine"
+
+    @pytest.mark.parametrize(
+        "prev,cur,expected",
+        [
+            (False, False, "fine_to_coarse_RAR"),
+            (True, False, "fine_to_coarse_RAW"),
+            (False, True, "fine_to_coarse_WAR"),
+            (True, True, "fine_to_coarse_WAW"),
+        ],
+    )
+    def test_scale_up_categories(self, prev, cur, expected):
+        assert categorize(event(64, 512, prev_write=prev, is_write=cur)) == (
+            expected
+        )
+
+
+class TestCosts:
+    def test_scale_up_write_is_free(self):
+        cost = cost_of(event(64, 32768, is_write=True))
+        assert not cost.tree_fetch_to_root
+        assert cost.extra_mac_lines == 0
+        assert cost.extra_data_lines == 0
+
+    def test_scale_up_read_seals_to_root(self):
+        cost = cost_of(event(64, 32768, is_write=False))
+        assert cost.tree_fetch_to_root
+        # Merged MAC folds the stored fine MACs: 64 MAC lines per 32KB.
+        assert cost.extra_mac_lines == 64
+        assert cost.extra_data_lines == 0
+
+    def test_scale_up_read_512(self):
+        cost = cost_of(event(64, 512, is_write=False))
+        assert cost.extra_mac_lines == 1
+
+    def test_scale_down_read_only_uses_retained_fine_macs(self):
+        cost = cost_of(event(32768, 64, read_only=True))
+        assert cost.extra_data_lines == 0
+        assert cost.extra_mac_lines == 64
+        assert cost.recrypt_lines == 0
+
+    def test_scale_down_written_fetches_data_chunk(self):
+        cost = cost_of(event(32768, 64, read_only=False))
+        assert cost.extra_data_lines == 512
+        assert cost.recrypt_lines == 512
+
+    def test_scale_down_smaller_region(self):
+        cost = cost_of(event(512, 64, read_only=False))
+        assert cost.extra_data_lines == 8
+
+
+class TestAccounting:
+    def test_ratios_sum_to_one(self):
+        accounting = SwitchAccounting()
+        for _ in range(90):
+            accounting.record_resolution(switched=False)
+        for _ in range(10):
+            accounting.record_resolution(switched=True)
+            accounting.record_event(event(64, 512))
+        ratios = accounting.ratios()
+        assert ratios["correct_prediction"] == pytest.approx(0.9)
+        assert ratios["fine_to_coarse_RAR"] == pytest.approx(0.1)
+        assert sum(ratios.values()) == pytest.approx(1.0)
+
+    def test_misprediction_rate(self):
+        accounting = SwitchAccounting()
+        accounting.record_resolution(switched=True)
+        accounting.record_event(event(64, 512))
+        accounting.record_resolution(switched=False)
+        assert accounting.misprediction_rate == pytest.approx(0.5)
+
+    def test_empty_accounting(self):
+        accounting = SwitchAccounting()
+        assert accounting.ratios() == {}
+        assert accounting.misprediction_rate == 0.0
+        assert accounting.total_switches == 0

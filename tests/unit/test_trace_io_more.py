@@ -1,0 +1,63 @@
+"""Trace I/O: header handling and format tolerance."""
+
+import gzip
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import DeviceKind
+from repro.workloads.trace_io import load_trace, save_trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.registry import get_workload
+
+
+def write_gz(path, text):
+    with gzip.open(path, "wt") as handle:
+        handle.write(text)
+
+
+class TestHeaders:
+    def test_metadata_roundtrips(self, tmp_path):
+        trace = generate_trace(get_workload("alex"), 1500, base_addr=32768)
+        path = tmp_path / "alex.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.spec.name == "alex"
+        assert loaded.spec.kind is DeviceKind.NPU
+        assert loaded.base_addr == 32768
+
+    def test_missing_headers_use_defaults(self, tmp_path):
+        path = tmp_path / "bare.gz"
+        write_gz(path, "1.0 40 R\n")
+        trace = load_trace(path)
+        assert trace.spec.name == "bare.trace" or trace.spec.name == "bare"
+        assert trace.spec.kind is DeviceKind.CPU
+
+    def test_unknown_header_keys_ignored(self, tmp_path):
+        path = tmp_path / "extra.gz"
+        write_gz(path, "# flavour vanilla\n# kind gpu\n2.5 80 W\n")
+        trace = load_trace(path)
+        assert trace.spec.kind is DeviceKind.GPU
+        assert trace.entries[0][2] is True
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.gz"
+        write_gz(path, "\n1.0 40 R\n\n2.0 80 W\n")
+        assert len(load_trace(path)) == 2
+
+    def test_footprint_grows_to_cover_addresses(self, tmp_path):
+        path = tmp_path / "big.gz"
+        write_gz(path, f"1.0 {0x100000:x} R\n")
+        trace = load_trace(path)
+        assert trace.spec.footprint_bytes >= 0x100000 + 64
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "line", ["1.0 40", "x 40 R", "1.0 zz R", "1.0 40 Q", "-1 40 R"]
+    )
+    def test_malformed_lines(self, tmp_path, line):
+        path = tmp_path / "bad.gz"
+        write_gz(path, line + "\n")
+        with pytest.raises((ConfigError, ValueError)):
+            load_trace(path)

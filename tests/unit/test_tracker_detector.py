@@ -1,0 +1,134 @@
+"""Access tracker (Fig. 12) and granularity detector (Algorithm 1)."""
+
+import pytest
+
+from repro.common.config import TrackerConfig
+from repro.common.constants import CHUNK_BYTES, LINES_PER_CHUNK
+from repro.core import stream_part
+from repro.core.detector import (
+    detect_paper_order,
+    detect_stream_partitions,
+    full_chunk_vector,
+    merge_detection,
+    vector_from_lines,
+)
+from repro.core.tracker import AccessTracker, run_trace_through_tracker
+
+
+class TestDetectorAlgorithm1:
+    def test_empty_vector_detects_nothing(self):
+        assert detect_stream_partitions(0) == 0
+
+    def test_full_vector_detects_all_partitions(self):
+        assert detect_stream_partitions(full_chunk_vector()) == (
+            stream_part.FULL_MASK
+        )
+
+    def test_single_complete_partition(self):
+        vector = vector_from_lines(range(8))  # lines 0..7 = partition 0
+        assert detect_stream_partitions(vector) == 1
+
+    def test_partial_partition_not_detected(self):
+        vector = vector_from_lines(range(7))  # 7 of 8 lines
+        assert detect_stream_partitions(vector) == 0
+
+    def test_unaligned_run_of_8_not_detected(self):
+        vector = vector_from_lines(range(4, 12))  # spans two partitions
+        assert detect_stream_partitions(vector) == 0
+
+    def test_middle_partition(self):
+        vector = vector_from_lines(range(5 * 8, 6 * 8))
+        assert detect_stream_partitions(vector) == 1 << 5
+
+    def test_paper_order_is_bit_reverse_of_canonical(self):
+        vector = vector_from_lines(list(range(8)) + list(range(16, 24)))
+        canonical = detect_stream_partitions(vector)
+        assert detect_paper_order(vector) == stream_part.algorithm1_encoding(
+            canonical
+        )
+
+    def test_rejects_oversized_vector(self):
+        with pytest.raises(ValueError):
+            detect_stream_partitions(1 << LINES_PER_CHUNK)
+
+    def test_vector_from_lines_validates(self):
+        with pytest.raises(ValueError):
+            vector_from_lines([LINES_PER_CHUNK])
+
+
+class TestMergeDetection:
+    def test_untouched_partitions_keep_previous_bits(self):
+        previous = 0b11
+        observation = vector_from_lines(range(16, 24))  # partition 2 only
+        merged = merge_detection(previous, observation)
+        assert merged == 0b111
+
+    def test_sparse_touch_demotes(self):
+        previous = 0b1
+        observation = vector_from_lines([0])  # partition 0 touched sparsely
+        assert merge_detection(previous, observation) == 0
+
+    def test_complete_observation_promotes(self):
+        assert merge_detection(0, vector_from_lines(range(8))) == 1
+
+    def test_empty_observation_changes_nothing(self):
+        assert merge_detection(0b1010, 0) == 0b1010
+
+
+class TestAccessTracker:
+    def test_full_chunk_triggers_eviction(self):
+        tracker = AccessTracker(TrackerConfig(entries=4, lifetime_cycles=10**9))
+        evictions = []
+        for line in range(LINES_PER_CHUNK):
+            evictions += tracker.observe(line * 64, cycle=line)
+        assert len(evictions) == 1
+        assert evictions[0].reason == "full"
+        assert evictions[0].entry.access_bits == full_chunk_vector()
+        assert len(tracker) == 0
+
+    def test_lifetime_expiry(self):
+        tracker = AccessTracker(TrackerConfig(entries=4, lifetime_cycles=100))
+        tracker.observe(0, cycle=0)
+        evictions = tracker.observe(CHUNK_BYTES, cycle=500)
+        assert any(e.reason == "expired" for e in evictions)
+
+    def test_capacity_eviction_is_lru(self):
+        tracker = AccessTracker(TrackerConfig(entries=2, lifetime_cycles=10**9))
+        tracker.observe(0 * CHUNK_BYTES, cycle=0)
+        tracker.observe(1 * CHUNK_BYTES, cycle=1)
+        tracker.observe(0 * CHUNK_BYTES, cycle=2)  # refresh chunk 0
+        evictions = tracker.observe(2 * CHUNK_BYTES, cycle=3)
+        assert len(evictions) == 1
+        assert evictions[0].entry.chunk_index == 1
+        assert evictions[0].reason == "capacity"
+
+    def test_duplicate_accesses_do_not_double_count(self):
+        tracker = AccessTracker(TrackerConfig(entries=4, lifetime_cycles=10**9))
+        tracker.observe(0, 0)
+        tracker.observe(0, 1)
+        tracker.observe(0, 2)
+        assert len(tracker) == 1
+
+    def test_drain_returns_all_entries(self):
+        tracker = AccessTracker(TrackerConfig(entries=4, lifetime_cycles=10**9))
+        tracker.observe(0, 0)
+        tracker.observe(CHUNK_BYTES, 0)
+        drained = tracker.drain()
+        assert len(drained) == 2
+        assert len(tracker) == 0
+
+    def test_hardware_budget_matches_paper(self):
+        # Sec. 4.5: 12 entries x 561 bits = 842B of storage.
+        tracker = AccessTracker()
+        assert tracker.on_chip_bits() == 12 * (512 + 49)
+        assert tracker.on_chip_bits() // 8 == 841  # ~842B
+
+    def test_run_trace_helper(self):
+        seen = []
+        run_trace_through_tracker(
+            ((cycle, line * 64) for cycle, line in enumerate(range(512))),
+            TrackerConfig(entries=4, lifetime_cycles=10**9),
+            on_evict=seen.append,
+        )
+        assert len(seen) == 1
+        assert seen[0].entry.access_bits == full_chunk_vector()

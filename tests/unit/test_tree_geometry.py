@@ -1,0 +1,117 @@
+"""Counter-tree geometry: levels, spans, node addressing."""
+
+import pytest
+
+from repro.common.constants import CACHELINE_BYTES
+from repro.common.errors import ConfigError
+from repro.tree.geometry import TreeGeometry
+
+
+class TestLevelStructure:
+    def test_1mb_region_levels(self):
+        geometry = TreeGeometry.build(1 << 20)
+        # 1MB / 512B = 2048 leaf nodes; /8 -> 256, 32, 4, 1.
+        assert geometry.level_counts == (2048, 256, 32, 4, 1)
+        assert geometry.root_level == 4
+
+    def test_4gb_region_has_eight_upper_levels(self):
+        geometry = TreeGeometry.build(4 << 30)
+        assert geometry.level_counts[0] == (4 << 30) // 512
+        assert geometry.level_counts[-1] == 1
+        assert geometry.root_level == 8
+
+    def test_non_power_of_arity_region(self):
+        geometry = TreeGeometry.build(3 << 20)  # 3MB
+        assert geometry.level_counts[0] == (3 << 20) // 512
+        assert geometry.level_counts[-1] == 1
+        # every level is ceil(previous / 8)
+        for prev, cur in zip(geometry.level_counts, geometry.level_counts[1:]):
+            assert cur == -(-prev // 8)
+
+    def test_rejects_tiny_region(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry.build(256)
+
+    def test_rejects_unaligned_region(self):
+        with pytest.raises(ConfigError):
+            TreeGeometry.build((1 << 20) + 32)
+
+    def test_span_of_level(self, small_geometry):
+        assert small_geometry.span_of_level(0) == 512
+        assert small_geometry.span_of_level(1) == 4096
+        assert small_geometry.span_of_level(2) == 32768
+        assert small_geometry.span_of_level(3) == 262144
+
+
+class TestCounterSlots:
+    def test_leaf_counter_slot(self, small_geometry):
+        node, slot = small_geometry.counter_slot(64 * 9, level=0)
+        assert (node, slot) == (1, 1)  # line 9 -> node 1, slot 1
+
+    def test_promoted_slot_level1(self, small_geometry):
+        # 512B region index 9 -> node 1, slot 1 at level 1.
+        node, slot = small_geometry.counter_slot(512 * 9, level=1)
+        assert (node, slot) == (1, 1)
+
+    def test_promoted_slot_level3(self, small_geometry):
+        node, slot = small_geometry.counter_slot(32768 * 3, level=3)
+        assert (node, slot) == (0, 3)
+
+    def test_parent_and_child_slot(self, small_geometry):
+        assert small_geometry.parent(0, 13) == (1, 1)
+        assert small_geometry.child_slot(0, 13) == 5
+
+    def test_leaf_counter_index(self, small_geometry):
+        assert small_geometry.leaf_counter_index(640) == 10
+
+
+class TestAddressLayout:
+    def test_metadata_regions_do_not_overlap_data(self, small_geometry):
+        assert small_geometry.mac_base == small_geometry.region_bytes
+        assert small_geometry.tree_base > small_geometry.mac_base
+        assert small_geometry.table_base > small_geometry.tree_base
+
+    def test_node_addrs_unique_across_levels(self, small_geometry):
+        seen = set()
+        for level, count in enumerate(small_geometry.level_counts):
+            for node in range(count):
+                addr = small_geometry.node_addr(level, node)
+                assert addr not in seen
+                assert addr % CACHELINE_BYTES == 0
+                seen.add(addr)
+
+    def test_node_addr_bounds_checked(self, small_geometry):
+        with pytest.raises(ConfigError):
+            small_geometry.node_addr(0, small_geometry.level_counts[0])
+        with pytest.raises(ConfigError):
+            small_geometry.node_addr(99, 0)
+
+    def test_fine_mac_addressing(self, small_geometry):
+        assert small_geometry.fine_mac_addr(0) == small_geometry.mac_base
+        assert small_geometry.fine_mac_addr(1) == small_geometry.mac_base + 8
+        line0 = small_geometry.fine_mac_line_addr(0)
+        assert line0 == small_geometry.mac_base
+        assert small_geometry.fine_mac_line_addr(7) == line0
+        assert small_geometry.fine_mac_line_addr(8) == line0 + 64
+
+
+class TestPathToRoot:
+    def test_path_reaches_root(self, small_geometry):
+        path = list(small_geometry.path_to_root(0))
+        assert path[0] == (0, 0)
+        assert path[-1] == (small_geometry.root_level, 0)
+        assert len(path) == small_geometry.num_levels
+
+    def test_path_node_indices_divide_by_arity(self, small_geometry):
+        addr = 512 * 777
+        path = list(small_geometry.path_to_root(addr))
+        for (_, node), (_, parent) in zip(path, path[1:]):
+            assert parent == node // 8
+
+    def test_path_from_promoted_level(self, small_geometry):
+        path = list(small_geometry.path_to_root(32768 * 3, start_level=2))
+        assert path[0] == (2, 3)
+        assert len(path) == small_geometry.num_levels - 2
+
+    def test_counters_at_level(self, small_geometry):
+        assert small_geometry.counters_at_level(0) == 2048 * 8
