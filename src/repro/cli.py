@@ -4,7 +4,10 @@ Commands:
 
 * ``list``        -- enumerate workloads, scenarios and schemes;
 * ``simulate``    -- run one scenario under chosen schemes;
-* ``experiment``  -- regenerate a paper table/figure by id.
+* ``experiment``  -- regenerate a paper table/figure by id;
+* ``faults``      -- run the fault-injection campaign against the
+  functional security engine (exits non-zero on any silent
+  corruption).
 """
 
 from __future__ import annotations
@@ -159,6 +162,38 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run the fault-injection campaign; fail on silent corruption."""
+    from repro.faults.campaign import CampaignConfig, run_campaign
+    from repro.secure_memory.failure import FAILURE_MODES
+
+    config = CampaignConfig(
+        seed=args.seed,
+        trials=1 if args.smoke else args.trials,
+        attacks=tuple(args.attacks.split(",")) if args.attacks else (),
+        policies=tuple(args.policies.split(",")),
+        failure_modes=(
+            tuple(args.modes.split(",")) if args.modes else FAILURE_MODES
+        ),
+    )
+    result = run_campaign(config)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"wrote {args.json}", file=sys.stderr)
+    print(result.format_table())
+    if not result.clean:
+        for cell in result.fatal_cells():
+            print(
+                f"FATAL: {cell.attack} policy={cell.policy} "
+                f"mode={cell.failure_mode} granularity={cell.granularity}: "
+                f"{'; '.join(cell.details)}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -206,6 +241,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--sample", type=int, default=None)
     p_rep.add_argument("--seed", type=int, default=0)
     p_rep.set_defaults(func=cmd_report)
+
+    p_flt = sub.add_parser(
+        "faults", help="fault-injection campaign on the security engine"
+    )
+    p_flt.add_argument(
+        "--smoke", action="store_true", help="1 trial per cell (CI gate)"
+    )
+    p_flt.add_argument("--seed", type=int, default=0)
+    p_flt.add_argument("--trials", type=int, default=3)
+    p_flt.add_argument(
+        "--attacks", default=None, help="comma-separated subset of the catalog"
+    )
+    p_flt.add_argument("--policies", default="fixed,multigranular")
+    p_flt.add_argument(
+        "--modes", default=None, help="failure modes (default: all three)"
+    )
+    p_flt.add_argument("--json", default=None, help="also write JSON results")
+    p_flt.set_defaults(func=cmd_faults)
 
     return parser
 

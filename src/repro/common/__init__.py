@@ -14,6 +14,7 @@ from repro.common.errors import (
     ConfigError,
     CounterOverflowError,
     IntegrityError,
+    QuarantineError,
     ReplayError,
     ReproError,
     SecurityError,
@@ -41,6 +42,7 @@ __all__ = [
     "ConfigError",
     "CounterOverflowError",
     "IntegrityError",
+    "QuarantineError",
     "ReplayError",
     "ReproError",
     "SecurityError",

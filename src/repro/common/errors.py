@@ -34,3 +34,14 @@ class ReplayError(SecurityError):
 
 class CounterOverflowError(SecurityError):
     """A write counter exhausted its width and would repeat an OTP."""
+
+
+class QuarantineError(SecurityError):
+    """An access touched a quarantined (previously tampered) region.
+
+    Raised instead of returning unverifiable data: under the
+    ``quarantine`` failure policies the engine keeps serving the rest
+    of the protected region after an integrity failure, but every
+    access to the poisoned region itself fails closed with this error
+    until the region is healed by fresh writes.
+    """

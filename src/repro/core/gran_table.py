@@ -185,6 +185,65 @@ class GranularityTable:
         mask = ((1 << parts) - 1) << first_part
         entry.current = (entry.current & ~mask) | (entry.next & mask)
 
+    # ------------------------------------------------------------------
+    # Recovery helpers (quarantine demotion, switch rollback)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def region_partition_mask(addr: int, span: int) -> int:
+        """Bitmap mask of the partitions covered by ``addr``'s span-region.
+
+        ``span`` is clamped to the chunk; sub-partition spans (64B)
+        still mask their covering 512B partition, because the bitmap
+        cannot express anything finer.
+        """
+        span = min(max(span, GRANULARITIES[1]), CHUNK_BYTES)
+        offset = addr - chunk_base(addr)
+        region_start = (offset // span) * span
+        first_part = region_start // GRANULARITIES[1]
+        parts = span // GRANULARITIES[1]
+        return ((1 << parts) - 1) << first_part
+
+    def demote_region(self, addr: int, span: int, hold: int = 4) -> Tuple[int, int]:
+        """Force the region of ``addr`` back to 64B granularity.
+
+        Clears the region's partition bits in *both* bitmaps (so no
+        lazy switch immediately re-promotes it) and arms the demotion
+        hysteresis.  Returns ``(old_bits, new_bits)`` so the caller can
+        relocate compacted MACs of the rest of the chunk.
+        """
+        entry = self.entry(addr)
+        mask = self.region_partition_mask(addr, span)
+        old_bits = entry.current
+        entry.current &= ~mask
+        entry.next &= ~mask
+        entry.demote_hold = max(entry.demote_hold, hold)
+        return old_bits, entry.current
+
+    def rollback_region(self, addr: int, span: int, old_bits: int) -> None:
+        """Undo a just-applied lazy switch of ``addr``'s span-region.
+
+        Restores the span's partition bits in both bitmaps from
+        ``old_bits`` -- used when the metadata re-keying of a switch
+        fails verification (mid-switch tamper) and the sealed layout
+        must remain the authoritative one.
+        """
+        entry = self.entry(addr)
+        mask = self.region_partition_mask(addr, span)
+        entry.current = (entry.current & ~mask) | (old_bits & mask)
+        entry.next = (entry.next & ~mask) | (old_bits & mask)
+
+    def restrict_next(self, addr: int, forbidden_mask: int) -> None:
+        """Keep the partitions in ``forbidden_mask`` fine in ``next``.
+
+        Quarantined partitions must never be re-promoted (a switch
+        would have to open their unverifiable data), so the resolver
+        clamps the detection bitmap before applying lazy switching.
+        """
+        entry = self._entries.get(chunk_index(addr))
+        if entry is not None:
+            entry.next &= ~forbidden_mask
+
     def chunks(self) -> Iterator[Tuple[int, TableEntry]]:
         return iter(self._entries.items())
 

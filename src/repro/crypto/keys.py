@@ -44,3 +44,25 @@ class KeySet:
         enc = hashlib.blake2b(seed, digest_size=KEY_BYTES, person=b"repro-enc-key01").digest()
         mac = hashlib.blake2b(seed, digest_size=KEY_BYTES, person=b"repro-mac-key01").digest()
         return cls(enc, mac)
+
+    def derive(self, label: bytes) -> "KeySet":
+        """Derive a sub-keyset bound to ``label`` (key-epoch rotation).
+
+        Counter-overflow recovery re-encrypts a region under a fresh
+        key epoch so counter values may repeat without ever repeating a
+        pad.  Derivation is one-way (keyed hash of the label), so old
+        epochs cannot be reconstructed from new ones.
+        """
+        enc = hashlib.blake2b(
+            label,
+            key=self._encryption_key,
+            digest_size=KEY_BYTES,
+            person=b"repro-derive-enc",
+        ).digest()
+        mac = hashlib.blake2b(
+            label,
+            key=self._mac_key,
+            digest_size=KEY_BYTES,
+            person=b"repro-derive-mac",
+        ).digest()
+        return KeySet(enc, mac)

@@ -1,0 +1,359 @@
+"""Seeded attack catalog against the functional secure memory.
+
+Every attack mutates only surfaces the paper's adversary physically
+owns (Sec. 2.5): ciphertext lines in the backing store, the compacted
+MAC region, counter-tree nodes, and the (nominally protected, here
+deliberately attackable) granularity table.  Attacks are deterministic
+given a :class:`random.Random`, so campaigns replay exactly from a
+seed.
+
+The victim data is always *sealed, non-zero* ciphertext: the engine
+accepts missing metadata only for pristine all-zero lines, and the
+injector must never let that acceptance path mask an attack.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.address import align_down
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    GRANULARITIES,
+    granularity_level,
+)
+from repro.common.errors import IntegrityError, ReplayError
+from repro.core.gran_table import GranularityTable
+from repro.secure_memory.engine import SecureMemory
+
+
+@dataclass
+class Victim:
+    """A sealed region of non-zero data the attacks target.
+
+    ``span`` covers at least two lines even at 64B granularity so
+    relocation attacks always have a second line to splice from.
+    ``lines`` tracks the *logical* plaintext; attacks that perform
+    legitimate writes (rollback staging) keep it current, so the
+    campaign can tell a correct read from a silently corrupted one.
+    """
+
+    base: int
+    granularity: int
+    span: int
+    lines: List[bytes]
+
+    def line_addr(self, index: int) -> int:
+        return self.base + index * CACHELINE_BYTES
+
+    def pick_line(self, rng: random.Random) -> int:
+        return self.line_addr(rng.randrange(len(self.lines)))
+
+    def expected_bytes(self) -> bytes:
+        return b"".join(self.lines)
+
+    def region_of(self, line_addr: int) -> Tuple[int, int]:
+        """(base, size) of the protection region containing the line."""
+        base = align_down(line_addr, self.granularity)
+        return base, self.granularity
+
+
+InjectFn = Callable[[SecureMemory, random.Random, Victim], str]
+
+
+@dataclass(frozen=True)
+class Attack:
+    """One entry of the fault-injection catalog.
+
+    Attributes:
+        name: stable identifier used by the CLI and reports.
+        description: one-line human summary.
+        expected: the ``SecurityError`` subclasses a correct engine
+            raises for this attack (directly, or as the ``__cause__``
+            of a :class:`~repro.common.errors.QuarantineError`).
+        inject: performs the mutation; returns a detail string.
+        multigranular_only: attack targets machinery the fixed
+            baseline does not have (granularity table, lazy switch).
+        recoverable: a retrying failure policy may legitimately serve
+            correct data (transient faults); for every other attack a
+            clean read is a detection miss.
+    """
+
+    name: str
+    description: str
+    expected: Tuple[type, ...]
+    inject: InjectFn
+    multigranular_only: bool = False
+    recoverable: bool = False
+    tree_attack: bool = False  # targets a counter-tree node whose blast
+    # radius may legitimately cover other chunks (shared ancestors)
+
+    def applies(self, policy: str) -> bool:
+        return policy == "multigranular" or not self.multigranular_only
+
+
+# ----------------------------------------------------------------------
+# Data-surface attacks
+# ----------------------------------------------------------------------
+
+def _flip_mask(rng: random.Random) -> int:
+    return 1 << rng.randrange(8)
+
+
+def inject_data_bitflip(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    addr = victim.pick_line(rng)
+    offset = rng.randrange(CACHELINE_BYTES)
+    mem.tamper_data(addr, flip_mask=_flip_mask(rng), offset=offset)
+    return f"line {addr:#x} byte {offset}"
+
+
+def inject_data_multiflip(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    flips = rng.randrange(2, 9)
+    for _ in range(flips):
+        mem.tamper_data(
+            victim.pick_line(rng),
+            flip_mask=_flip_mask(rng),
+            offset=rng.randrange(CACHELINE_BYTES),
+        )
+    return f"{flips} flips"
+
+
+def inject_data_splice(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    """Relocate one line's ciphertext over another (address swap)."""
+    src = victim.pick_line(rng)
+    dst = victim.pick_line(rng)
+    while dst == src:
+        dst = victim.pick_line(rng)
+    mem.dram.replay_line(dst, mem.dram.snapshot_line(src))
+    return f"{src:#x} -> {dst:#x}"
+
+
+def inject_data_rollback(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    """Replay a whole protection region to a stale-but-authentic state."""
+    target = victim.pick_line(rng)
+    base, size = victim.region_of(target)
+    snapshots = [
+        mem.snapshot(base + off) for off in range(0, size, CACHELINE_BYTES)
+    ]
+    fresh = bytes(rng.randrange(1, 256) for _ in range(CACHELINE_BYTES))
+    mem.write(target, fresh)
+    victim.lines[(target - victim.base) // CACHELINE_BYTES] = fresh
+    for off, snap in zip(range(0, size, CACHELINE_BYTES), snapshots):
+        mem.replay(base + off, snap)
+    return f"region {base:#x}+{size}"
+
+
+def inject_transient_flip(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    addr = victim.pick_line(rng)
+    mem.tamper_data_transient(
+        addr, flip_mask=_flip_mask(rng), offset=rng.randrange(CACHELINE_BYTES)
+    )
+    return f"glitch on {addr:#x}"
+
+
+# ----------------------------------------------------------------------
+# MAC-surface attacks
+# ----------------------------------------------------------------------
+
+def inject_mac_bitflip(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    addr = victim.pick_line(rng)
+    mem.tamper_mac(addr)
+    return f"MAC of {addr:#x}"
+
+
+def inject_mac_delete(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    addr = victim.pick_line(rng)
+    mem.delete_mac(addr)
+    return f"deleted MAC of {addr:#x}"
+
+
+# ----------------------------------------------------------------------
+# Counter-tree attacks
+# ----------------------------------------------------------------------
+
+def _victim_counter_site(victim: Victim, rng: random.Random) -> Tuple[int, int]:
+    """(addr, level) of the live counter protecting a victim line."""
+    target = victim.pick_line(rng)
+    base, _ = victim.region_of(target)
+    return base, granularity_level(victim.granularity)
+
+
+def inject_counter_tamper(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    addr, level = _victim_counter_site(victim, rng)
+    mem.tree.tamper_counter(addr, level=level, delta=rng.randrange(1, 16))
+    mem.tree.drop_trust_cache()
+    return f"counter L{level} of {addr:#x}"
+
+
+def inject_node_mac_flip(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    addr, level = _victim_counter_site(victim, rng)
+    mem.tree.tamper_node_mac(addr, level=level)
+    mem.tree.drop_trust_cache()
+    return f"node MAC L{level} of {addr:#x}"
+
+
+def inject_node_rollback(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    """Replay a counter node (and matching data) to a stale version."""
+    target = victim.pick_line(rng)
+    base, size = victim.region_of(target)
+    level = granularity_level(victim.granularity)
+    node_snap = mem.tree.snapshot_node(base, level=level)
+    data_snaps = [
+        mem.snapshot(base + off) for off in range(0, size, CACHELINE_BYTES)
+    ]
+    fresh = bytes(rng.randrange(1, 256) for _ in range(CACHELINE_BYTES))
+    mem.write(target, fresh)
+    victim.lines[(target - victim.base) // CACHELINE_BYTES] = fresh
+    mem.tree.replay_node(base, node_snap, level=level)
+    for off, snap in zip(range(0, size, CACHELINE_BYTES), data_snaps):
+        mem.replay(base + off, snap)
+    mem.tree.drop_trust_cache()
+    return f"node L{level} of {base:#x}"
+
+
+# ----------------------------------------------------------------------
+# Granularity-metadata attacks (multigranular machinery only)
+# ----------------------------------------------------------------------
+
+def inject_table_tamper(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    """Flip a sealed-bitmap bit of the victim chunk's table entry.
+
+    Models an attacker reaching the granularity table: the engine now
+    derives the wrong protection layout for the victim, so MAC lookups
+    and the induced spurious lazy switch must fail verification rather
+    than trust relocated metadata.
+    """
+    entry = mem.table.entry(victim.base)
+    mask = GranularityTable.region_partition_mask(
+        victim.base, max(victim.granularity, GRANULARITIES[1])
+    )
+    candidates = [bit for bit in range(64) if mask >> bit & 1]
+    bit = 1 << rng.choice(candidates)
+    entry.current ^= bit
+    return f"current bitmap ^= {bit:#x}"
+
+
+def inject_mid_switch_tamper(mem: SecureMemory, rng: random.Random, victim: Victim) -> str:
+    """Tamper ciphertext *inside* the lazy-switching window.
+
+    A granularity switch is staged (the detection bitmap disagrees
+    with the sealed one) but not yet applied; the corruption must be
+    caught by the switch's verification pass when the next access
+    triggers the re-keying -- the paper's most delicate metadata
+    window.
+    """
+    entry = mem.table.entry(victim.base)
+    if victim.granularity >= CHUNK_BYTES:
+        # Stage a demotion of the whole streamed chunk.
+        entry.next = 0
+        detail = "staged 32KB -> 64B demotion"
+    else:
+        target = GRANULARITIES[
+            GRANULARITIES.index(victim.granularity) + 1
+        ]
+        entry.next |= GranularityTable.region_partition_mask(
+            victim.base, target
+        )
+        detail = f"staged promotion to {target}B"
+    addr = victim.pick_line(rng)
+    mem.tamper_data(
+        addr, flip_mask=_flip_mask(rng), offset=rng.randrange(CACHELINE_BYTES)
+    )
+    return f"{detail}; tampered {addr:#x}"
+
+
+#: The attack catalog, in report order.
+ATTACKS: Tuple[Attack, ...] = (
+    Attack(
+        "data_bitflip",
+        "single bit-flip in stored ciphertext",
+        (IntegrityError,),
+        inject_data_bitflip,
+    ),
+    Attack(
+        "data_multiflip",
+        "2-8 bit-flips across the victim's lines",
+        (IntegrityError,),
+        inject_data_multiflip,
+    ),
+    Attack(
+        "data_splice",
+        "relocate one line's ciphertext over another",
+        (IntegrityError,),
+        inject_data_splice,
+    ),
+    Attack(
+        "data_rollback",
+        "replay a whole region to a stale authentic state",
+        (ReplayError,),
+        inject_data_rollback,
+    ),
+    Attack(
+        "transient_flip",
+        "one-shot bus glitch on a victim line",
+        (IntegrityError,),
+        inject_transient_flip,
+        recoverable=True,
+    ),
+    Attack(
+        "mac_bitflip",
+        "bit-flip in the stored (merged) MAC",
+        (IntegrityError,),
+        inject_mac_bitflip,
+    ),
+    Attack(
+        "mac_delete",
+        "erase the stored MAC covering the victim",
+        (IntegrityError,),
+        inject_mac_delete,
+    ),
+    Attack(
+        "counter_tamper",
+        "bump a stored counter without resealing",
+        (IntegrityError, ReplayError),
+        inject_counter_tamper,
+        tree_attack=True,
+    ),
+    Attack(
+        "node_mac_flip",
+        "bit-flip a counter-tree node seal",
+        (IntegrityError, ReplayError),
+        inject_node_mac_flip,
+        tree_attack=True,
+    ),
+    Attack(
+        "node_rollback",
+        "replay a counter node + data to a stale version",
+        (IntegrityError, ReplayError),
+        inject_node_rollback,
+        tree_attack=True,
+    ),
+    Attack(
+        "table_tamper",
+        "flip a sealed granularity-table bitmap bit",
+        (IntegrityError, ReplayError),
+        inject_table_tamper,
+        multigranular_only=True,
+    ),
+    Attack(
+        "mid_switch_tamper",
+        "corrupt ciphertext inside the lazy-switch window",
+        (IntegrityError, ReplayError),
+        inject_mid_switch_tamper,
+        multigranular_only=True,
+    ),
+)
+
+_BY_NAME: Dict[str, Attack] = {attack.name: attack for attack in ATTACKS}
+
+
+def attack_by_name(name: str) -> Attack:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

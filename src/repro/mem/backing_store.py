@@ -20,11 +20,20 @@ class BackingStore:
     def __init__(self, line_bytes: int = CACHELINE_BYTES) -> None:
         self.line_bytes = line_bytes
         self._lines: Dict[int, bytes] = {}
+        self._transient: Dict[int, bytes] = {}
         self._zero = bytes(line_bytes)
 
     def read_line(self, addr: int) -> bytes:
-        """Read the aligned line at ``addr`` (uninitialized lines are zero)."""
+        """Read the aligned line at ``addr`` (uninitialized lines are zero).
+
+        A pending transient corruption (bus glitch model) is served
+        exactly once and then clears itself; subsequent reads see the
+        stored contents again.
+        """
         self._check_aligned(addr)
+        glitched = self._transient.pop(addr, None)
+        if glitched is not None:
+            return glitched
         return self._lines.get(addr, self._zero)
 
     def write_line(self, addr: int, data: bytes) -> None:
@@ -39,13 +48,34 @@ class BackingStore:
     def corrupt(self, addr: int, offset: int = 0, flip_mask: int = 0x01) -> None:
         """Attacker primitive: flip bits of one stored byte in place."""
         self._check_aligned(addr)
-        line = bytearray(self.read_line(addr))
+        line = bytearray(self._lines.get(addr, self._zero))
         line[offset] ^= flip_mask
         self._lines[addr] = bytes(line)
 
+    def corrupt_transient(
+        self, addr: int, offset: int = 0, flip_mask: int = 0x01
+    ) -> None:
+        """Fault primitive: the *next* read of ``addr`` sees flipped bits.
+
+        Models a transient bus/DRAM glitch rather than a persistent
+        off-chip mutation: one read observes the corruption, after
+        which the stored line is intact again.  The engine's
+        retry-then-quarantine failure policy exists to absorb exactly
+        this fault class.
+        """
+        self._check_aligned(addr)
+        line = bytearray(self._lines.get(addr, self._zero))
+        line[offset] ^= flip_mask
+        self._transient[addr] = bytes(line)
+
     def snapshot_line(self, addr: int) -> bytes:
-        """Attacker primitive: copy a line for a later replay."""
-        return self.read_line(addr)
+        """Attacker primitive: copy a line for a later replay.
+
+        Reads the stored contents directly so snapshotting never
+        consumes a pending transient glitch.
+        """
+        self._check_aligned(addr)
+        return self._lines.get(addr, self._zero)
 
     def replay_line(self, addr: int, old: bytes) -> None:
         """Attacker primitive: restore a previously captured line."""

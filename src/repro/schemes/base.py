@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import SoCConfig
 from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES, GRANULARITIES
-from repro.common.stats import Histogram
+from repro.common.stats import CounterStats, Histogram
 from repro.common.types import MemoryRequest, MetadataKind, TrafficBreakdown
 from repro.core.switching import SwitchAccounting
 from repro.mem.cache import SetAssociativeCache
@@ -47,6 +47,11 @@ class SchemeStats:
     switching: SwitchAccounting = field(default_factory=SwitchAccounting)
     serialized_level_fetches: int = 0
     region_overfetch_lines: int = 0
+    per_device: Dict[int, CounterStats] = field(default_factory=dict)
+
+    def device(self, index: int) -> CounterStats:
+        """Integrity-event counters of one processing unit."""
+        return self.per_device.setdefault(index, CounterStats())
 
     def security_cache_misses(self, scheme: "ProtectionScheme") -> int:
         return scheme.metadata_cache.misses + scheme.mac_cache.misses
@@ -224,6 +229,7 @@ class ProtectionScheme(abc.ABC):
         self.stats = SchemeStats()
         self._written_chunks: set = set()
         self._engine = engine
+        self._active_device: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -238,6 +244,10 @@ class ProtectionScheme(abc.ABC):
             self.stats.writes += 1
         else:
             self.stats.reads += 1
+        self._active_device = req.device
+        device = self.stats.device(req.device)
+        device.bump("requests")
+        device.bump("writes" if req.is_write else "reads")
         return self._process(req, cycle, channel)
 
     @abc.abstractmethod
@@ -364,6 +374,10 @@ class ProtectionScheme(abc.ABC):
             ready = max(ready, done)
             self.stats.serialized_level_fetches += 1
             node //= self.geometry.arity
+        if self._active_device is not None and levels_walked:
+            self.stats.device(self._active_device).bump(
+                "tree_levels_verified", levels_walked
+            )
         return ready + levels_walked * self._engine.mac_latency
 
     def _counter_write_walk(
@@ -394,6 +408,8 @@ class ProtectionScheme(abc.ABC):
         self, mac_line_addr: int, write: bool, cycle: float, channel: MemoryChannel
     ) -> float:
         """Access one MAC line through the MAC cache."""
+        if self._active_device is not None:
+            self.stats.device(self._active_device).bump("mac_verifications")
         _, ready = self._cache_fill(
             self.mac_cache, mac_line_addr, write, cycle, channel, MetadataKind.MAC
         )

@@ -1,6 +1,19 @@
 """User-facing functional secure memory (encrypt + MAC + replay-protect)."""
 
 from repro.secure_memory.engine import SecureMemory
+from repro.secure_memory.failure import (
+    FAILURE_MODES,
+    FailurePolicy,
+    IntegrityEvent,
+    IntegrityLog,
+)
 from repro.secure_memory.protected_table import ProtectedTableStore
 
-__all__ = ["SecureMemory", "ProtectedTableStore"]
+__all__ = [
+    "SecureMemory",
+    "ProtectedTableStore",
+    "FailurePolicy",
+    "FAILURE_MODES",
+    "IntegrityEvent",
+    "IntegrityLog",
+]

@@ -19,17 +19,42 @@ Uninitialized memory reads as zeros.  A line is "sealed" once it has a
 stored MAC; absence of a MAC is only accepted for the pristine all-zero
 ciphertext, so an attacker cannot hide data by deleting its MAC.
 
+Beyond detection, the engine supports *recovery* (see
+:mod:`repro.secure_memory.failure` and ``docs/fault_model.md``):
+
+* a configurable :class:`FailurePolicy` -- ``raise`` (paper
+  semantics), ``quarantine`` and ``retry-then-quarantine`` -- that
+  contains an integrity failure to the poisoned protection region,
+  demotes it back to 64B granularity and lets fresh writes heal it
+  while the rest of the region keeps serving;
+* real :class:`~repro.common.errors.CounterOverflowError` handling:
+  counter exhaustion triggers a lazy re-encryption of the affected
+  32KB chunk under a fresh key epoch, so narrow counters degrade into
+  extra work instead of a dead engine.
+
 The functional layer favours clarity over speed; the timing layer in
 :mod:`repro.schemes` shares the same core logic but only counts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.common.address import align_down, check_range, iter_lines
-from repro.common.constants import CACHELINE_BYTES, GRANULARITIES, granularity_level
-from repro.common.errors import AddressError, IntegrityError, ReplayError
+from repro.common.address import align_down, check_range, chunk_base, chunk_index, iter_lines
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    GRANULARITIES,
+    granularity_level,
+)
+from repro.common.errors import (
+    AddressError,
+    CounterOverflowError,
+    IntegrityError,
+    QuarantineError,
+    ReplayError,
+)
+from repro.common.stats import CounterStats
 from repro.core import addressing, stream_part
 from repro.core.detector import merge_detection
 from repro.core.gran_table import GranularityTable, SwitchEvent
@@ -39,6 +64,7 @@ from repro.crypto.keys import KeySet
 from repro.crypto.mac import compute_mac, macs_equal, nested_mac
 from repro.crypto.otp import decrypt_line, encrypt_line
 from repro.mem.backing_store import BackingStore
+from repro.secure_memory.failure import FailurePolicy, IntegrityEvent, IntegrityLog
 from repro.tree.geometry import TreeGeometry
 from repro.tree.integrity_tree import CounterTree
 
@@ -55,18 +81,41 @@ class SecureMemory:
         keys: Optional[KeySet] = None,
         policy: str = "multigranular",
         tracker: Optional[AccessTracker] = None,
+        failure_policy=None,
+        counter_bits: int = 64,
     ) -> None:
         if policy not in ("fixed", "multigranular"):
             raise ValueError(f"unknown policy {policy!r}")
+        if not 2 <= counter_bits <= 64:
+            raise ValueError(
+                f"counter_bits {counter_bits} out of range [2, 64]"
+            )
         self.policy = policy
         self.keys = keys or KeySet.generate()
         self.geometry = TreeGeometry.build(region_bytes)
-        self.tree = CounterTree(self.geometry, self.keys)
+        self.counter_bits = counter_bits
+        self.tree = CounterTree(
+            self.geometry, self.keys, counter_limit=(1 << counter_bits) - 1
+        )
         self.dram = BackingStore()
         self._macs: Dict[int, bytes] = {}
         self.table = GranularityTable(table_base=self.geometry.table_base)
         self.tracker = tracker or AccessTracker()
         self.switching = SwitchAccounting()
+        self.failure_policy = FailurePolicy.coerce(failure_policy)
+        self.events = CounterStats()
+        self.integrity_log = IntegrityLog()
+        # Key-epoch state for counter-overflow recovery: chunks whose
+        # counters exhausted are re-encrypted under a derived key, so a
+        # reset counter can never repeat a pad.  Epochs are on-chip
+        # trusted state (hardware would keep a small epoch table or
+        # re-derive from fuses).
+        self._key_epochs: Dict[int, int] = {}
+        self._epoch_keys: Dict[int, KeySet] = {}
+        # Quarantine state: poisoned 64B lines fail closed until healed
+        # by a fresh write ("heal") or permanently ("hard").
+        self._quarantined: Dict[int, str] = {}
+        self._quarantine_masks: Dict[int, int] = {}
         self.cycle = 0
         self.reads = 0
         self.writes = 0
@@ -106,13 +155,70 @@ class SecureMemory:
             return GRANULARITIES[0]
         return self.table.peek_granularity(addr)
 
+    def force_granularity(self, addr: int, granularity: int) -> int:
+        """Deterministically request ``granularity`` for ``addr``'s region.
+
+        Test and campaign helper: stores the detection bitmap directly
+        (bypassing the access tracker's stochastic timing) and applies
+        the lazy switch immediately, exactly as a first access to the
+        region would.  Returns the granularity now in effect at
+        ``addr``.  Forcing 64B demotes the covering 512B partition (the
+        bitmap's finest unit); forcing 512B on a fully streamed 4KB
+        group still resolves to 4KB, as in the real encoding.
+        """
+        if self.policy == "fixed":
+            raise ValueError("the fixed policy has no granularity table")
+        granularity_level(granularity)  # validates the size
+        entry = self.table.entry(addr)
+        if granularity == GRANULARITIES[0]:
+            entry.next &= ~self.table.region_partition_mask(
+                addr, GRANULARITIES[1]
+            )
+        elif granularity == CHUNK_BYTES:
+            entry.next = stream_part.FULL_MASK
+        else:
+            entry.next |= self.table.region_partition_mask(addr, granularity)
+        resolved, event = self.table.resolve(addr, is_write=False)
+        self.switching.record_resolution(switched=event is not None)
+        if event is not None:
+            self.switching.record_event(event)
+            self.switches += 1
+            self._apply_switch_with_recovery(event)
+        return resolved
+
+    # ------------------------------------------------------------------
+    # Quarantine introspection
+    # ------------------------------------------------------------------
+
+    def is_quarantined(self, addr: int) -> bool:
+        """True when the 64B line of ``addr`` is currently quarantined."""
+        return align_down(addr, CACHELINE_BYTES) in self._quarantined
+
+    def quarantined_lines(self) -> List[int]:
+        """Sorted line addresses currently failing closed."""
+        return sorted(self._quarantined)
+
+    def key_epoch(self, addr: int) -> int:
+        """Key epoch of ``addr``'s chunk (bumped by overflow recovery)."""
+        return self._key_epochs.get(chunk_index(addr), 0)
+
     # ------------------------------------------------------------------
     # Attacker primitives (physical off-chip access, paper Sec. 2.5)
     # ------------------------------------------------------------------
 
-    def tamper_data(self, addr: int, flip_mask: int = 0x01) -> None:
-        """Flip a bit of stored ciphertext."""
-        self.dram.corrupt(align_down(addr, CACHELINE_BYTES), flip_mask=flip_mask)
+    def tamper_data(self, addr: int, flip_mask: int = 0x01, offset: int = 0) -> None:
+        """Flip bits of stored ciphertext."""
+        self.dram.corrupt(
+            align_down(addr, CACHELINE_BYTES), offset=offset, flip_mask=flip_mask
+        )
+
+    def tamper_data_transient(
+        self, addr: int, flip_mask: int = 0x01, offset: int = 0
+    ) -> None:
+        """Glitch primitive: the next read of ``addr``'s line is corrupted once."""
+        self.dram.corrupt_transient(
+            align_down(addr, CACHELINE_BYTES), offset=offset, flip_mask=flip_mask
+        )
 
     def tamper_mac(self, addr: int) -> None:
         """Flip a bit of the stored MAC covering ``addr``."""
@@ -121,6 +227,13 @@ class SecureMemory:
         if mac is None:
             raise KeyError(f"no MAC stored yet for {addr:#x}")
         self._macs[mac_addr] = bytes([mac[0] ^ 0x01]) + mac[1:]
+
+    def delete_mac(self, addr: int) -> None:
+        """Delete the stored MAC covering ``addr`` (metadata erasure attack)."""
+        mac_addr = self._region_mac_addr(addr)
+        if mac_addr not in self._macs:
+            raise KeyError(f"no MAC stored yet for {addr:#x}")
+        del self._macs[mac_addr]
 
     def snapshot(self, addr: int) -> Tuple[bytes, bytes]:
         """Capture (ciphertext, MAC) of one line for a replay attack."""
@@ -145,7 +258,27 @@ class SecureMemory:
     def _write_line(self, line_addr: int, payload: bytes) -> None:
         if len(payload) != CACHELINE_BYTES:
             payload = payload.ljust(CACHELINE_BYTES, b"\0")
+        state = self._quarantined.get(line_addr)
+        if state == "hard":
+            self.events.bump("quarantined_line_writes")
+            raise QuarantineError(
+                f"write to hard-quarantined line {line_addr:#x}"
+            )
+        if state == "heal":
+            self._heal_line(line_addr)
         granularity = self._resolve(line_addr, is_write=True)
+        try:
+            self._write_line_at(line_addr, payload, granularity)
+        except CounterOverflowError:
+            self.events.bump("counter_overflows")
+            self._reencrypt_chunk(chunk_base(line_addr))
+            self._write_line_at(line_addr, payload, granularity)
+        except (IntegrityError, ReplayError) as exc:
+            self._handle_write_failure(line_addr, payload, granularity, exc)
+
+    def _write_line_at(
+        self, line_addr: int, payload: bytes, granularity: int
+    ) -> None:
         if granularity == GRANULARITIES[0]:
             counter = self.tree.increment_counter(line_addr, level=0)
             self._seal_line(line_addr, counter, payload, self._current_bits(line_addr))
@@ -171,6 +304,17 @@ class SecureMemory:
         self._seal_region(region_base, granularity, new_counter, plaintexts, bits)
 
     def _read_line(self, line_addr: int) -> bytes:
+        if line_addr in self._quarantined:
+            self.events.bump("quarantined_line_reads")
+            raise QuarantineError(
+                f"read of quarantined line {line_addr:#x}"
+            )
+        try:
+            return self._read_line_verified(line_addr)
+        except (IntegrityError, ReplayError) as exc:
+            return self._handle_read_failure(line_addr, exc)
+
+    def _read_line_verified(self, line_addr: int) -> bytes:
         granularity = self._resolve(line_addr, is_write=False)
         bits = self._current_bits(line_addr)
         if granularity == GRANULARITIES[0]:
@@ -181,6 +325,211 @@ class SecureMemory:
         counter = self.tree.read_counter(region_base, level=level)
         plaintexts = self._open_region(region_base, granularity, counter, bits)
         return plaintexts[(line_addr - region_base) // CACHELINE_BYTES]
+
+    # ------------------------------------------------------------------
+    # Integrity-failure handling (FailurePolicy)
+    # ------------------------------------------------------------------
+
+    def _handle_read_failure(self, line_addr: int, exc: Exception) -> bytes:
+        self.events.bump("integrity_failures")
+        if not self.failure_policy.quarantines:
+            raise exc
+        if self.failure_policy.retries_first:
+            for _ in range(self.failure_policy.retries):
+                try:
+                    data = self._read_line_verified(line_addr)
+                except (IntegrityError, ReplayError) as again:
+                    exc = again
+                    continue
+                self._record_recovery("read-failure", line_addr, exc)
+                return data
+        self._quarantine_region(line_addr, exc, kind="read-failure")
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _handle_write_failure(
+        self, line_addr: int, payload: bytes, granularity: int, exc: Exception
+    ) -> None:
+        """A read-modify-write (coarse write) failed verification."""
+        self.events.bump("integrity_failures")
+        if not self.failure_policy.quarantines:
+            raise exc
+        if self.failure_policy.retries_first:
+            for _ in range(self.failure_policy.retries):
+                try:
+                    self._write_line_at(line_addr, payload, granularity)
+                except (IntegrityError, ReplayError) as again:
+                    exc = again
+                    continue
+                self._record_recovery("write-failure", line_addr, exc)
+                return
+        self._quarantine_region(line_addr, exc, kind="write-failure")
+
+    def _record_recovery(self, kind: str, line_addr: int, exc: Exception) -> None:
+        self.events.bump("retry_recoveries")
+        self.integrity_log.record(
+            IntegrityEvent(
+                kind=kind,
+                addr=line_addr,
+                granularity=self._peek_granularity(line_addr),
+                error=type(exc).__name__,
+                healable=True,
+                recovered=True,
+            )
+        )
+
+    def _quarantine_region(
+        self, line_addr: int, cause: Exception, kind: str, reraise: bool = True
+    ) -> None:
+        """Fail the poisoned region closed; keep the rest serving.
+
+        The failing protection region is quarantined whole (its merged
+        MAC cannot localize the tamper further), demoted back to 64B
+        granularity so fresh writes can heal it line by line, and its
+        partitions are barred from re-promotion until healed.  If even
+        the demotion bookkeeping fails verification (the counter tree
+        itself is corrupted), the region is quarantined *hard*: no
+        access, including writes, is accepted for it again.
+        """
+        granularity = self._peek_granularity(line_addr)
+        base = align_down(line_addr, granularity)
+        healable = True
+        if granularity != GRANULARITIES[0] and self.policy == "multigranular":
+            try:
+                self._demote_quarantined(base, granularity)
+            except (IntegrityError, ReplayError, CounterOverflowError):
+                healable = False
+                self.events.bump("hard_quarantines")
+        self._quarantine_lines(base, granularity, "heal" if healable else "hard")
+        self.events.bump("quarantined_regions")
+        self.integrity_log.record(
+            IntegrityEvent(
+                kind=kind,
+                addr=line_addr,
+                granularity=granularity,
+                error=type(cause).__name__,
+                healable=healable,
+            )
+        )
+        if reraise:
+            raise QuarantineError(
+                f"region [{base:#x}, +{granularity}B) quarantined after "
+                f"{type(cause).__name__}"
+            ) from cause
+
+    def _demote_quarantined(self, base: int, granularity: int) -> None:
+        """Demote a poisoned coarse region to 64B without re-sealing it.
+
+        The region's data is unverifiable, so unlike a normal scale-
+        down the plaintext cannot be carried over; instead the per-line
+        counters are revived at the region's shared counter value
+        (>= every counter ever used for these lines, the scale-down
+        argument of SECURITY.md), so heal-writes never reuse a pad.
+        Compacted MACs of the chunk's *other* regions move to their new
+        addresses; the poisoned merged MAC is dropped.
+        """
+        level = granularity_level(granularity)
+        shared = self.tree.read_counter(base, level=level)
+        chunk_b = chunk_base(base)
+        old_bits, new_bits = self.table.demote_region(base, granularity)
+        outside = self._pop_chunk_macs(
+            chunk_b, old_bits, skip_base=base, skip_size=granularity
+        )
+        self._macs.pop(addressing.mac_addr(self.geometry, old_bits, base), None)
+        self._reinsert_macs(outside, new_bits)
+        for off in range(0, granularity, CACHELINE_BYTES):
+            self.tree.set_counter(base + off, 0, shared, revive=True)
+
+    def _quarantine_lines(self, base: int, size: int, state: str) -> None:
+        for off in range(0, size, CACHELINE_BYTES):
+            self._quarantined[base + off] = state
+        chunk = chunk_index(base)
+        self._quarantine_masks[chunk] = self._quarantine_masks.get(
+            chunk, 0
+        ) | self.table.region_partition_mask(base, size)
+
+    def _heal_line(self, line_addr: int) -> None:
+        """A fresh write re-seals a quarantined line; lift its quarantine."""
+        self._quarantined.pop(line_addr, None)
+        self.events.bump("healed_lines")
+        self._refresh_quarantine_mask(chunk_index(line_addr))
+
+    def _refresh_quarantine_mask(self, chunk: int) -> None:
+        mask = 0
+        for line_addr in self._quarantined:
+            if chunk_index(line_addr) == chunk:
+                mask |= stream_part.partition_bit(line_addr)
+        if mask:
+            self._quarantine_masks[chunk] = mask
+        else:
+            self._quarantine_masks.pop(chunk, None)
+
+    def _peek_granularity(self, addr: int) -> int:
+        if self.policy == "fixed":
+            return GRANULARITIES[0]
+        return stream_part.resolve_granularity(
+            self._current_bits(addr), addr, self.table.max_granularity
+        )
+
+    # ------------------------------------------------------------------
+    # Counter-overflow recovery (lazy re-encryption, fresh key epoch)
+    # ------------------------------------------------------------------
+
+    def _reencrypt_chunk(
+        self,
+        chunk_b: int,
+        bits: Optional[int] = None,
+        skip_base: Optional[int] = None,
+        skip_size: int = 0,
+    ) -> None:
+        """Re-encrypt every sealed region of a chunk under a new key epoch.
+
+        Counter exhaustion must never repeat a (key, address, counter)
+        pad, so instead of wrapping, the affected chunk's data is
+        decrypted under the old epoch, the epoch advances (deriving a
+        fresh keyset), all carried regions are re-sealed at counter 1,
+        and the overflowing write retries.  Quarantined lines are not
+        carried -- they stay quarantined.  ``skip_base/skip_size``
+        exclude a span the caller re-seals itself (mid-switch
+        overflow).
+        """
+        if bits is None:
+            bits = self._current_bits(chunk_b)
+        limit = min(CHUNK_BYTES, self.geometry.region_bytes - chunk_b)
+        sealed = []
+        for sub, sub_g in self._iter_subregions(chunk_b, limit, bits):
+            if skip_base is not None and skip_base <= sub < skip_base + skip_size:
+                continue
+            if any(
+                sub + off in self._quarantined
+                for off in range(0, sub_g, CACHELINE_BYTES)
+            ):
+                continue
+            mac_addr = addressing.mac_addr(self.geometry, bits, sub)
+            if mac_addr not in self._macs:
+                continue  # pristine, nothing sealed to carry over
+            counter = self.tree.read_counter(sub, level=granularity_level(sub_g))
+            sealed.append(
+                (sub, sub_g, self._open_region(sub, sub_g, counter, bits))
+            )
+        chunk = chunk_index(chunk_b)
+        self._key_epochs[chunk] = self._key_epochs.get(chunk, 0) + 1
+        self._epoch_keys.pop(chunk, None)
+        for sub, sub_g, plaintexts in sealed:
+            self.tree.set_counter(sub, granularity_level(sub_g), 1)
+            self._seal_region(sub, sub_g, 1, plaintexts, bits)
+        self.events.bump("chunk_reencryptions")
+
+    def _keys_for(self, addr: int) -> KeySet:
+        """Keyset of ``addr``'s chunk under its current key epoch."""
+        chunk = chunk_index(addr)
+        epoch = self._key_epochs.get(chunk, 0)
+        if epoch == 0:
+            return self.keys
+        cached = self._epoch_keys.get(chunk)
+        if cached is None:
+            cached = self.keys.derive(b"chunk-%d-epoch-%d" % (chunk, epoch))
+            self._epoch_keys[chunk] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Granularity resolution + functional switching
@@ -200,13 +549,85 @@ class SecureMemory:
             self.table.record_detection(chunk, bits)
         self.cycle += 1
 
+        quarantine_mask = self._quarantine_masks.get(chunk_index(line_addr))
+        if quarantine_mask:
+            # Quarantined partitions must stay fine: a promotion would
+            # have to open their unverifiable data mid-switch.
+            self.table.restrict_next(line_addr, quarantine_mask)
+
         granularity, event = self.table.resolve(line_addr, is_write)
         self.switching.record_resolution(switched=event is not None)
         if event is not None:
             self.switching.record_event(event)
             self.switches += 1
-            self._apply_switch_functional(event)
+            self._apply_switch_with_recovery(event)
         return granularity
+
+    def _apply_switch_with_recovery(self, event: SwitchEvent) -> None:
+        """Apply a lazy switch; contain mid-switch metadata tamper.
+
+        A switch re-keys a whole span, so a tamper staged inside the
+        lazy-switching window surfaces *here* rather than in a plain
+        read.  Retries only help when the first failure hit the
+        verification pass (transient glitches); a failure during the
+        re-seal pass leaves the span fail-closed via quarantine.
+        """
+        try:
+            self._apply_switch_functional(event)
+            return
+        except (IntegrityError, ReplayError) as exc:
+            self.events.bump("switch_failures")
+            if self.failure_policy.retries_first:
+                for _ in range(self.failure_policy.retries):
+                    try:
+                        self._apply_switch_functional(event)
+                    except (IntegrityError, ReplayError) as again:
+                        exc = again
+                        continue
+                    self._record_recovery("switch-failure", event.addr, exc)
+                    return
+            self._handle_switch_failure(event, exc)
+
+    def _handle_switch_failure(self, event: SwitchEvent, exc: Exception) -> None:
+        span = max(event.old_granularity, event.new_granularity)
+        span_base = align_down(event.addr, span)
+        self.table.rollback_region(event.addr, span, event.old_bits)
+        if not self.failure_policy.quarantines:
+            raise exc
+        # Locate the poisoned sub-regions under the restored old
+        # layout; intact sub-regions of the span keep serving.
+        poisoned = 0
+        for sub, sub_g in self._iter_subregions(span_base, span, event.old_bits):
+            try:
+                counter = self.tree.read_counter(
+                    sub, level=granularity_level(sub_g)
+                )
+                self._open_region(sub, sub_g, counter, event.old_bits)
+            except (IntegrityError, ReplayError) as sub_exc:
+                self._quarantine_region(
+                    sub, sub_exc, kind="switch-failure", reraise=False
+                )
+                poisoned += 1
+        if poisoned == 0:
+            # The old layout verifies but re-keying still failed
+            # (corruption confined to switch targets): fail the whole
+            # span closed rather than guess.
+            self._quarantine_lines(span_base, span, "hard")
+            self.events.bump("quarantined_regions")
+            self.events.bump("hard_quarantines")
+            self.integrity_log.record(
+                IntegrityEvent(
+                    kind="switch-failure",
+                    addr=event.addr,
+                    granularity=span,
+                    error=type(exc).__name__,
+                    healable=False,
+                )
+            )
+        raise QuarantineError(
+            f"granularity switch at {event.addr:#x} failed verification; "
+            f"span quarantined"
+        ) from exc
 
     def _apply_switch_functional(self, event: SwitchEvent) -> None:
         """Re-key counters and MACs for a granularity switch (Fig. 13).
@@ -222,6 +643,11 @@ class SecureMemory:
         ``max(old counters) + 1`` (a never-used value, forcing
         re-encryption); scale-down retains the shared value, so the
         deterministic OTP reproduces the identical ciphertext.
+
+        Compaction also shifts the MAC addresses of the chunk's
+        regions *outside* the span (Eq. 1 indexes depend on the whole
+        chunk bitmap), so their stored MACs are relocated from the
+        old-bitmap addresses to the new ones.
         """
         span = max(event.old_granularity, event.new_granularity)
         span_base = align_down(event.addr, span)
@@ -264,8 +690,26 @@ class SecureMemory:
                 )
             off += sub_g
 
-        # Pass 2: reseal every sub-region under its new granularity.
+        # Scale-up under an exhausted counter would exceed the legal
+        # width: rotate the chunk's key epoch first (re-encrypting the
+        # regions outside the span), then reseal the span at counter 1.
         shared = max_counter + 1 if event.scale_up else max_counter
+        chunk_b = chunk_base(span_base)
+        if shared > self.tree.counter_limit:
+            self.events.bump("counter_overflows")
+            self._reencrypt_chunk(
+                chunk_b, bits=event.old_bits, skip_base=span_base, skip_size=span
+            )
+            shared = 1
+
+        # MACs of the chunk's other regions move when compaction
+        # indices shift; pop them under the old layout now, re-insert
+        # under the new layout after the span is resealed.
+        outside = self._pop_chunk_macs(
+            chunk_b, event.old_bits, skip_base=span_base, skip_size=span
+        )
+
+        # Pass 2: reseal every sub-region under its new granularity.
         fresh_macs = set()
         off = 0
         while off < span:
@@ -289,30 +733,81 @@ class SecureMemory:
         for mac_addr in stale_macs - fresh_macs:
             self._macs.pop(mac_addr, None)
 
+        self._reinsert_macs(outside, event.new_bits)
+
+    # ------------------------------------------------------------------
+    # Chunk-wide MAC relocation helpers
+    # ------------------------------------------------------------------
+
+    def _iter_subregions(
+        self, base: int, span: int, bits: int
+    ) -> Iterator[Tuple[int, int]]:
+        """Yield (sub_base, granularity) regions of [base, base+span)."""
+        off = 0
+        while off < span:
+            sub = base + off
+            sub_g = min(stream_part.resolve_granularity(bits, sub), span)
+            yield sub, sub_g
+            off += sub_g
+
+    def _pop_chunk_macs(
+        self,
+        chunk_b: int,
+        bits: int,
+        skip_base: Optional[int] = None,
+        skip_size: int = 0,
+    ) -> List[Tuple[int, bytes]]:
+        """Remove and return (region base, MAC) pairs of a chunk's regions.
+
+        Addresses are computed under ``bits``; regions inside the skip
+        window (handled by the caller) and pristine regions (no stored
+        MAC) are left alone.
+        """
+        entries: List[Tuple[int, bytes]] = []
+        limit = min(CHUNK_BYTES, self.geometry.region_bytes - chunk_b)
+        for sub, _ in self._iter_subregions(chunk_b, limit, bits):
+            if skip_base is not None and skip_base <= sub < skip_base + skip_size:
+                continue
+            mac = self._macs.pop(
+                addressing.mac_addr(self.geometry, bits, sub), None
+            )
+            if mac is not None:
+                entries.append((sub, mac))
+        return entries
+
+    def _reinsert_macs(
+        self, entries: List[Tuple[int, bytes]], bits: int
+    ) -> None:
+        """Store popped MACs back at their addresses under ``bits``."""
+        for sub, mac in entries:
+            self._macs[addressing.mac_addr(self.geometry, bits, sub)] = mac
+
     # ------------------------------------------------------------------
     # Seal / open helpers (the only code that touches MACs + ciphertext)
     # ------------------------------------------------------------------
 
     def _seal_line(self, line_addr: int, counter: int, payload: bytes, bits: int) -> None:
-        ciphertext = encrypt_line(self.keys.encryption_key, line_addr, counter, payload)
+        keys = self._keys_for(line_addr)
+        ciphertext = encrypt_line(keys.encryption_key, line_addr, counter, payload)
         self.dram.write_line(line_addr, ciphertext)
         mac_addr = addressing.mac_addr(self.geometry, bits, line_addr)
         self._macs[mac_addr] = compute_mac(
-            self.keys.mac_key, line_addr, counter, ciphertext
+            keys.mac_key, line_addr, counter, ciphertext
         )
 
     def _open_line(self, line_addr: int, counter: int, bits: int) -> bytes:
         """Verify and decrypt one fine-grained line."""
+        keys = self._keys_for(line_addr)
         ciphertext = self.dram.read_line(line_addr)
         stored = self._macs.get(addressing.mac_addr(self.geometry, bits, line_addr))
         if stored is None:
             if ciphertext == _ZERO_LINE and counter == 0:
                 return _ZERO_LINE  # pristine, never written
             raise IntegrityError(f"missing MAC for line {line_addr:#x}")
-        expected = compute_mac(self.keys.mac_key, line_addr, counter, ciphertext)
+        expected = compute_mac(keys.mac_key, line_addr, counter, ciphertext)
         if not macs_equal(stored, expected):
             self._raise_classified(line_addr, counter, ciphertext, stored)
-        return decrypt_line(self.keys.encryption_key, line_addr, counter, ciphertext)
+        return decrypt_line(keys.encryption_key, line_addr, counter, ciphertext)
 
     def _seal_region(
         self,
@@ -323,21 +818,22 @@ class SecureMemory:
         bits: int,
     ) -> None:
         """Encrypt a region under ``counter`` and store its merged MAC."""
+        keys = self._keys_for(region_base)
         fine_macs: List[bytes] = []
         for index, off in enumerate(range(0, granularity, CACHELINE_BYTES)):
             addr = region_base + off
             ciphertext = encrypt_line(
-                self.keys.encryption_key, addr, counter, plaintexts[index]
+                keys.encryption_key, addr, counter, plaintexts[index]
             )
             self.dram.write_line(addr, ciphertext)
             fine_macs.append(
-                compute_mac(self.keys.mac_key, addr, counter, ciphertext)
+                compute_mac(keys.mac_key, addr, counter, ciphertext)
             )
         mac_addr = addressing.mac_addr(self.geometry, bits, region_base)
         if granularity == GRANULARITIES[0]:
             self._macs[mac_addr] = fine_macs[0]
         else:
-            self._macs[mac_addr] = nested_mac(self.keys.mac_key, fine_macs)
+            self._macs[mac_addr] = nested_mac(keys.mac_key, fine_macs)
 
     def _open_region(
         self, region_base: int, granularity: int, counter: int, bits: int
@@ -346,6 +842,7 @@ class SecureMemory:
         if granularity == GRANULARITIES[0]:
             return [self._open_line(region_base, counter, bits)]
 
+        keys = self._keys_for(region_base)
         ciphertexts = [
             self.dram.read_line(region_base + off)
             for off in range(0, granularity, CACHELINE_BYTES)
@@ -360,23 +857,23 @@ class SecureMemory:
                 f"missing merged MAC for region {region_base:#x}"
             )
         fine_macs = [
-            compute_mac(self.keys.mac_key, region_base + off, counter, ct)
+            compute_mac(keys.mac_key, region_base + off, counter, ct)
             for off, ct in zip(
                 range(0, granularity, CACHELINE_BYTES), ciphertexts
             )
         ]
-        merged = nested_mac(self.keys.mac_key, fine_macs)
+        merged = nested_mac(keys.mac_key, fine_macs)
         if not macs_equal(stored, merged):
             # Probe older counters to classify replay vs corruption.
             for old in range(max(0, counter - _REPLAY_PROBE_WINDOW), counter):
                 old_fines = [
-                    compute_mac(self.keys.mac_key, region_base + off, old, ct)
+                    compute_mac(keys.mac_key, region_base + off, old, ct)
                     for off, ct in zip(
                         range(0, granularity, CACHELINE_BYTES), ciphertexts
                     )
                 ]
                 if macs_equal(
-                    nested_mac(self.keys.mac_key, old_fines), stored
+                    nested_mac(keys.mac_key, old_fines), stored
                 ):
                     raise ReplayError(
                         f"replayed region detected at {region_base:#x}"
@@ -386,7 +883,7 @@ class SecureMemory:
                 f"({granularity}B granularity)"
             )
         return [
-            decrypt_line(self.keys.encryption_key, region_base + off, counter, ct)
+            decrypt_line(keys.encryption_key, region_base + off, counter, ct)
             for off, ct in zip(range(0, granularity, CACHELINE_BYTES), ciphertexts)
         ]
 
@@ -410,8 +907,9 @@ class SecureMemory:
         self, addr: int, counter: int, ciphertext: bytes, stored: bytes
     ) -> None:
         """Raise ReplayError for stale-but-authentic data, else IntegrityError."""
+        keys = self._keys_for(addr)
         for old in range(max(0, counter - _REPLAY_PROBE_WINDOW), counter):
-            candidate = compute_mac(self.keys.mac_key, addr, old, ciphertext)
+            candidate = compute_mac(keys.mac_key, addr, old, ciphertext)
             if macs_equal(candidate, stored):
                 raise ReplayError(f"replayed data detected at {addr:#x}")
         raise IntegrityError(f"MAC mismatch on data line {addr:#x}")

@@ -1,0 +1,108 @@
+"""Integrity-failure policies and event records for the secure memory.
+
+The paper's engine (like SGX-class hardware) halts on the first
+integrity violation.  For a system that must keep serving traffic, the
+reproduction also offers *graceful degradation*: an integrity failure
+poisons only the protection region that failed verification, that
+region is quarantined (fails closed on every access) and demoted back
+to 64B granularity, and fresh writes heal it line by line while the
+rest of the protected region keeps serving.
+
+Three policies:
+
+* ``raise``                 -- the paper's semantics: first violation
+  raises and the engine makes no further promises (default).
+* ``quarantine``            -- quarantine the failing region
+  immediately; unaffected chunks keep serving.
+* ``retry-then-quarantine`` -- re-verify once (absorbing transient
+  bus/DRAM glitches, see ``BackingStore.corrupt_transient``) before
+  quarantining.
+
+Detection is never weakened: no policy ever returns data that failed
+verification.  The policies only change what happens *after* the
+failure is detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+#: The accepted failure-policy modes.
+FAILURE_MODES = ("raise", "quarantine", "retry-then-quarantine")
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How the engine responds once an integrity check has failed.
+
+    Attributes:
+        mode: one of :data:`FAILURE_MODES`.
+        retries: verification re-attempts before quarantining (only
+            meaningful for ``retry-then-quarantine``).
+    """
+
+    mode: str = "raise"
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in FAILURE_MODES:
+            raise ValueError(
+                f"unknown failure mode {self.mode!r}; expected one of "
+                f"{FAILURE_MODES}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"negative retry count {self.retries}")
+
+    @classmethod
+    def coerce(cls, value) -> "FailurePolicy":
+        """Accept a FailurePolicy, a mode string, or None (-> raise)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise TypeError(f"cannot build a FailurePolicy from {value!r}")
+
+    @property
+    def quarantines(self) -> bool:
+        return self.mode != "raise"
+
+    @property
+    def retries_first(self) -> bool:
+        return self.mode == "retry-then-quarantine"
+
+
+@dataclass(frozen=True)
+class IntegrityEvent:
+    """One recorded integrity incident (for audit / metrics)."""
+
+    kind: str          # "read-failure" | "write-failure" | "switch-failure"
+    addr: int          # address of the triggering access
+    granularity: int   # sealed granularity of the failing region
+    error: str         # exception class name of the detected violation
+    healable: bool     # quarantined lines can be healed by fresh writes
+    recovered: bool = False  # a retry re-verified successfully
+
+
+@dataclass
+class IntegrityLog:
+    """Append-only log of integrity incidents on one engine."""
+
+    events: List[IntegrityEvent] = field(default_factory=list)
+
+    def record(self, event: IntegrityEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def counts_by_kind(self) -> dict:
+        out: dict = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

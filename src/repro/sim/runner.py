@@ -10,6 +10,7 @@ because the paper's search is likewise an offline warmup.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import SoCConfig
@@ -20,7 +21,16 @@ from repro.sim.scenario import DEFAULT_DURATION_CYCLES, Scenario
 from repro.sim.soc import RunResult, simulate
 from repro.workloads.generator import Trace
 
-_static_best_cache: Dict[Tuple[str, float, int], int] = {}
+# LRU-bounded memo of the per-device exhaustive search: long sweeps
+# and duration scans would otherwise grow it without limit (one entry
+# per distinct workload/duration/trace-length triple).
+_STATIC_BEST_CACHE_MAX = 512
+_static_best_cache: "OrderedDict[Tuple[str, float, int], int]" = OrderedDict()
+
+
+def clear_static_best_cache() -> None:
+    """Drop all memoized static-best search results (tests, sweeps)."""
+    _static_best_cache.clear()
 
 
 def sim_duration(default: float = DEFAULT_DURATION_CYCLES) -> float:
@@ -44,6 +54,7 @@ def best_static_granularity(
     key = (trace.spec.name, trace.compute_cycles, len(trace.entries))
     cached = _static_best_cache.get(key)
     if cached is not None:
+        _static_best_cache.move_to_end(key)
         return cached
 
     best_granularity = GRANULARITIES[0]
@@ -66,6 +77,8 @@ def best_static_granularity(
             best_cost = cost
             best_granularity = granularity
     _static_best_cache[key] = best_granularity
+    while len(_static_best_cache) > _STATIC_BEST_CACHE_MAX:
+        _static_best_cache.popitem(last=False)
     return best_granularity
 
 

@@ -14,8 +14,8 @@ figures normalize this against the unsecured run of the same trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import DeviceConfig, SoCConfig
 from repro.common.types import AccessType, DeviceKind, MemoryRequest
@@ -36,6 +36,9 @@ class DeviceResult:
     requests: int
     finish_cycle: float
     compute_cycles: float
+    #: Integrity-engine work attributed to this device (MAC
+    #: verifications, serialized tree levels walked, ...).
+    integrity_events: Dict[str, int] = field(default_factory=dict)
 
     @property
     def stall_cycles(self) -> float:
@@ -129,6 +132,11 @@ def simulate(
             requests=len(st.trace.entries),
             finish_cycle=st.finish,
             compute_cycles=st.compute,
+            integrity_events=(
+                dict(scheme.stats.device(st.index).as_dict())
+                if st.index in scheme.stats.per_device
+                else {}
+            ),
         )
         for st in states
     ]

@@ -45,9 +45,18 @@ class CounterTree:
         geometry: TreeGeometry,
         keys: KeySet,
         trust_cache: bool = True,
+        counter_limit: int = _COUNTER_LIMIT,
     ) -> None:
+        if not 1 < counter_limit <= _COUNTER_LIMIT:
+            raise ValueError(
+                f"counter_limit {counter_limit} must be in (1, 2**64 - 1]"
+            )
         self.geometry = geometry
         self.keys = keys
+        #: Largest legal *data/promoted* counter value.  Narrow limits
+        #: make the overflow path testable; the freshness counters of
+        #: the node-seal chain always use the full 64-bit width.
+        self.counter_limit = counter_limit
         # Off-chip, attacker-controlled state:
         self._payloads: Dict[NodeId, List[int]] = {}
         self._macs: Dict[NodeId, bytes] = {}
@@ -351,9 +360,10 @@ class CounterTree:
 
     def _bump(self, level: int, node: int, slot: int) -> None:
         payload = list(self._verified_payload(level, node))
-        if payload[slot] >= _COUNTER_LIMIT:
+        if payload[slot] >= self.counter_limit:
             raise CounterOverflowError(
-                f"counter overflow at level {level}, node {node}, slot {slot}"
+                f"counter overflow at level {level}, node {node}, slot {slot} "
+                f"(limit {self.counter_limit})"
             )
         payload[slot] += 1
         if level == self.geometry.root_level:

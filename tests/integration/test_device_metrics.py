@@ -1,0 +1,66 @@
+"""Per-device integrity metrics and the bounded static-best memo."""
+
+from repro.common.config import SoCConfig
+from repro.sim import runner
+from repro.sim.runner import (
+    _STATIC_BEST_CACHE_MAX,
+    best_static_granularity,
+    clear_static_best_cache,
+    run_scenario,
+)
+from repro.sim.scenario import SELECTED_SCENARIOS
+
+
+class TestPerDeviceIntegrityEvents:
+    def test_devices_report_integrity_work(self):
+        runs = run_scenario(
+            SELECTED_SCENARIOS[0], ["unsecure", "ours"], duration_cycles=2000.0
+        )
+        for dev in runs["ours"].devices:
+            events = dev.integrity_events
+            assert events["requests"] == events.get("reads", 0) + events.get(
+                "writes", 0
+            )
+            assert events.get("mac_verifications", 0) > 0
+        # Scheme-level totals match the per-device attribution.
+        stats = runs["ours"].scheme.stats
+        assert stats.requests == sum(
+            d.integrity_events.get("requests", 0) for d in runs["ours"].devices
+        )
+
+    def test_unsecure_devices_report_no_mac_work(self):
+        runs = run_scenario(
+            SELECTED_SCENARIOS[0], ["unsecure"], duration_cycles=1000.0
+        )
+        for dev in runs["unsecure"].devices:
+            assert dev.integrity_events.get("mac_verifications", 0) == 0
+
+
+class TestStaticBestCacheBound:
+    def test_cache_is_bounded_and_clearable(self):
+        clear_static_best_cache()
+        config = SoCConfig()
+        scenario = SELECTED_SCENARIOS[0]
+        traces, _ = scenario.build_traces(500.0, seed=0)
+        best_static_granularity(traces[0], config)
+        assert 0 < len(runner._static_best_cache) <= _STATIC_BEST_CACHE_MAX
+        # Memoized: a second call must not grow the cache.
+        size = len(runner._static_best_cache)
+        best_static_granularity(traces[0], config)
+        assert len(runner._static_best_cache) == size
+        clear_static_best_cache()
+        assert len(runner._static_best_cache) == 0
+
+    def test_lru_eviction_keeps_newest(self):
+        clear_static_best_cache()
+        # Synthesize entries beyond the cap; only the newest survive.
+        for i in range(_STATIC_BEST_CACHE_MAX + 10):
+            runner._static_best_cache[(f"w{i}", 0.0, i)] = 64
+            while len(runner._static_best_cache) > _STATIC_BEST_CACHE_MAX:
+                runner._static_best_cache.popitem(last=False)
+        assert len(runner._static_best_cache) == _STATIC_BEST_CACHE_MAX
+        assert (f"w{_STATIC_BEST_CACHE_MAX + 9}", 0.0, _STATIC_BEST_CACHE_MAX + 9) in (
+            runner._static_best_cache
+        )
+        assert ("w0", 0.0, 0) not in runner._static_best_cache
+        clear_static_best_cache()

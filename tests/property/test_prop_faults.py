@@ -1,0 +1,92 @@
+"""Property: no single-bit off-chip flip is ever silently absorbed.
+
+For every protection granularity, every failure policy and both
+engine policies, flipping any single bit of any attacker-visible
+surface -- stored ciphertext, the compacted MAC store, or a counter
+node -- must make the next covering read raise a ``SecurityError``
+(possibly a ``QuarantineError`` wrapping the detection).  The read
+must never return, neither with wrong data nor with right data.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES, GRANULARITIES, granularity_level
+from repro.common.errors import SecurityError
+from repro.crypto.keys import KeySet
+from repro.secure_memory import SecureMemory
+from repro.secure_memory.failure import FAILURE_MODES
+
+KEYS = KeySet.from_seed(b"prop-faults")
+# 16 chunks keep every promoted counter below the on-chip root, so the
+# counter surface is attackable at all four granularities.
+REGION = 16 * CHUNK_BYTES
+VICTIM_BASE = CHUNK_BYTES
+
+surfaces = st.sampled_from(("ciphertext", "mac", "counter"))
+modes = st.sampled_from(FAILURE_MODES)
+cases = st.one_of(
+    st.tuples(st.just("fixed"), st.just(GRANULARITIES[0])),
+    st.tuples(st.just("multigranular"), st.sampled_from(GRANULARITIES)),
+)
+
+
+def _seed_victim(policy: str, granularity: int, mode: str, fill: int):
+    mem = SecureMemory(REGION, keys=KEYS, policy=policy, failure_policy=mode)
+    span = max(granularity, GRANULARITIES[1])
+    data = bytes((fill + i) % 255 + 1 for i in range(span))
+    mem.write(VICTIM_BASE, data)
+    if policy == "multigranular":
+        assert mem.force_granularity(VICTIM_BASE, granularity) == granularity
+    return mem, span, data
+
+
+@given(
+    case=cases,
+    mode=modes,
+    surface=surfaces,
+    line_pick=st.integers(min_value=0, max_value=2**30),
+    byte_offset=st.integers(min_value=0, max_value=CACHELINE_BYTES - 1),
+    bit=st.integers(min_value=0, max_value=7),
+    fill=st.integers(min_value=0, max_value=254),
+)
+@settings(max_examples=40, deadline=None)
+def test_single_bit_flip_never_silent(case, mode, surface, line_pick, byte_offset, bit, fill):
+    policy, granularity = case
+    mem, span, _ = _seed_victim(policy, granularity, mode, fill)
+    line_addr = VICTIM_BASE + (line_pick % (span // CACHELINE_BYTES)) * CACHELINE_BYTES
+
+    if surface == "ciphertext":
+        mem.tamper_data(line_addr, flip_mask=1 << bit, offset=byte_offset)
+    elif surface == "mac":
+        mac_addr = mem._region_mac_addr(line_addr)
+        mac = bytearray(mem._macs[mac_addr])
+        mac[byte_offset % len(mac)] ^= 1 << bit
+        mem._macs[mac_addr] = bytes(mac)
+    else:
+        level = granularity_level(granularity) if policy == "multigranular" else 0
+        base = line_addr - line_addr % granularity
+        mem.tree.tamper_counter(base, level=level, delta=1 + line_pick % 15)
+        mem.tree.drop_trust_cache()
+
+    with pytest.raises(SecurityError):
+        mem.read(VICTIM_BASE, span)
+
+
+@given(
+    case=cases,
+    mode=modes,
+    fill=st.integers(min_value=0, max_value=254),
+    line_pick=st.integers(min_value=0, max_value=2**30),
+)
+@settings(max_examples=15, deadline=None)
+def test_untampered_reads_always_succeed(case, mode, fill, line_pick):
+    """Control property: without a fault nothing ever raises."""
+    policy, granularity = case
+    mem, span, data = _seed_victim(policy, granularity, mode, fill)
+    assert mem.read(VICTIM_BASE, span) == data
+    line = VICTIM_BASE + (line_pick % (span // CACHELINE_BYTES)) * CACHELINE_BYTES
+    assert mem.read(line, CACHELINE_BYTES) == data[
+        line - VICTIM_BASE : line - VICTIM_BASE + CACHELINE_BYTES
+    ]

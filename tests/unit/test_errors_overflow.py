@@ -1,0 +1,134 @@
+"""Counter-overflow reachability and key-epoch recovery.
+
+The default 64-bit counters never overflow in practice, so these tests
+configure *narrow* counters to make exhaustion reachable and check
+both halves of the contract: the tree refuses to wrap (pad safety),
+and the engine recovers by re-encrypting the chunk under a fresh key
+epoch instead of dying.
+"""
+
+import pytest
+
+from repro.common.constants import CACHELINE_BYTES, CHUNK_BYTES
+from repro.common.errors import CounterOverflowError, SecurityError
+from repro.crypto.keys import KeySet
+from repro.secure_memory import FailurePolicy, SecureMemory
+from repro.tree.geometry import TreeGeometry
+from repro.tree.integrity_tree import CounterTree
+
+REGION = 256 * 1024
+
+
+class TestTreeOverflow:
+    def test_narrow_limit_overflow_raises(self, keys):
+        tree = CounterTree(TreeGeometry.build(REGION), keys, counter_limit=3)
+        for expected in (1, 2, 3):
+            assert tree.increment_counter(0, level=0) == expected
+        with pytest.raises(CounterOverflowError):
+            tree.increment_counter(0, level=0)
+
+    def test_overflow_does_not_corrupt_state(self, keys):
+        tree = CounterTree(TreeGeometry.build(REGION), keys, counter_limit=2)
+        tree.increment_counter(0, level=0)
+        tree.increment_counter(0, level=0)
+        with pytest.raises(CounterOverflowError):
+            tree.increment_counter(0, level=0)
+        # The failed increment must not have moved the counter.
+        assert tree.read_counter(0, level=0) == 2
+
+    @pytest.mark.parametrize("limit", [0, 1, 2**64])
+    def test_limit_validation(self, keys, limit):
+        with pytest.raises(ValueError):
+            CounterTree(TreeGeometry.build(REGION), keys, counter_limit=limit)
+
+
+class TestEngineOverflowRecovery:
+    def test_counter_bits_validation(self, keys):
+        with pytest.raises(ValueError):
+            SecureMemory(REGION, keys=keys, counter_bits=1)
+        with pytest.raises(ValueError):
+            SecureMemory(REGION, keys=keys, counter_bits=65)
+
+    def test_fine_writes_survive_exhaustion(self, keys):
+        mem = SecureMemory(REGION, keys=keys, counter_bits=3)  # limit 7
+        for i in range(20):
+            mem.write(0, bytes([i + 1]) * CACHELINE_BYTES)
+        assert mem.read(0, CACHELINE_BYTES) == bytes([20]) * CACHELINE_BYTES
+        assert mem.key_epoch(0) >= 2
+        assert mem.events.get("chunk_reencryptions") >= 2
+
+    def test_reencryption_preserves_chunk_neighbours(self, keys):
+        mem = SecureMemory(REGION, keys=keys, counter_bits=3)
+        mem.write(512, b"\x5a" * CACHELINE_BYTES)
+        for i in range(10):  # exhausts line 0's counter twice
+            mem.write(0, bytes([i + 1]) * CACHELINE_BYTES)
+        assert mem.read(512, CACHELINE_BYTES) == b"\x5a" * CACHELINE_BYTES
+        # The neighbour was re-sealed under the same (new) chunk epoch.
+        assert mem.key_epoch(512) == mem.key_epoch(0) >= 1
+
+    def test_other_chunks_keep_epoch_zero(self, keys):
+        mem = SecureMemory(REGION, keys=keys, counter_bits=3)
+        mem.write(CHUNK_BYTES, b"\x77" * CACHELINE_BYTES)
+        for i in range(10):
+            mem.write(0, bytes([i + 1]) * CACHELINE_BYTES)
+        assert mem.key_epoch(0) >= 1
+        assert mem.key_epoch(CHUNK_BYTES) == 0
+        assert mem.read(CHUNK_BYTES, CACHELINE_BYTES) == b"\x77" * CACHELINE_BYTES
+
+    def test_coarse_region_overflow(self, keys):
+        mem = SecureMemory(REGION, keys=keys, counter_bits=3)
+        mem.write(0, b"\x11" * 512)
+        assert mem.force_granularity(0, 512) == 512
+        for i in range(12):  # shared counter exhausts under writes
+            mem.write(0, bytes([i + 1]) * CACHELINE_BYTES)
+        assert mem.read(0, CACHELINE_BYTES) == bytes([12]) * CACHELINE_BYTES
+        assert mem.read(64, CACHELINE_BYTES) == b"\x11" * CACHELINE_BYTES
+        assert mem.key_epoch(0) >= 1
+
+    def test_scale_up_at_exhausted_counter(self, keys):
+        mem = SecureMemory(REGION, keys=keys, counter_bits=3)  # limit 7
+        for i in range(7):
+            mem.write(0, bytes([i + 1]) * CACHELINE_BYTES)
+        mem.write(64, b"\x22" * (512 - CACHELINE_BYTES))
+        # Promotion wants shared = max + 1 = 8 > limit: must rotate the
+        # key epoch and reseal at counter 1 instead of wrapping.
+        assert mem.force_granularity(0, 512) == 512
+        assert mem.key_epoch(0) >= 1
+        assert mem.read(0, CACHELINE_BYTES) == bytes([7]) * CACHELINE_BYTES
+        assert mem.read(64, CACHELINE_BYTES) == b"\x22" * CACHELINE_BYTES
+
+    def test_pads_never_repeat_across_epochs(self, keys):
+        """Same plaintext, same address, repeating counter values:
+        every stored ciphertext must still be unique (fresh pads)."""
+        mem = SecureMemory(REGION, keys=keys, counter_bits=2)  # limit 3
+        payload = b"\xab" * CACHELINE_BYTES
+        ciphertexts = set()
+        for _ in range(20):
+            mem.write(0, payload)
+            ciphertexts.add(mem.dram.snapshot_line(0))
+        assert len(ciphertexts) == 20
+
+    def test_detection_still_works_after_reencryption(self, keys):
+        mem = SecureMemory(REGION, keys=keys, counter_bits=3)
+        for i in range(10):
+            mem.write(0, bytes([i + 1]) * CACHELINE_BYTES)
+        mem.tamper_data(0)
+        with pytest.raises(SecurityError):
+            mem.read(0, CACHELINE_BYTES)
+
+
+class TestFailurePolicyConfig:
+    def test_coerce(self):
+        assert FailurePolicy.coerce(None).mode == "raise"
+        assert FailurePolicy.coerce("quarantine").quarantines
+        policy = FailurePolicy(mode="retry-then-quarantine", retries=2)
+        assert FailurePolicy.coerce(policy) is policy
+        assert policy.retries_first
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FailurePolicy(mode="explode")
+        with pytest.raises(ValueError):
+            FailurePolicy(retries=-1)
+        with pytest.raises(TypeError):
+            FailurePolicy.coerce(42)
