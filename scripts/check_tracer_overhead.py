@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI gate: disabled tracing must stay effectively free.
+
+Wall-clock baselines stored across machines flake (back-to-back runs on
+one box already jitter by 10-20%), so this gate compares two
+configurations measured *interleaved on the same machine*:
+
+* the default, tracing-disabled simulate path, and
+* the same scenario with an enabled :class:`TraceRecorder`.
+
+The disabled path does strictly less work (one falsy check per
+instrumented site), so its best-of-K wall time must not exceed the
+enabled path's best-of-K by more than the tolerance.  A failure means
+the "disabled" path stopped being disabled -- e.g. ``NULL_RECORDER``
+became truthy, emit guards were removed, or the null recorder grew
+per-event work.
+
+Also asserts the structural invariants the zero-cost claim rests on:
+``NULL_RECORDER`` is falsy, records nothing, and untraced runs carry
+an empty trace.
+
+Usage: PYTHONPATH=src python scripts/check_tracer_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.obs import NULL_RECORDER, ObsContext
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import selected_scenario
+
+
+def _measure(scenario, schemes, duration, seed, obs_factory=None):
+    start = time.perf_counter()
+    runs = run_scenario(
+        scenario,
+        schemes,
+        duration_cycles=duration,
+        seed=seed,
+        obs_factory=obs_factory,
+    )
+    return time.perf_counter() - start, runs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="cc1")
+    parser.add_argument("--schemes", default="conventional,ours")
+    parser.add_argument("--duration", type=float, default=1500.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="max allowed (disabled - enabled) / enabled min wall time",
+    )
+    args = parser.parse_args()
+
+    failures = []
+
+    # Structural invariants of the zero-cost disabled path.
+    if NULL_RECORDER:
+        failures.append("NULL_RECORDER is truthy; emit guards now fire")
+    NULL_RECORDER.emit(None, cycle=0.0)
+    if list(NULL_RECORDER.events()) or len(NULL_RECORDER):
+        failures.append("NULL_RECORDER retained events; it must drop all")
+
+    scenario = selected_scenario(args.scenario)
+    schemes = [s for s in args.schemes.split(",") if s]
+
+    disabled_walls = []
+    enabled_walls = []
+    untraced_runs = None
+    # Interleave so drift (thermal, noisy neighbours) hits both paths.
+    for rep in range(args.repeat):
+        wall, untraced_runs = _measure(
+            scenario, schemes, args.duration, args.seed
+        )
+        disabled_walls.append(wall)
+        wall, _ = _measure(
+            scenario,
+            schemes,
+            args.duration,
+            args.seed,
+            obs_factory=lambda: ObsContext.enabled(),
+        )
+        enabled_walls.append(wall)
+
+    for run in untraced_runs.values():
+        if run.trace:
+            failures.append(
+                f"untraced run for {run.scheme_name!r} carried "
+                f"{len(run.trace)} trace events"
+            )
+
+    disabled_min = min(disabled_walls)
+    enabled_min = min(enabled_walls)
+    overhead = (disabled_min - enabled_min) / enabled_min
+    print(
+        f"disabled min {disabled_min * 1000:.1f}ms | "
+        f"enabled min {enabled_min * 1000:.1f}ms | "
+        f"disabled-vs-enabled {overhead:+.1%} (tolerance +{args.tolerance:.0%})"
+    )
+    if overhead > args.tolerance:
+        failures.append(
+            "disabled-tracing path is slower than the enabled path by "
+            f"{overhead:.1%} (> {args.tolerance:.0%}); the no-op guard "
+            "has regressed"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("tracer overhead gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,16 +3,24 @@
 Commands:
 
 * ``list``        -- enumerate workloads, scenarios and schemes;
-* ``simulate``    -- run one scenario under chosen schemes;
+* ``simulate``    -- run one scenario under chosen schemes
+  (``--json`` emits the machine-readable ``repro-sim/v1`` payload);
 * ``experiment``  -- regenerate a paper table/figure by id;
 * ``faults``      -- run the fault-injection campaign against the
   functional security engine (exits non-zero on any silent
-  corruption).
+  corruption);
+* ``trace``       -- record a structured event trace of one scenario
+  (plus a functional fault slice) and dump it as JSONL;
+* ``profile``     -- wall-time-per-stage and cProfile view of the
+  simulator itself;
+* ``bench``       -- write (and optionally check) a
+  ``BENCH_<date>.json`` simulator-performance snapshot.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -86,6 +94,14 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         scenario, schemes, duration_cycles=args.duration, seed=args.seed
     )
     base = runs["unsecure"]
+    if args.json:
+        from repro.obs.bench import sim_payload
+
+        payload = sim_payload(
+            scenario, runs, args.duration, args.seed, baseline="unsecure"
+        )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print(f"scenario {scenario.name}: {'+'.join(scenario.workload_names)}")
     print(f"{'scheme':28s} {'norm exec':>9s} {'traffic MB':>10s} {'misses':>8s}")
     for name in schemes:
@@ -194,6 +210,123 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record a structured event trace of one scenario run."""
+    from repro.obs import ObsContext
+    from repro.obs.export import summary_report, write_trace_jsonl
+    from repro.obs.timeline import build_timeline, format_timeline
+
+    scenario = _find_scenario(args.scenario)
+    obs = ObsContext.enabled(capacity=args.capacity)
+    runs = run_scenario(
+        scenario,
+        [args.scheme],
+        duration_cycles=args.duration,
+        seed=args.seed,
+        obs_factory=lambda: obs,
+    )
+    run = runs[args.scheme]
+    if not args.no_faults:
+        # The timing layer never corrupts anything; a small functional
+        # fault slice adds quarantine/heal/overflow events to the trace.
+        from repro.faults.campaign import traced_fault_slice
+
+        traced_fault_slice(obs, seed=args.seed)
+
+    events = list(obs.tracer.events())
+    out = args.output or f"trace_{scenario.name}_{args.scheme}.jsonl"
+    count = write_trace_jsonl(
+        events,
+        out,
+        extra={
+            "scenario": scenario.name,
+            "scheme": args.scheme,
+            "seed": args.seed,
+            "duration_cycles": args.duration,
+            "dropped": obs.tracer.dropped,
+        },
+    )
+    print(
+        summary_report(
+            obs.registry,
+            tracer=obs.tracer,
+            title=f"trace {scenario.name}/{args.scheme}",
+        )
+    )
+    if args.timeline:
+        print()
+        print(format_timeline(build_timeline(run.trace, buckets=args.buckets)))
+    print(f"\nwrote {count} events to {out} (dropped {obs.tracer.dropped})")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the simulator itself over one scenario."""
+    from repro.obs.profiler import (
+        format_stage_report,
+        profile_scenario,
+        profile_with_cprofile,
+    )
+
+    scenario = _find_scenario(args.scenario)
+    schemes = args.schemes.split(",")
+    if args.no_cprofile:
+        _, registry = profile_scenario(
+            scenario, schemes, args.duration, args.seed
+        )
+        table = None
+    else:
+        _, registry, table = profile_with_cprofile(
+            scenario, schemes, args.duration, args.seed, top=args.top
+        )
+    print(f"# stage wall time: {scenario.name} ({', '.join(schemes)})")
+    print(format_stage_report(registry))
+    if table is not None:
+        print()
+        print(table)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Write (and optionally regression-check) a bench snapshot."""
+    from repro.obs import bench
+
+    scenario = _find_scenario(args.scenario)
+    schemes = args.schemes.split(",")
+    runs, wall = bench.measure(
+        scenario,
+        schemes,
+        duration_cycles=args.duration,
+        seed=args.seed,
+        repeat=args.repeat,
+    )
+    sim = bench.sim_payload(scenario, runs, args.duration, args.seed)
+    snapshot = bench.make_snapshot(sim, wall, args.repeat)
+    path = bench.snapshot_path(args.output)
+    bench.write_snapshot(snapshot, path)
+    for scheme in schemes:
+        timing = wall[scheme]
+        print(
+            f"{scheme:28s} min {timing['min']:.4f}s "
+            f"mean {timing['mean']:.4f}s over {args.repeat} runs"
+        )
+    print(f"wrote {path}")
+    if args.check:
+        baseline = bench.load_snapshot(args.check)
+        regressions = bench.compare_snapshots(
+            baseline, snapshot, tolerance=args.tolerance
+        )
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"no wall-time regressions vs {args.check} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -224,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.add_argument("--duration", type=float, default=20_000.0)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro-sim/v1 JSON payload instead of a table",
+    )
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -259,6 +397,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_flt.add_argument("--json", default=None, help="also write JSON results")
     p_flt.set_defaults(func=cmd_faults)
+
+    p_trc = sub.add_parser(
+        "trace", help="record a structured event trace (JSONL)"
+    )
+    p_trc.add_argument("scenario", nargs="?", default="cc1")
+    p_trc.add_argument("--scheme", default="ours")
+    p_trc.add_argument("--duration", type=float, default=5_000.0)
+    p_trc.add_argument("--seed", type=int, default=0)
+    p_trc.add_argument(
+        "--capacity", type=int, default=1 << 18, help="trace ring size"
+    )
+    p_trc.add_argument("-o", "--output", default=None, help="JSONL path")
+    p_trc.add_argument(
+        "--timeline", action="store_true", help="print a cycle-bucket timeline"
+    )
+    p_trc.add_argument("--buckets", type=int, default=24)
+    p_trc.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the functional fault slice (timing events only)",
+    )
+    p_trc.set_defaults(func=cmd_trace)
+
+    p_prf = sub.add_parser(
+        "profile", help="profile the simulator (stages + cProfile)"
+    )
+    p_prf.add_argument("scenario", nargs="?", default="cc1")
+    p_prf.add_argument("--schemes", default="conventional,ours")
+    p_prf.add_argument("--duration", type=float, default=5_000.0)
+    p_prf.add_argument("--seed", type=int, default=0)
+    p_prf.add_argument("--top", type=int, default=20)
+    p_prf.add_argument(
+        "--no-cprofile",
+        action="store_true",
+        help="stage timers only (cProfile skews absolute times)",
+    )
+    p_prf.set_defaults(func=cmd_profile)
+
+    p_bch = sub.add_parser(
+        "bench", help="write a BENCH_<date>.json performance snapshot"
+    )
+    p_bch.add_argument("scenario", nargs="?", default="cc1")
+    p_bch.add_argument("--schemes", default="unsecure,conventional,ours")
+    p_bch.add_argument("--duration", type=float, default=1_500.0)
+    p_bch.add_argument("--seed", type=int, default=0)
+    p_bch.add_argument("--repeat", type=int, default=3)
+    p_bch.add_argument(
+        "-o", "--output", default=None,
+        help="snapshot path or directory (default BENCH_<date>.json)",
+    )
+    p_bch.add_argument(
+        "--check", default=None,
+        help="baseline snapshot to compare against (non-zero on regression)",
+    )
+    p_bch.add_argument("--tolerance", type=float, default=0.05)
+    p_bch.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -42,16 +42,28 @@ def mean(values: Sequence[float]) -> float:
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean; 0.0 for empty input, requires positive values."""
-    if not values:
+    """Geometric mean over the *positive* values; 0.0 for empty input.
+
+    Non-positive values (a normalized time can underflow to 0 in
+    degenerate short runs) carry no multiplicative information, so they
+    are skipped rather than crashing ``math.log``.  All-non-positive
+    input yields 0.0.
+    """
+    positive = [v for v in values if v > 0.0]
+    if not positive:
         return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile, q in [0, 100]."""
+    """Linear-interpolated percentile.
+
+    ``q`` is clamped into [0, 100]: ``q<0`` returns the minimum and
+    ``q>100`` the maximum instead of silently indexing out of range.
+    """
     if not values:
         return 0.0
+    q = min(100.0, max(0.0, q))
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]

@@ -335,6 +335,45 @@ def _containment_applies(
     return victim_node != bystander_node
 
 
+def traced_fault_slice(obs, seed: int = 0) -> SecureMemory:
+    """Exercise the engine's recovery paths under an observability context.
+
+    The timing layer never corrupts anything, so switch/tree/cache
+    events are all a scheme trace can show.  This helper drives the
+    *functional* engine through one deterministic fault story --
+    coarse promotion, counter exhaustion (epoch bump), a data tamper
+    that quarantines the region, and heal-writes -- so a combined
+    trace also contains SWITCH, COUNTER_OVERFLOW, EPOCH_BUMP,
+    INTEGRITY_FAILURE, QUARANTINE and HEAL events.  Returns the engine
+    (its ``events`` group lives in ``obs.registry``).
+    """
+    rng = random.Random(seed)
+    keys = KeySet.from_seed(b"trace-slice-%d" % seed)
+    mem = SecureMemory(
+        4 * CHUNK_BYTES,
+        keys=keys,
+        policy="multigranular",
+        failure_policy="quarantine",
+        counter_bits=4,
+        obs=obs,
+    )
+    span = GRANULARITIES[1]
+    lines = [_random_line(rng) for _ in range(span // CACHELINE_BYTES)]
+    mem.write(_VICTIM_CHUNK_BASE, b"".join(lines))
+    mem.force_granularity(_VICTIM_CHUNK_BASE, span)
+    # 4-bit counters exhaust after 15 increments: overflow + epoch bump.
+    for _ in range(20):
+        mem.write(_BYSTANDER_ADDR, _random_line(rng))
+    mem.tamper_data(_VICTIM_CHUNK_BASE)
+    try:
+        mem.read(_VICTIM_CHUNK_BASE, span)
+    except QuarantineError:
+        pass
+    for off in range(0, span, CACHELINE_BYTES):
+        mem.write(_VICTIM_CHUNK_BASE + off, _random_line(rng))
+    return mem
+
+
 def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     """Run the full sweep described by ``config``."""
     config = config or CampaignConfig()

@@ -115,3 +115,10 @@ class SetAssociativeCache:
             "misses": self.misses,
             "writebacks": self.writebacks,
         }
+
+    def metrics_into(self, registry, prefix: str) -> None:
+        """Bind this cache's counters under ``prefix.*`` in a registry."""
+        registry.bind(f"{prefix}.hits", lambda: self.hits)
+        registry.bind(f"{prefix}.misses", lambda: self.misses)
+        registry.bind(f"{prefix}.writebacks", lambda: self.writebacks)
+        registry.bind(f"{prefix}.miss_rate", lambda: self.miss_rate)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.common.config import MemoryConfig
 from repro.common.constants import CACHELINE_BYTES
+from repro.obs import NULL_RECORDER, EventType
 
 
 @dataclass
@@ -29,6 +30,11 @@ class ChannelStats:
     bytes_transferred: int = 0
     busy_cycles: float = 0.0
     queue_cycles: float = 0.0
+
+
+#: One CHANNEL_SAMPLE trace event is emitted every this many
+#: transactions -- occupancy is a rate, not worth per-transaction cost.
+SAMPLE_EVERY = 256
 
 
 class MemoryChannel:
@@ -42,10 +48,11 @@ class MemoryChannel:
     schedule (we only feed it a merged, nearly-sorted stream).
     """
 
-    def __init__(self, config: MemoryConfig) -> None:
+    def __init__(self, config: MemoryConfig, tracer=NULL_RECORDER) -> None:
         self.config = config
         self._free_at = 0.0
         self.stats = ChannelStats()
+        self.tracer = tracer
 
     def submit(
         self,
@@ -69,7 +76,22 @@ class MemoryChannel:
         self.stats.bytes_transferred += nbytes
         self.stats.busy_cycles += occupancy
         self.stats.queue_cycles += start - cycle
+        if self.tracer and self.stats.transactions % SAMPLE_EVERY == 0:
+            self.tracer.emit(
+                EventType.CHANNEL_SAMPLE,
+                cycle,
+                backlog_cycles=self._free_at - cycle,
+                transactions=self.stats.transactions,
+                busy_cycles=self.stats.busy_cycles,
+            )
         return start, completion
+
+    def metrics_into(self, registry, prefix: str = "channel") -> None:
+        """Bind the channel counters under ``prefix.*`` in a registry."""
+        registry.bind(f"{prefix}.transactions", lambda: self.stats.transactions)
+        registry.bind(f"{prefix}.bytes", lambda: self.stats.bytes_transferred)
+        registry.bind(f"{prefix}.busy_cycles", lambda: self.stats.busy_cycles)
+        registry.bind(f"{prefix}.queue_cycles", lambda: self.stats.queue_cycles)
 
     @property
     def free_at(self) -> float:

@@ -20,7 +20,8 @@ from typing import List, Optional, Tuple
 
 from repro.common.config import MemoryConfig
 from repro.common.constants import CACHELINE_BYTES
-from repro.mem.channel import ChannelStats
+from repro.mem.channel import SAMPLE_EVERY, ChannelStats
+from repro.obs import NULL_RECORDER, EventType
 
 
 class BankedMemoryChannel:
@@ -43,6 +44,7 @@ class BankedMemoryChannel:
         config: MemoryConfig,
         banks: int = 16,
         row_bytes: int = 2048,
+        tracer=NULL_RECORDER,
     ) -> None:
         if banks <= 0 or row_bytes < CACHELINE_BYTES:
             raise ValueError(f"invalid bank geometry ({banks=}, {row_bytes=})")
@@ -56,6 +58,7 @@ class BankedMemoryChannel:
         self.stats = ChannelStats()
         self.row_hits = 0
         self.row_misses = 0
+        self.tracer = tracer
 
     def _locate(self, addr: int) -> Tuple[int, int]:
         row = addr // self.row_bytes
@@ -105,6 +108,14 @@ class BankedMemoryChannel:
         self.stats.bytes_transferred += nbytes
         self.stats.busy_cycles += occupancy
         self.stats.queue_cycles += start - cycle
+        if self.tracer and self.stats.transactions % SAMPLE_EVERY == 0:
+            self.tracer.emit(
+                EventType.CHANNEL_SAMPLE,
+                cycle,
+                backlog_cycles=self._bus_free - cycle,
+                transactions=self.stats.transactions,
+                busy_cycles=self.stats.busy_cycles,
+            )
         return start, completion
 
     @property
@@ -121,12 +132,20 @@ class BankedMemoryChannel:
         total = self.row_hits + self.row_misses
         return self.row_hits / total if total else 0.0
 
+    def metrics_into(self, registry, prefix: str = "channel") -> None:
+        """Bind the channel counters under ``prefix.*`` in a registry."""
+        registry.bind(f"{prefix}.transactions", lambda: self.stats.transactions)
+        registry.bind(f"{prefix}.bytes", lambda: self.stats.bytes_transferred)
+        registry.bind(f"{prefix}.busy_cycles", lambda: self.stats.busy_cycles)
+        registry.bind(f"{prefix}.queue_cycles", lambda: self.stats.queue_cycles)
+        registry.bind(f"{prefix}.row_hit_rate", lambda: self.row_hit_rate)
 
-def make_channel(config: MemoryConfig):
+
+def make_channel(config: MemoryConfig, tracer=NULL_RECORDER):
     """Channel factory: banked when ``config.banks`` > 0, simple otherwise."""
     from repro.mem.channel import MemoryChannel
 
     banks = getattr(config, "banks", 0)
     if banks:
-        return BankedMemoryChannel(config, banks=banks)
-    return MemoryChannel(config)
+        return BankedMemoryChannel(config, banks=banks, tracer=tracer)
+    return MemoryChannel(config, tracer=tracer)

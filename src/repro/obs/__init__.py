@@ -1,0 +1,51 @@
+"""Unified observability: tracing, metrics, profiling, bench snapshots.
+
+Public surface:
+
+* :class:`~repro.obs.context.ObsContext` -- the per-run bundle every
+  scheme and functional engine carries (registry + tracer);
+* :class:`~repro.obs.events.TraceRecorder` / :data:`NULL_RECORDER` --
+  ring-buffered typed event trace, free when disabled;
+* :class:`~repro.obs.metrics.MetricsRegistry` -- hierarchical metric
+  names over owned and bound instruments;
+* :mod:`~repro.obs.export` / :mod:`~repro.obs.timeline` -- JSONL dump,
+  summary report, cycle-bucketed timeline;
+* :mod:`~repro.obs.profiler` / :mod:`~repro.obs.bench` -- stage +
+  cProfile profiling and ``BENCH_<date>.json`` snapshots.
+
+See ``docs/observability.md`` for the event taxonomy and CLI usage.
+"""
+
+from repro.obs.context import ObsContext
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    NULL_RECORDER,
+    EventType,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    filter_events,
+)
+from repro.obs.metrics import (
+    Counter,
+    CounterGroup,
+    Gauge,
+    MetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "Counter",
+    "CounterGroup",
+    "DEFAULT_CAPACITY",
+    "EventType",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "ObsContext",
+    "Timer",
+    "TraceEvent",
+    "TraceRecorder",
+    "filter_events",
+]

@@ -1,0 +1,205 @@
+"""Performance-benchmark snapshots: ``BENCH_<date>.json``.
+
+A snapshot freezes, for one smoke scenario, the per-scheme simulation
+results *and* the wall time the simulator itself needed to produce
+them.  Committing a snapshot per PR makes simulator-performance
+regressions visible in review instead of surfacing months later as
+"the sweep got slow".
+
+Snapshot schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "generated": "YYYY-MM-DD",
+      "platform": {"python": ..., "implementation": ...},
+      "repeat": N,                       # timing repetitions
+      "wall_seconds": {                  # per scheme, over N repeats
+        "<scheme>": {"runs": [...], "min": ..., "mean": ...}
+      },
+      "sim": { ... }                     # a full repro-sim/v1 payload
+    }
+
+The ``sim`` section is byte-for-byte the object ``python -m repro
+simulate --json`` prints, so simulate output round-trips into a
+snapshot and snapshot consumers need only one schema for both.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BENCH_SCHEMA = "repro-bench/v1"
+SIM_SCHEMA = "repro-sim/v1"
+
+#: Default smoke configuration: small enough for CI, big enough to
+#: exercise switching and contention.
+SMOKE_SCENARIO = "cc1"
+SMOKE_SCHEMES = ("unsecure", "conventional", "ours")
+SMOKE_DURATION = 1500.0
+
+
+def sim_payload(
+    scenario,
+    runs: Dict[str, "object"],
+    duration_cycles: float,
+    seed: int,
+    baseline: str = "unsecure",
+) -> Dict[str, object]:
+    """The ``repro-sim/v1`` JSON object for one simulated scenario."""
+    base = runs.get(baseline)
+    return {
+        "schema": SIM_SCHEMA,
+        "scenario": scenario.name,
+        "workloads": list(scenario.workload_names),
+        "duration_cycles": duration_cycles,
+        "seed": seed,
+        "baseline": baseline if base is not None else None,
+        "schemes": {
+            name: run.to_dict(baseline=base) for name, run in runs.items()
+        },
+    }
+
+
+def measure(
+    scenario,
+    scheme_names: Sequence[str] = SMOKE_SCHEMES,
+    duration_cycles: float = SMOKE_DURATION,
+    seed: int = 0,
+    repeat: int = 3,
+    config=None,
+) -> Tuple[Dict[str, object], Dict[str, Dict[str, object]]]:
+    """Time each scheme's full (warmup + measure) simulation.
+
+    Traces are generated once; every scheme is then built and simulated
+    ``repeat`` times.  Returns ``(runs, wall_seconds)`` where ``runs``
+    holds the last repetition's results (for the ``sim`` section) and
+    ``wall_seconds`` the per-scheme timing summary.
+    """
+    from repro.common.config import SoCConfig
+    from repro.schemes.registry import build_scheme
+    from repro.sim.runner import best_static_granularities
+    from repro.sim.soc import simulate
+
+    config = config or SoCConfig()
+    traces, footprint = scenario.build_traces(duration_cycles, seed)
+
+    runs: Dict[str, object] = {}
+    wall: Dict[str, Dict[str, object]] = {}
+    for name in scheme_names:
+        device_granularities = None
+        if name == "static_device":
+            device_granularities = best_static_granularities(traces, config)
+        samples: List[float] = []
+        for _ in range(max(1, repeat)):
+            scheme = build_scheme(
+                name,
+                config,
+                footprint_bytes=footprint,
+                device_granularities=device_granularities,
+            )
+            start = time.perf_counter()
+            runs[name] = simulate(traces, scheme, config, warmup=True)
+            samples.append(time.perf_counter() - start)
+        wall[name] = {
+            "runs": samples,
+            "min": min(samples),
+            "mean": sum(samples) / len(samples),
+        }
+    return runs, wall
+
+
+def make_snapshot(
+    sim: Dict[str, object],
+    wall_seconds: Dict[str, Dict[str, object]],
+    repeat: int,
+    generated: Optional[str] = None,
+) -> Dict[str, object]:
+    """Assemble a ``repro-bench/v1`` snapshot from its two halves."""
+    if sim.get("schema") != SIM_SCHEMA:
+        raise ValueError(
+            f"sim section must be a {SIM_SCHEMA} payload, "
+            f"got schema={sim.get('schema')!r}"
+        )
+    return {
+        "schema": BENCH_SCHEMA,
+        "generated": generated or datetime.date.today().isoformat(),
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "repeat": repeat,
+        "wall_seconds": wall_seconds,
+        "sim": sim,
+    }
+
+
+def validate_snapshot(snapshot: Dict[str, object]) -> None:
+    """Raise ``ValueError`` when a snapshot violates the v1 schema."""
+    if snapshot.get("schema") != BENCH_SCHEMA:
+        raise ValueError(f"not a {BENCH_SCHEMA} snapshot")
+    for key in ("generated", "wall_seconds", "sim", "repeat"):
+        if key not in snapshot:
+            raise ValueError(f"snapshot missing {key!r}")
+    sim = snapshot["sim"]
+    if not isinstance(sim, dict) or sim.get("schema") != SIM_SCHEMA:
+        raise ValueError(f"snapshot sim section is not {SIM_SCHEMA}")
+    for scheme, timing in snapshot["wall_seconds"].items():
+        if "min" not in timing or "runs" not in timing:
+            raise ValueError(f"wall_seconds[{scheme!r}] missing min/runs")
+
+
+def snapshot_path(out: Optional[str] = None, generated: Optional[str] = None) -> str:
+    """Resolve the output path: ``BENCH_<date>.json`` unless overridden."""
+    date = generated or datetime.date.today().isoformat()
+    default_name = f"BENCH_{date}.json"
+    if out is None:
+        return default_name
+    if os.path.isdir(out):
+        return os.path.join(out, default_name)
+    return out
+
+
+def write_snapshot(snapshot: Dict[str, object], path: str) -> str:
+    validate_snapshot(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    validate_snapshot(snapshot)
+    return snapshot
+
+
+def compare_snapshots(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    tolerance: float = 0.05,
+) -> List[str]:
+    """Wall-time regressions of ``current`` vs ``baseline``.
+
+    Compares per-scheme *minimum* wall time (the least noisy sample);
+    a scheme regresses when it is more than ``tolerance`` slower.
+    Returns human-readable regression descriptions (empty = clean).
+    """
+    regressions: List[str] = []
+    base_wall = baseline["wall_seconds"]
+    for scheme, timing in current["wall_seconds"].items():
+        if scheme not in base_wall:
+            continue
+        old = float(base_wall[scheme]["min"])
+        new = float(timing["min"])
+        if old > 0 and new > old * (1.0 + tolerance):
+            regressions.append(
+                f"{scheme}: {new:.4f}s vs baseline {old:.4f}s "
+                f"(+{(new / old - 1.0):.1%}, tolerance {tolerance:.0%})"
+            )
+    return regressions

@@ -1,0 +1,47 @@
+"""The per-run observability context: one registry + one tracer.
+
+Every scheme and functional engine carries an :class:`ObsContext`.
+The default (:meth:`ObsContext.disabled`) pairs a fresh registry with
+the shared :data:`~repro.obs.events.NULL_RECORDER`, so construction is
+cheap, metrics always work, and tracing costs one falsy check per
+instrumented site until somebody opts in with :meth:`ObsContext.enabled`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.obs.events import (
+    DEFAULT_CAPACITY,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+)
+from repro.obs.metrics import MetricsRegistry
+
+Recorder = Union[TraceRecorder, NullRecorder]
+
+
+@dataclass
+class ObsContext:
+    """Observability plumbing shared by one run's components."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Recorder = NULL_RECORDER
+
+    @classmethod
+    def disabled(cls) -> "ObsContext":
+        """Metrics on, tracing compiled down to a falsy check."""
+        return cls(registry=MetricsRegistry(), tracer=NULL_RECORDER)
+
+    @classmethod
+    def enabled(cls, capacity: int = DEFAULT_CAPACITY) -> "ObsContext":
+        """Metrics plus a live ring-buffered event tracer."""
+        return cls(
+            registry=MetricsRegistry(), tracer=TraceRecorder(capacity)
+        )
+
+    @property
+    def tracing(self) -> bool:
+        return bool(self.tracer)

@@ -1,0 +1,76 @@
+"""Trace and metrics exports: JSONL dumps and per-run summary reports."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.obs.events import TraceEvent, TraceRecorder
+from repro.obs.metrics import MetricsRegistry
+
+
+def trace_to_jsonl_lines(
+    events: Iterable[TraceEvent],
+    extra: Optional[Dict[str, object]] = None,
+) -> Iterator[str]:
+    """Render events as JSONL lines; ``extra`` keys join every record."""
+    for event in events:
+        record = event.to_dict()
+        if extra:
+            record.update(extra)
+        yield json.dumps(record, sort_keys=True)
+
+
+def write_trace_jsonl(
+    events: Iterable[TraceEvent],
+    destination: Union[str, os.PathLike, TextIO],
+    extra: Optional[Dict[str, object]] = None,
+) -> int:
+    """Write one JSONL record per event; returns the record count."""
+    if isinstance(destination, (str, os.PathLike)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            return write_trace_jsonl(events, handle, extra)
+    count = 0
+    for line in trace_to_jsonl_lines(events, extra):
+        destination.write(line + "\n")
+        count += 1
+    return count
+
+
+def read_trace_jsonl(
+    source: Union[str, os.PathLike, TextIO]
+) -> List[Dict[str, object]]:
+    """Load the raw records of a JSONL trace dump."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_trace_jsonl(handle)
+    return [json.loads(line) for line in source if line.strip()]
+
+
+def summary_report(
+    registry: MetricsRegistry,
+    tracer: Optional[TraceRecorder] = None,
+    title: str = "run summary",
+) -> str:
+    """Human-readable digest of one run's metrics (and trace, if any)."""
+    lines = [f"# {title}"]
+    if tracer is not None and tracer:
+        lines.append(
+            f"trace: {len(tracer)} events retained"
+            + (f" ({tracer.dropped} dropped)" if tracer.dropped else "")
+        )
+        counts = tracer.counts_by_type()
+        for etype in sorted(counts):
+            lines.append(f"  {etype:18s} {counts[etype]:10d}")
+    snapshot = registry.snapshot()
+    if snapshot:
+        lines.append("metrics:")
+        width = max(len(name) for name in snapshot)
+        for name, value in snapshot.items():
+            if isinstance(value, float):
+                rendered = f"{value:.3f}"
+            else:
+                rendered = str(value)
+            lines.append(f"  {name:{width}s} {rendered}")
+    return "\n".join(lines)

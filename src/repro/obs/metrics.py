@@ -1,0 +1,263 @@
+"""Hierarchically named metrics registry.
+
+One :class:`MetricsRegistry` per run unifies every statistic the
+simulator produces under dotted names (``engine.cache.mac.misses``,
+``tree.walk.serialized_fetches``, ``sched.stall_cycles``) so run
+results surface one flat, uniform snapshot instead of a handful of
+private counter bags.
+
+Two instrument flavours:
+
+* **owned** -- created and stored by the registry (:class:`Counter`,
+  :class:`Gauge`, :class:`Timer`, :class:`CounterGroup`, and plain
+  :class:`~repro.common.stats.Histogram` objects);
+* **bound** -- a zero-overhead view onto state that already exists
+  (``registry.bind("channel.busy_cycles", lambda: stats.busy_cycles)``).
+  Hot-path code keeps mutating its plain attributes; the registry
+  evaluates the closure only when a snapshot is taken, so registration
+  costs nothing per simulated request.
+
+``snapshot()`` flattens everything: a bound callable may return a dict,
+which is expanded into dotted child names.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.common.stats import CounterStats, Histogram
+
+
+class Counter:
+    """Monotonic owned counter."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Owned point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Timer:
+    """Accumulating wall-clock timer (``with timer.time(): ...``)."""
+
+    __slots__ = ("total_seconds", "count")
+    kind = "timer"
+
+    def __init__(self) -> None:
+        self.total_seconds = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.total_seconds += seconds
+        self.count += 1
+
+    def time(self) -> "_TimerHandle":
+        return _TimerHandle(self)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    @property
+    def value(self) -> Dict[str, float]:
+        return {"seconds": self.total_seconds, "count": self.count}
+
+    def reset(self) -> None:
+        self.total_seconds = 0.0
+        self.count = 0
+
+
+class _TimerHandle:
+    """Context manager recording one timed span into a :class:`Timer`."""
+
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.observe(time.perf_counter() - self._start)
+
+
+class CounterGroup(CounterStats):
+    """A :class:`~repro.common.stats.CounterStats` owned by a registry.
+
+    Drop-in replacement for the private counter bags (same ``bump`` /
+    ``get`` / ``as_dict`` / ``merge`` API) whose keys surface in the
+    registry snapshot as ``<prefix>.<key>``.
+    """
+
+    kind = "group"
+
+    def __init__(self, prefix: str) -> None:
+        super().__init__()
+        self.prefix = prefix
+
+    @property
+    def value(self) -> Dict[str, int]:
+        return self.as_dict()
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+
+class _Bound:
+    """Computed instrument: evaluates ``fn`` at snapshot time only."""
+
+    __slots__ = ("fn",)
+    kind = "bound"
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self.fn = fn
+
+    @property
+    def value(self) -> object:
+        return self.fn()
+
+    def reset(self) -> None:
+        """Bound views have no owned state to reset."""
+
+
+class _HistogramInstrument:
+    """Registry wrapper surfacing a plain ``Histogram``'s buckets."""
+
+    __slots__ = ("histogram",)
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.histogram = Histogram()
+
+    @property
+    def value(self) -> Dict[int, int]:
+        return dict(self.histogram.buckets)
+
+    def reset(self) -> None:
+        self.histogram.buckets.clear()
+
+
+class MetricsRegistry:
+    """Name -> instrument map with get-or-create semantics.
+
+    ``counter``/``gauge``/``timer``/``group``/``histogram`` return the
+    existing instrument when the name is already registered (so
+    re-registration after ``reset_stats`` reuses storage); requesting
+    an existing name as a *different* instrument kind is an error.
+    ``bind`` always overwrites -- closures go stale when their target
+    object is replaced, and the newest binding is the valid one.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    # -- owned instruments ---------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._own(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._own(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._own(name, Timer)
+
+    def group(self, prefix: str) -> CounterGroup:
+        instrument = self._instruments.get(prefix)
+        if instrument is None:
+            instrument = CounterGroup(prefix)
+            self._instruments[prefix] = instrument
+        elif not isinstance(instrument, CounterGroup):
+            raise TypeError(
+                f"{prefix!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._own(name, _HistogramInstrument)
+        return instrument.histogram
+
+    def _own(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"{name!r} already registered as {instrument.kind}"
+            )
+        return instrument
+
+    # -- bound instruments ---------------------------------------------
+
+    def bind(self, name: str, fn: Callable[[], object]) -> None:
+        """(Re)register a computed view evaluated at snapshot time."""
+        self._instruments[name] = _Bound(fn)
+
+    # -- introspection -------------------------------------------------
+
+    def names(self) -> Iterator[str]:
+        return iter(sorted(self._instruments))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str):
+        """The raw instrument registered under ``name`` (or None)."""
+        return self._instruments.get(name)
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """Flat ``{dotted name: value}`` view of every instrument.
+
+        Instruments whose value is a dict (groups, histograms, timers,
+        bound views returning dicts) are expanded into dotted children.
+        ``prefix`` restricts the snapshot to one subtree.
+        """
+        out: Dict[str, object] = {}
+        for name in sorted(self._instruments):
+            if prefix is not None and not (
+                name == prefix or name.startswith(prefix + ".")
+            ):
+                continue
+            value = self._instruments[name].value
+            if isinstance(value, dict):
+                for key, sub in value.items():
+                    out[f"{name}.{key}"] = sub
+            else:
+                out[name] = value
+        return out
+
+    def reset(self) -> None:
+        """Zero every owned instrument (bound views are untouched)."""
+        for instrument in self._instruments.values():
+            instrument.reset()

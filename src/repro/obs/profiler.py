@@ -1,0 +1,115 @@
+"""Profiling harness for the simulator's own hot paths.
+
+Two complementary views:
+
+* **stage timers** -- wall time per pipeline stage (trace generation,
+  scheme construction, warmup+measure per scheme), recorded as
+  ``profile.stage.*`` timers in a metrics registry;
+* **cProfile** -- the usual function-level profile of the whole run,
+  reduced to the top-N cumulative entries.
+
+Imports of the sim layer are deferred so ``repro.obs`` stays
+import-light and cycle-free (schemes import ``repro.obs`` themselves).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def profile_scenario(
+    scenario,
+    scheme_names: Sequence[str],
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+    config=None,
+    registry: Optional[MetricsRegistry] = None,
+):
+    """Run one scenario with per-stage wall timers.
+
+    Returns ``(results, registry)`` where results is the usual
+    ``{scheme: RunResult}`` map and the registry holds
+    ``profile.stage.tracegen``, ``profile.stage.build.<scheme>`` and
+    ``profile.stage.simulate.<scheme>`` timers.
+    """
+    from repro.common.config import SoCConfig
+    from repro.schemes.registry import build_scheme
+    from repro.sim.runner import best_static_granularities, sim_duration
+    from repro.sim.soc import simulate
+
+    config = config or SoCConfig()
+    registry = registry if registry is not None else MetricsRegistry()
+    duration = (
+        duration_cycles if duration_cycles is not None else sim_duration()
+    )
+
+    with registry.timer("profile.stage.tracegen").time():
+        traces, footprint = scenario.build_traces(duration, seed)
+
+    results = {}
+    for name in scheme_names:
+        with registry.timer(f"profile.stage.build.{name}").time():
+            device_granularities = None
+            if name == "static_device":
+                device_granularities = best_static_granularities(
+                    traces, config
+                )
+            scheme = build_scheme(
+                name,
+                config,
+                footprint_bytes=footprint,
+                device_granularities=device_granularities,
+            )
+        with registry.timer(f"profile.stage.simulate.{name}").time():
+            results[name] = simulate(traces, scheme, config, warmup=True)
+    return results, registry
+
+
+def profile_with_cprofile(
+    scenario,
+    scheme_names: Sequence[str],
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+    config=None,
+    top: int = 20,
+) -> Tuple[Dict, MetricsRegistry, str]:
+    """Stage timers plus a cProfile top-``top`` cumulative table."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        results, registry = profile_scenario(
+            scenario, scheme_names, duration_cycles, seed, config
+        )
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return results, registry, buffer.getvalue()
+
+
+def format_stage_report(registry: MetricsRegistry) -> str:
+    """Table of the ``profile.stage.*`` timers in a registry."""
+    rows: List[Tuple[str, float, int]] = []
+    for name in registry.names():
+        if not name.startswith("profile.stage."):
+            continue
+        timer = registry.get(name)
+        rows.append(
+            (name[len("profile.stage."):], timer.total_seconds, timer.count)
+        )
+    if not rows:
+        return "(no stage timers recorded)"
+    total = sum(seconds for _, seconds, _ in rows)
+    width = max(len(stage) for stage, _, _ in rows)
+    lines = [f"{'stage':{width}s} {'seconds':>9s} {'share':>6s}"]
+    for stage, seconds, _ in rows:
+        share = seconds / total if total else 0.0
+        lines.append(f"{stage:{width}s} {seconds:9.4f} {share:6.1%}")
+    lines.append(f"{'total':{width}s} {total:9.4f} {'100.0%':>6s}")
+    return "\n".join(lines)

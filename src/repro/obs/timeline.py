@@ -1,0 +1,119 @@
+"""Cycle-bucketed timelines built from a recorded event stream.
+
+Answers "what was each device doing over time": per-bucket request
+counts and mean latency per device, integrity-engine activity (tree
+levels walked, metadata cache misses, switches), and channel backlog
+from the periodic occupancy samples.  This is the workload-phase view
+(MGX's observation) that aggregate end-of-run counters cannot give.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.events import EventType, TraceEvent
+
+
+def build_timeline(
+    events: Iterable[TraceEvent],
+    bucket_cycles: Optional[float] = None,
+    buckets: int = 24,
+) -> List[Dict[str, object]]:
+    """Aggregate events into fixed-width cycle buckets.
+
+    ``bucket_cycles`` overrides the width; otherwise the span of the
+    event stream is divided into ``buckets`` equal windows.  Returns a
+    list of per-bucket dicts (JSON-friendly), each with:
+
+    * ``start`` / ``end``: cycle window;
+    * ``devices``: ``{device: {"requests": n, "mean_latency": x,
+      "stalled": n}}`` from REQUEST events;
+    * ``integrity``: tree levels walked, cache misses, switches;
+    * ``channel_backlog``: mean backlog cycles of the occupancy samples.
+    """
+    stream = list(events)
+    if not stream:
+        return []
+    last_cycle = max(ev.cycle for ev in stream)
+    if bucket_cycles is None:
+        bucket_cycles = max(1.0, (last_cycle + 1.0) / buckets)
+    count = int(math.floor(last_cycle / bucket_cycles)) + 1
+
+    rows: List[Dict[str, object]] = [
+        {
+            "start": i * bucket_cycles,
+            "end": (i + 1) * bucket_cycles,
+            "devices": {},
+            "integrity": {"tree_levels": 0, "cache_misses": 0, "switches": 0},
+            "channel_backlog": 0.0,
+            "_samples": 0,
+            "_latency": {},
+        }
+        for i in range(count)
+    ]
+
+    for event in stream:
+        row = rows[min(count - 1, int(event.cycle // bucket_cycles))]
+        if event.etype is EventType.REQUEST:
+            per_dev: Dict = row["devices"].setdefault(
+                event.device, {"requests": 0, "mean_latency": 0.0, "stalled": 0}
+            )
+            per_dev["requests"] += 1
+            if event.payload.get("stalled"):
+                per_dev["stalled"] += 1
+            lat = row["_latency"].setdefault(event.device, [0.0, 0])
+            lat[0] += float(event.payload.get("latency", 0.0))
+            lat[1] += 1
+        elif event.etype is EventType.TREE_WALK:
+            row["integrity"]["tree_levels"] += int(
+                event.payload.get("levels", 1)
+            )
+        elif event.etype is EventType.CACHE_MISS:
+            row["integrity"]["cache_misses"] += 1
+        elif event.etype is EventType.SWITCH:
+            row["integrity"]["switches"] += 1
+        elif event.etype is EventType.CHANNEL_SAMPLE:
+            row["channel_backlog"] += float(
+                event.payload.get("backlog_cycles", 0.0)
+            )
+            row["_samples"] += 1
+
+    for row in rows:
+        for device, (total, n) in row.pop("_latency").items():
+            if n:
+                row["devices"][device]["mean_latency"] = total / n
+        samples = row.pop("_samples")
+        if samples:
+            row["channel_backlog"] /= samples
+    return rows
+
+
+def format_timeline(rows: List[Dict[str, object]]) -> str:
+    """Fixed-width text rendering of :func:`build_timeline` output."""
+    if not rows:
+        return "(no events)"
+    devices = sorted(
+        {dev for row in rows for dev in row["devices"]}
+    )
+    header = f"{'cycles':>16s} " + " ".join(
+        f"dev{dev}:req/stall" for dev in devices
+    ) + f" {'tree':>6s} {'miss':>6s} {'switch':>6s} {'backlog':>8s}"
+    lines = [header]
+    for row in rows:
+        cells = []
+        for dev in devices:
+            info = row["devices"].get(dev, {"requests": 0, "stalled": 0})
+            cells.append(
+                f"{info['requests']:>6d}/{info['stalled']:<5d}"
+            )
+        integrity = row["integrity"]
+        lines.append(
+            f"{row['start']:>7.0f}-{row['end']:<8.0f} "
+            + " ".join(cells)
+            + f" {integrity['tree_levels']:>6d}"
+            + f" {integrity['cache_misses']:>6d}"
+            + f" {integrity['switches']:>6d}"
+            + f" {row['channel_backlog']:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -32,12 +32,19 @@ from repro.common.types import MemoryRequest, MetadataKind, TrafficBreakdown
 from repro.core.switching import SwitchAccounting
 from repro.mem.cache import SetAssociativeCache
 from repro.mem.channel import MemoryChannel
+from repro.obs import EventType, MetricsRegistry, ObsContext
 from repro.tree.geometry import TreeGeometry
 
 
 @dataclass
 class SchemeStats:
-    """Everything a run records about one scheme instance."""
+    """Everything a run records about one scheme instance.
+
+    The fields stay plain attributes (the hot path mutates them with
+    no indirection); :meth:`register_into` additionally surfaces every
+    one of them in a :class:`~repro.obs.MetricsRegistry` under
+    hierarchical names, so run results expose one uniform snapshot.
+    """
 
     traffic: TrafficBreakdown = field(default_factory=TrafficBreakdown)
     requests: int = 0
@@ -48,13 +55,62 @@ class SchemeStats:
     serialized_level_fetches: int = 0
     region_overfetch_lines: int = 0
     per_device: Dict[int, CounterStats] = field(default_factory=dict)
+    _registry: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
 
     def device(self, index: int) -> CounterStats:
         """Integrity-event counters of one processing unit."""
-        return self.per_device.setdefault(index, CounterStats())
+        group = self.per_device.get(index)
+        if group is None:
+            group = CounterStats()
+            self.per_device[index] = group
+            if self._registry is not None:
+                self._registry.bind(f"device.{index}", group.as_dict)
+        return group
 
     def security_cache_misses(self, scheme: "ProtectionScheme") -> int:
         return scheme.metadata_cache.misses + scheme.mac_cache.misses
+
+    def register_into(self, registry: MetricsRegistry) -> None:
+        """Bind every statistic under its hierarchical metric name."""
+        self._registry = registry
+        registry.bind("scheme.requests", lambda: self.requests)
+        registry.bind("scheme.reads", lambda: self.reads)
+        registry.bind("scheme.writes", lambda: self.writes)
+        registry.bind(
+            "scheme.granularity_hist",
+            lambda: dict(self.granularity_hist.buckets),
+        )
+        registry.bind(
+            "tree.walk.serialized_fetches",
+            lambda: self.serialized_level_fetches,
+        )
+        registry.bind(
+            "region.overfetch_lines", lambda: self.region_overfetch_lines
+        )
+        for kind in MetadataKind:
+            registry.bind(
+                f"traffic.{kind.value}_bytes",
+                lambda kind=kind: self.traffic.bytes_by_kind[kind],
+            )
+        registry.bind("traffic.total_bytes", lambda: self.traffic.total_bytes)
+        registry.bind(
+            "traffic.metadata_bytes", lambda: self.traffic.metadata_bytes
+        )
+        registry.bind(
+            "switch.total", lambda: self.switching.total_switches
+        )
+        registry.bind(
+            "switch.misprediction_rate",
+            lambda: self.switching.misprediction_rate,
+        )
+        registry.bind(
+            "switch.by_category",
+            lambda: dict(self.switching.events_by_category),
+        )
+        for index, group in self.per_device.items():
+            registry.bind(f"device.{index}", group.as_dict)
 
 
 class RegionBuffer:
@@ -230,6 +286,34 @@ class ProtectionScheme(abc.ABC):
         self._written_chunks: set = set()
         self._engine = engine
         self._active_device: Optional[int] = None
+        self.obs = ObsContext.disabled()
+        self.tracer = self.obs.tracer
+        self._register_obs()
+
+    def attach_obs(self, obs: Optional[ObsContext]) -> None:
+        """Adopt an observability context (registry + tracer).
+
+        Called after construction (by the scheme factory) so concrete
+        scheme ``__init__`` signatures stay untouched.
+        """
+        if obs is None:
+            return
+        self.obs = obs
+        self.tracer = obs.tracer
+        self._register_obs()
+
+    def _register_obs(self) -> None:
+        """Surface stats and cache counters in the metrics registry."""
+        registry = self.obs.registry
+        self.stats.register_into(registry)
+        self.metadata_cache.metrics_into(registry, "engine.cache.metadata")
+        if self.mac_cache is not self.metadata_cache:
+            self.mac_cache.metrics_into(registry, "engine.cache.mac")
+        self.table_cache.metrics_into(registry, "engine.cache.table")
+        registry.bind(
+            "engine.cache.security_misses",
+            lambda: self.stats.security_cache_misses(self),
+        )
 
     # ------------------------------------------------------------------
     # Main entry point
@@ -267,6 +351,8 @@ class ProtectionScheme(abc.ABC):
         self.metadata_cache.reset_stats()
         self.mac_cache.reset_stats()
         self.table_cache.reset_stats()
+        self._register_obs()
+        self.tracer.clear()
 
     def finish(self, channel: MemoryChannel) -> None:
         """End-of-run cleanup: drain buffers, charge residual penalties."""
@@ -278,6 +364,15 @@ class ProtectionScheme(abc.ABC):
         """Pay the deferred over-fetch of partially covered regions."""
         for victim in victims:
             data_lines, mac_lines = RegionBuffer.eviction_penalty(victim)
+            if self.tracer:
+                self.tracer.emit(
+                    EventType.REGION_EVICT,
+                    cycle,
+                    chunk=victim["base"] // CHUNK_BYTES,
+                    granularity=victim["granularity"],
+                    overfetch_lines=data_lines,
+                    mac_lines=mac_lines,
+                )
             if data_lines:
                 self.stats.region_overfetch_lines += data_lines
                 for _ in range(data_lines):
@@ -334,6 +429,15 @@ class ProtectionScheme(abc.ABC):
             self._transfer(channel, cycle, kind, addr=result.writeback_addr)
         if not result.hit:
             ready = self._transfer(channel, cycle, kind, addr=addr)
+        if self.tracer:
+            self.tracer.emit(
+                EventType.CACHE_HIT if result.hit else EventType.CACHE_MISS,
+                cycle,
+                device=self._active_device,
+                kind=kind.value,
+                addr=addr,
+                write=write,
+            )
         return result.hit, ready
 
     def _counter_read_walk(
@@ -377,6 +481,15 @@ class ProtectionScheme(abc.ABC):
         if self._active_device is not None and levels_walked:
             self.stats.device(self._active_device).bump(
                 "tree_levels_verified", levels_walked
+            )
+        if self.tracer:
+            self.tracer.emit(
+                EventType.TREE_WALK,
+                cycle,
+                device=self._active_device,
+                chunk=addr // CHUNK_BYTES,
+                levels=levels_walked,
+                start_level=start_level,
             )
         return ready + levels_walked * self._engine.mac_latency
 

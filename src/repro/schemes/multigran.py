@@ -39,9 +39,10 @@ from repro.common.types import MemoryRequest, MetadataKind
 from repro.core import addressing
 from repro.core.detector import merge_detection
 from repro.core.gran_table import GranularityTable, SwitchEvent
-from repro.core.switching import cost_of
+from repro.core.switching import categorize, cost_of
 from repro.core.tracker import AccessTracker
 from repro.mem.channel import MemoryChannel
+from repro.obs import EventType
 from repro.schemes.base import ProtectionScheme
 from repro.subtree.bmf import SubtreeRootCache
 
@@ -157,6 +158,27 @@ class MultiGranularScheme(ProtectionScheme):
         self.stats.granularity_hist.add(granularity)
         if event is not None:
             self.stats.switching.record_event(event)
+            if self.tracer:
+                self.tracer.emit(
+                    EventType.SWITCH,
+                    cycle,
+                    device=req.device,
+                    chunk=req.addr // CHUNK_BYTES,
+                    old=event.old_granularity,
+                    new=event.new_granularity,
+                    scale_up=event.scale_up,
+                    category=categorize(event),
+                )
+                if self.mac_multigranular:
+                    self.tracer.emit(
+                        EventType.MAC_MERGE
+                        if event.scale_up
+                        else EventType.MAC_SPLIT,
+                        cycle,
+                        device=req.device,
+                        chunk=req.addr // CHUNK_BYTES,
+                        granularity=event.new_granularity,
+                    )
             self._table_access(
                 self.table.entry_line_addr(req.addr), True, cycle, channel
             )

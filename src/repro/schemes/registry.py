@@ -47,6 +47,7 @@ def build_scheme(
     config: SoCConfig,
     footprint_bytes: Optional[int] = None,
     device_granularities: Optional[Dict[int, int]] = None,
+    obs=None,
 ) -> ProtectionScheme:
     """Instantiate a scheme by its Table-5 name.
 
@@ -54,7 +55,20 @@ def build_scheme(
     the ``bmf_unused*`` schemes, whose trees are pruned to the used
     region; every other scheme covers the full protected range.
     ``device_granularities`` is required by ``static_device``.
+    ``obs`` (an :class:`~repro.obs.ObsContext`) attaches tracing and a
+    metrics registry to the built scheme.
     """
+    scheme = _build(name, config, footprint_bytes, device_granularities)
+    scheme.attach_obs(obs)
+    return scheme
+
+
+def _build(
+    name: str,
+    config: SoCConfig,
+    footprint_bytes: Optional[int],
+    device_granularities: Optional[Dict[int, int]],
+) -> ProtectionScheme:
     full = config.memory.protected_bytes
     pruned = _pruned_region(footprint_bytes, config)
 

@@ -64,6 +64,7 @@ from repro.crypto.keys import KeySet
 from repro.crypto.mac import compute_mac, macs_equal, nested_mac
 from repro.crypto.otp import decrypt_line, encrypt_line
 from repro.mem.backing_store import BackingStore
+from repro.obs import EventType, ObsContext
 from repro.secure_memory.failure import FailurePolicy, IntegrityEvent, IntegrityLog
 from repro.tree.geometry import TreeGeometry
 from repro.tree.integrity_tree import CounterTree
@@ -83,6 +84,7 @@ class SecureMemory:
         tracker: Optional[AccessTracker] = None,
         failure_policy=None,
         counter_bits: int = 64,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         if policy not in ("fixed", "multigranular"):
             raise ValueError(f"unknown policy {policy!r}")
@@ -103,7 +105,13 @@ class SecureMemory:
         self.tracker = tracker or AccessTracker()
         self.switching = SwitchAccounting()
         self.failure_policy = FailurePolicy.coerce(failure_policy)
-        self.events = CounterStats()
+        self.obs = obs or ObsContext.disabled()
+        self.tracer = self.obs.tracer
+        # Registry-owned counter group: same CounterStats API the rest
+        # of the code (and tests) already use, surfaced uniformly as
+        # ``engine.events.*`` in the metrics snapshot.
+        self.events: CounterStats = self.obs.registry.group("engine.events")
+        self.tree.metrics_into(self.obs.registry, "tree")
         self.integrity_log = IntegrityLog()
         # Key-epoch state for counter-overflow recovery: chunks whose
         # counters exhausted are re-encrypted under a derived key, so a
@@ -183,6 +191,7 @@ class SecureMemory:
         if event is not None:
             self.switching.record_event(event)
             self.switches += 1
+            self._emit_switch(event)
             self._apply_switch_with_recovery(event)
         return resolved
 
@@ -271,6 +280,13 @@ class SecureMemory:
             self._write_line_at(line_addr, payload, granularity)
         except CounterOverflowError:
             self.events.bump("counter_overflows")
+            if self.tracer:
+                self.tracer.emit(
+                    EventType.COUNTER_OVERFLOW,
+                    self.cycle,
+                    chunk=chunk_index(line_addr),
+                    addr=line_addr,
+                )
             self._reencrypt_chunk(chunk_base(line_addr))
             self._write_line_at(line_addr, payload, granularity)
         except (IntegrityError, ReplayError) as exc:
@@ -332,6 +348,15 @@ class SecureMemory:
 
     def _handle_read_failure(self, line_addr: int, exc: Exception) -> bytes:
         self.events.bump("integrity_failures")
+        if self.tracer:
+            self.tracer.emit(
+                EventType.INTEGRITY_FAILURE,
+                self.cycle,
+                chunk=chunk_index(line_addr),
+                addr=line_addr,
+                error=type(exc).__name__,
+                on="read",
+            )
         if not self.failure_policy.quarantines:
             raise exc
         if self.failure_policy.retries_first:
@@ -351,6 +376,15 @@ class SecureMemory:
     ) -> None:
         """A read-modify-write (coarse write) failed verification."""
         self.events.bump("integrity_failures")
+        if self.tracer:
+            self.tracer.emit(
+                EventType.INTEGRITY_FAILURE,
+                self.cycle,
+                chunk=chunk_index(line_addr),
+                addr=line_addr,
+                error=type(exc).__name__,
+                on="write",
+            )
         if not self.failure_policy.quarantines:
             raise exc
         if self.failure_policy.retries_first:
@@ -401,6 +435,16 @@ class SecureMemory:
                 self.events.bump("hard_quarantines")
         self._quarantine_lines(base, granularity, "heal" if healable else "hard")
         self.events.bump("quarantined_regions")
+        if self.tracer:
+            self.tracer.emit(
+                EventType.QUARANTINE,
+                self.cycle,
+                chunk=chunk_index(base),
+                base=base,
+                granularity=granularity,
+                healable=healable,
+                kind=kind,
+            )
         self.integrity_log.record(
             IntegrityEvent(
                 kind=kind,
@@ -451,6 +495,13 @@ class SecureMemory:
         """A fresh write re-seals a quarantined line; lift its quarantine."""
         self._quarantined.pop(line_addr, None)
         self.events.bump("healed_lines")
+        if self.tracer:
+            self.tracer.emit(
+                EventType.HEAL,
+                self.cycle,
+                chunk=chunk_index(line_addr),
+                addr=line_addr,
+            )
         self._refresh_quarantine_mask(chunk_index(line_addr))
 
     def _refresh_quarantine_mask(self, chunk: int) -> None:
@@ -514,6 +565,14 @@ class SecureMemory:
         chunk = chunk_index(chunk_b)
         self._key_epochs[chunk] = self._key_epochs.get(chunk, 0) + 1
         self._epoch_keys.pop(chunk, None)
+        if self.tracer:
+            self.tracer.emit(
+                EventType.EPOCH_BUMP,
+                self.cycle,
+                chunk=chunk,
+                epoch=self._key_epochs[chunk],
+                carried_regions=len(sealed),
+            )
         for sub, sub_g, plaintexts in sealed:
             self.tree.set_counter(sub, granularity_level(sub_g), 1)
             self._seal_region(sub, sub_g, 1, plaintexts, bits)
@@ -560,8 +619,26 @@ class SecureMemory:
         if event is not None:
             self.switching.record_event(event)
             self.switches += 1
+            self._emit_switch(event)
             self._apply_switch_with_recovery(event)
         return granularity
+
+    def _emit_switch(self, event: SwitchEvent) -> None:
+        if self.tracer:
+            self.tracer.emit(
+                EventType.SWITCH,
+                self.cycle,
+                chunk=chunk_index(event.addr),
+                old=event.old_granularity,
+                new=event.new_granularity,
+                scale_up=event.scale_up,
+            )
+            self.tracer.emit(
+                EventType.MAC_MERGE if event.scale_up else EventType.MAC_SPLIT,
+                self.cycle,
+                chunk=chunk_index(event.addr),
+                granularity=event.new_granularity,
+            )
 
     def _apply_switch_with_recovery(self, event: SwitchEvent) -> None:
         """Apply a lazy switch; contain mid-switch metadata tamper.
@@ -615,6 +692,16 @@ class SecureMemory:
             self._quarantine_lines(span_base, span, "hard")
             self.events.bump("quarantined_regions")
             self.events.bump("hard_quarantines")
+            if self.tracer:
+                self.tracer.emit(
+                    EventType.QUARANTINE,
+                    self.cycle,
+                    chunk=chunk_index(span_base),
+                    base=span_base,
+                    granularity=span,
+                    healable=False,
+                    kind="switch-failure",
+                )
             self.integrity_log.record(
                 IntegrityEvent(
                     kind="switch-failure",
@@ -697,6 +784,14 @@ class SecureMemory:
         chunk_b = chunk_base(span_base)
         if shared > self.tree.counter_limit:
             self.events.bump("counter_overflows")
+            if self.tracer:
+                self.tracer.emit(
+                    EventType.COUNTER_OVERFLOW,
+                    self.cycle,
+                    chunk=chunk_index(span_base),
+                    addr=span_base,
+                    mid_switch=True,
+                )
             self._reencrypt_chunk(
                 chunk_b, bits=event.old_bits, skip_base=span_base, skip_size=span
             )

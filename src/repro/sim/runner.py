@@ -105,12 +105,17 @@ def run_scenario(
     duration_cycles: Optional[float] = None,
     seed: int = 0,
     warmup: bool = True,
+    obs_factory=None,
 ) -> Dict[str, RunResult]:
     """Simulate one scenario under several schemes over shared traces.
 
     ``warmup`` (default on) replays each trace once before measuring,
     so dynamic schemes are evaluated in their trained steady state --
     the regime the paper's long simulations report.
+
+    ``obs_factory``, when given, is called once per scheme (it takes no
+    arguments) and must return an :class:`~repro.obs.ObsContext`; each
+    scheme gets its own context so traces and metrics stay per-run.
     """
     config = config or SoCConfig()
     duration = duration_cycles if duration_cycles is not None else sim_duration()
@@ -124,6 +129,7 @@ def run_scenario(
         scheme = build_scheme(
             name, config, footprint_bytes=footprint,
             device_granularities=device_granularities,
+            obs=obs_factory() if obs_factory is not None else None,
         )
         results[name] = simulate(traces, scheme, config, warmup=warmup)
     return results

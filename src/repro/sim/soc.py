@@ -22,6 +22,7 @@ from repro.common.types import AccessType, DeviceKind, MemoryRequest
 from repro.devices.issue import DeviceIssueState, device_config_for
 from repro.mem.channel import ChannelStats, MemoryChannel
 from repro.mem.dram import make_channel
+from repro.obs import EventType, TraceEvent
 from repro.schemes.base import ProtectionScheme
 from repro.workloads.generator import Trace
 
@@ -44,6 +45,18 @@ class DeviceResult:
     def stall_cycles(self) -> float:
         return max(0.0, self.finish_cycle - self.compute_cycles)
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "kind": self.kind.value,
+            "requests": self.requests,
+            "finish_cycle": self.finish_cycle,
+            "compute_cycles": self.compute_cycles,
+            "stall_cycles": self.stall_cycles,
+            "integrity_events": dict(self.integrity_events),
+        }
+
 
 @dataclass
 class RunResult:
@@ -53,6 +66,11 @@ class RunResult:
     devices: List[DeviceResult]
     channel: ChannelStats
     scheme: ProtectionScheme
+    #: Uniform metrics snapshot (hierarchical names -> values) taken at
+    #: the end of the measured run; {} when no registry was attached.
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Recorded trace events (empty unless tracing was enabled).
+    trace: List[TraceEvent] = field(default_factory=list)
 
     @property
     def finish_cycle(self) -> float:
@@ -82,6 +100,29 @@ class RunResult:
         times = self.normalized_exec_times(baseline)
         return sum(times) / len(times) if times else 1.0
 
+    def to_dict(self, baseline: Optional["RunResult"] = None) -> Dict[str, object]:
+        """JSON-friendly view of the run (the ``--json`` payload)."""
+        out: Dict[str, object] = {
+            "scheme": self.scheme_name,
+            "finish_cycle": self.finish_cycle,
+            "total_traffic_bytes": self.total_traffic_bytes,
+            "security_cache_misses": self.security_cache_misses,
+            "channel": {
+                "transactions": self.channel.transactions,
+                "bytes_transferred": self.channel.bytes_transferred,
+                "busy_cycles": self.channel.busy_cycles,
+                "queue_cycles": self.channel.queue_cycles,
+            },
+            "devices": [device.to_dict() for device in self.devices],
+            "metrics": dict(self.metrics),
+        }
+        if baseline is not None and baseline is not self:
+            out["normalized_exec_times"] = self.normalized_exec_times(baseline)
+            out["mean_normalized_exec_time"] = self.mean_normalized_exec_time(
+                baseline
+            )
+        return out
+
 
 def simulate(
     traces: Sequence[Trace],
@@ -108,6 +149,8 @@ def simulate(
         raise ValueError("one device config per trace required")
 
     if warmup:
+        # Warmup replays untraced: its events would only pollute the
+        # steady-state trace reset_stats() is about to clear anyway.
         warm_channel = make_channel(soc_config.memory)
         warm_states = [
             DeviceIssueState(i, trace, cfg)
@@ -116,7 +159,9 @@ def simulate(
         _run_loop(warm_states, scheme, warm_channel)
         scheme.reset_stats()
 
-    channel = make_channel(soc_config.memory)
+    channel = make_channel(soc_config.memory, tracer=scheme.tracer)
+    registry = scheme.obs.registry
+    channel.metrics_into(registry, "channel")
     states = [
         DeviceIssueState(i, trace, cfg)
         for i, (trace, cfg) in enumerate(zip(traces, device_configs))
@@ -140,11 +185,23 @@ def simulate(
         )
         for st in states
     ]
+    total_stall = 0.0
+    for device in devices:
+        registry.gauge(f"sched.device.{device.name}.stall_cycles").set(
+            device.stall_cycles
+        )
+        registry.gauge(f"sched.device.{device.name}.finish_cycle").set(
+            device.finish_cycle
+        )
+        total_stall += device.stall_cycles
+    registry.gauge("sched.stall_cycles").set(total_stall)
     return RunResult(
         scheme_name=scheme.name,
         devices=devices,
         channel=channel.stats,
         scheme=scheme,
+        metrics=registry.snapshot(),
+        trace=list(scheme.tracer.events()),
     )
 
 
@@ -154,12 +211,13 @@ def _run_loop(
     channel: MemoryChannel,
 ) -> None:
     """Drive every device trace to completion through the scheme."""
+    tracer = scheme.tracer
     active = [st for st in states if not st.done]
     while active:
         # Pick the globally earliest issuer (4 devices: a scan is fine).
         best = min(active, key=DeviceIssueState.next_issue_time)
         issue_at = best.next_issue_time()
-        _, addr, is_write = best.trace.entries[best.cursor]
+        gap, addr, is_write = best.trace.entries[best.cursor]
         req = MemoryRequest(
             cycle=int(issue_at),
             addr=addr,
@@ -169,6 +227,15 @@ def _run_loop(
             kind=best.kind,
         )
         completion = scheme.process(req, issue_at, channel)
+        if tracer:
+            tracer.emit(
+                EventType.REQUEST,
+                issue_at,
+                device=best.index,
+                latency=completion - issue_at,
+                write=is_write,
+                stalled=issue_at > best.clock + gap,
+            )
         best.issue(issue_at, completion, is_write)
         if best.done:
             active.remove(best)

@@ -167,6 +167,12 @@ class CounterTree:
         """Off-chip tree nodes currently holding state."""
         return len(self._payloads)
 
+    def metrics_into(self, registry, prefix: str = "tree") -> None:
+        """Bind the tree's counters under ``prefix.*`` in a registry."""
+        registry.bind(f"{prefix}.verifications", lambda: self.verifications)
+        registry.bind(f"{prefix}.node_fetches", lambda: self.node_fetches)
+        registry.bind(f"{prefix}.stored_nodes", lambda: self.stored_nodes)
+
     def render(self, max_span: int = 8) -> str:
         """ASCII sketch of the tree's stored nodes (Fig. 1/10 style).
 

@@ -29,12 +29,26 @@ class TestStats:
         assert stats.mean([]) == 0.0
         assert stats.geomean([]) == 0.0
 
+    def test_geomean_skips_non_positive_values(self):
+        # Zeros and negatives carry no multiplicative information and
+        # must not crash math.log.
+        assert stats.geomean([0.0, 1.0, 4.0]) == pytest.approx(2.0)
+        assert stats.geomean([-3.0, 1.0, 4.0]) == pytest.approx(2.0)
+        assert stats.geomean([0.0]) == 0.0
+        assert stats.geomean([-1.0, -2.0]) == 0.0
+
     def test_percentile_interpolates(self):
         values = [1.0, 2.0, 3.0, 4.0]
         assert stats.percentile(values, 0) == 1.0
         assert stats.percentile(values, 100) == 4.0
         assert stats.percentile(values, 50) == pytest.approx(2.5)
         assert stats.percentile([7.0], 90) == 7.0
+
+    def test_percentile_clamps_out_of_range_q(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert stats.percentile(values, -10) == 1.0
+        assert stats.percentile(values, 150) == 4.0
+        assert stats.percentile([], 50) == 0.0
 
     def test_cdf_points(self):
         points = stats.cdf_points([3.0, 1.0, 2.0])

@@ -1,0 +1,106 @@
+"""Trace recorder ring buffer, null recorder, and event helpers."""
+
+import json
+
+from repro.obs import (
+    NULL_RECORDER,
+    EventType,
+    NullRecorder,
+    TraceEvent,
+    TraceRecorder,
+    filter_events,
+)
+from repro.obs.export import (
+    read_trace_jsonl,
+    trace_to_jsonl_lines,
+    write_trace_jsonl,
+)
+
+
+class TestTraceRecorder:
+    def test_emit_records_in_order(self):
+        rec = TraceRecorder(capacity=16)
+        rec.emit(EventType.SWITCH, cycle=10.0, device=1, chunk=2, old=512, new=4096)
+        rec.emit(EventType.TREE_WALK, cycle=11.0, levels=3)
+        events = list(rec.events())
+        assert [e.etype for e in events] == [EventType.SWITCH, EventType.TREE_WALK]
+        assert events[0].payload["old"] == 512
+        assert events[0].device == 1
+        assert len(rec) == 2
+        assert rec.dropped == 0
+
+    def test_ring_drops_oldest(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.emit(EventType.CACHE_HIT, cycle=float(i))
+        events = list(rec.events())
+        assert len(events) == 4
+        assert [e.cycle for e in events] == [6.0, 7.0, 8.0, 9.0]
+        assert rec.emitted == 10
+        assert rec.dropped == 6
+
+    def test_counts_by_type(self):
+        rec = TraceRecorder(capacity=16)
+        rec.emit(EventType.CACHE_HIT, cycle=0.0)
+        rec.emit(EventType.CACHE_HIT, cycle=1.0)
+        rec.emit(EventType.QUARANTINE, cycle=2.0)
+        counts = rec.counts_by_type()
+        assert counts["cache_hit"] == 2
+        assert counts["quarantine"] == 1
+
+    def test_clear_resets_everything(self):
+        rec = TraceRecorder(capacity=2)
+        for i in range(5):
+            rec.emit(EventType.CACHE_MISS, cycle=float(i))
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.emitted == 0
+        assert rec.dropped == 0
+
+    def test_recorder_is_truthy(self):
+        assert TraceRecorder(capacity=1)
+
+
+class TestNullRecorder:
+    def test_falsy_so_emit_sites_are_skipped(self):
+        assert not NullRecorder()
+        assert not NULL_RECORDER
+
+    def test_emit_is_a_no_op(self):
+        rec = NullRecorder()
+        rec.emit(EventType.SWITCH, cycle=1.0, anything="goes")
+        assert list(rec.events()) == []
+        assert len(rec) == 0
+        assert rec.dropped == 0
+        rec.clear()  # also a no-op
+
+
+class TestFilterAndExport:
+    def _events(self):
+        return [
+            TraceEvent(cycle=0.0, etype=EventType.SWITCH, device=0),
+            TraceEvent(cycle=1.0, etype=EventType.SWITCH, device=1),
+            TraceEvent(cycle=2.0, etype=EventType.TREE_WALK, device=0),
+        ]
+
+    def test_filter_by_type_and_device(self):
+        events = self._events()
+        assert len(list(filter_events(events, etype=EventType.SWITCH))) == 2
+        assert len(list(filter_events(events, device=0))) == 2
+        only = list(filter_events(events, etype=EventType.SWITCH, device=1))
+        assert len(only) == 1
+        assert only[0].cycle == 1.0
+
+    def test_jsonl_lines_are_valid_json(self):
+        lines = list(trace_to_jsonl_lines(self._events()))
+        assert len(lines) == 3
+        first = json.loads(lines[0])
+        assert first["type"] == "switch"
+        assert first["cycle"] == 0.0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        count = write_trace_jsonl(self._events(), path, extra={"scenario": "cc1"})
+        assert count == 3
+        rows = read_trace_jsonl(path)
+        assert [r["type"] for r in rows] == ["switch", "switch", "tree_walk"]

@@ -1,0 +1,127 @@
+"""Metrics registry: instruments, lazy bindings, snapshots, resets."""
+
+import pytest
+
+from repro.common.stats import CounterStats
+from repro.obs import CounterGroup, MetricsRegistry
+from repro.obs.context import ObsContext
+
+
+class TestInstruments:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("scheme.requests")
+        c.inc(3)
+        c.inc()
+        assert reg.counter("scheme.requests") is c
+        assert reg.snapshot()["scheme.requests"] == 4
+
+    def test_gauge_holds_last_value(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("sched.stall_cycles")
+        g.set(10.0)
+        g.set(7.5)
+        assert reg.snapshot()["sched.stall_cycles"] == 7.5
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        t = reg.timer("profile.stage.simulate")
+        with t.time():
+            pass
+        with t.time():
+            pass
+        assert t.count == 2
+        assert t.total_seconds >= 0.0
+        snap = reg.snapshot()
+        assert snap["profile.stage.simulate.count"] == 2
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+
+class TestCounterGroup:
+    def test_is_a_counter_stats_drop_in(self):
+        reg = MetricsRegistry()
+        group = reg.group("engine.events")
+        assert isinstance(group, CounterStats)
+        group.bump("overflow_events")
+        group.bump("overflow_events", 2)
+        assert group.get("overflow_events") == 3
+        assert group.as_dict() == {"overflow_events": 3}
+
+        other = CounterStats()
+        other.bump("heals")
+        group.merge(other)
+        assert group.get("heals") == 1
+
+    def test_counts_expand_into_snapshot(self):
+        reg = MetricsRegistry()
+        group = reg.group("engine.events")
+        group.bump("quarantines", 4)
+        assert reg.snapshot()["engine.events.quarantines"] == 4
+
+    def test_reuse_on_re_registration(self):
+        # reset_stats() paths re-register; the same instrument must come back.
+        reg = MetricsRegistry()
+        group = reg.group("engine.events")
+        assert reg.group("engine.events") is group
+
+
+class TestBindings:
+    def test_bind_is_lazy(self):
+        reg = MetricsRegistry()
+        state = {"hits": 0}
+        reg.bind("cache.hits", lambda: state["hits"])
+        state["hits"] = 42
+        assert reg.snapshot()["cache.hits"] == 42
+
+    def test_bind_overwrites_stale_closure(self):
+        reg = MetricsRegistry()
+        reg.bind("tree.verifications", lambda: 1)
+        reg.bind("tree.verifications", lambda: 2)
+        assert reg.snapshot()["tree.verifications"] == 2
+
+    def test_dict_binding_expands_to_children(self):
+        reg = MetricsRegistry()
+        reg.bind("scheme.granularity_hist", lambda: {512: 3, 4096: 1})
+        snap = reg.snapshot()
+        assert snap["scheme.granularity_hist.512"] == 3
+        assert snap["scheme.granularity_hist.4096"] == 1
+
+    def test_snapshot_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("a.one").inc(1)
+        reg.counter("b.two").inc(2)
+        snap = reg.snapshot(prefix="a")
+        assert snap == {"a.one": 1}
+
+    def test_names_sorted_and_contains(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert list(reg.names()) == ["a", "z"]
+        assert "a" in reg
+        assert "missing" not in reg
+        assert len(reg) == 2
+
+    def test_reset_clears_owned_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(5)
+        reg.reset()
+        assert reg.snapshot().get("n", 0) == 0
+
+
+class TestObsContext:
+    def test_disabled_context_has_falsy_tracer(self):
+        obs = ObsContext.disabled()
+        assert not obs.tracer
+        assert not obs.tracing
+        assert isinstance(obs.registry, MetricsRegistry)
+
+    def test_enabled_context_traces(self):
+        obs = ObsContext.enabled(capacity=8)
+        assert obs.tracer
+        assert obs.tracing

@@ -1,0 +1,82 @@
+"""End-to-end tracing: traced simulations and the traced fault slice."""
+
+import pytest
+
+from repro.faults.campaign import traced_fault_slice
+from repro.obs import EventType, ObsContext
+from repro.obs.timeline import build_timeline, format_timeline
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import selected_scenario
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    obs = ObsContext.enabled(capacity=1 << 16)
+    scenario = selected_scenario("cc1")
+    runs = run_scenario(
+        scenario,
+        ["ours"],
+        duration_cycles=1500.0,
+        seed=7,
+        obs_factory=lambda: obs,
+    )
+    return runs["ours"]
+
+
+class TestTracedSimulation:
+    def test_trace_captures_timing_event_types(self, traced_run):
+        kinds = {event.etype for event in traced_run.trace}
+        assert EventType.TREE_WALK in kinds
+        assert EventType.REQUEST in kinds
+        assert EventType.CHANNEL_SAMPLE in kinds
+        assert EventType.CACHE_MISS in kinds
+
+    def test_metrics_snapshot_on_result(self, traced_run):
+        metrics = traced_run.metrics
+        assert metrics["scheme.requests"] > 0
+        assert metrics["channel.transactions"] > 0
+        assert "tree.walk.serialized_fetches" in metrics
+        assert any(name.startswith("sched.device.") for name in metrics)
+
+    def test_trace_events_carry_cycles_in_order_per_device(self, traced_run):
+        requests = [e for e in traced_run.trace if e.etype == EventType.REQUEST]
+        assert requests, "expected per-request events"
+        by_device = {}
+        for event in requests:
+            prev = by_device.get(event.device, -1.0)
+            assert event.cycle >= prev
+            by_device[event.device] = event.cycle
+
+    def test_untraced_run_keeps_trace_empty(self):
+        scenario = selected_scenario("cc1")
+        runs = run_scenario(scenario, ["ours"], duration_cycles=500.0, seed=7)
+        run = runs["ours"]
+        assert run.trace == []
+        # Metrics are still populated via the scheme's default registry.
+        assert run.metrics["scheme.requests"] > 0
+
+    def test_timeline_buckets_cover_the_run(self, traced_run):
+        rows = build_timeline(traced_run.trace, buckets=8)
+        assert 0 < len(rows) <= 8
+        assert rows[0]["start"] <= rows[-1]["end"]
+        rendered = format_timeline(rows)
+        assert "cycle" in rendered.splitlines()[0]
+
+
+class TestTracedFaultSlice:
+    def test_fault_slice_emits_functional_event_types(self):
+        obs = ObsContext.enabled(capacity=1 << 14)
+        traced_fault_slice(obs, seed=3)
+        kinds = {event.etype for event in obs.tracer.events()}
+        assert EventType.QUARANTINE in kinds
+        assert EventType.COUNTER_OVERFLOW in kinds
+        assert EventType.EPOCH_BUMP in kinds
+        assert EventType.INTEGRITY_FAILURE in kinds
+        assert EventType.HEAL in kinds
+
+    def test_fault_slice_populates_engine_counters(self):
+        obs = ObsContext.enabled(capacity=1 << 14)
+        mem = traced_fault_slice(obs, seed=3)
+        assert mem.events.get("quarantined_regions") >= 1
+        snapshot = obs.registry.snapshot(prefix="engine.events")
+        assert snapshot["engine.events.quarantined_regions"] >= 1

@@ -1,0 +1,158 @@
+"""Direct tests for the result-aggregation helpers in sim/metrics.py."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.common.types import DeviceKind
+from repro.mem.channel import ChannelStats
+from repro.sim import metrics
+from repro.sim.scenario import SELECTED_GROUPS, SELECTED_SCENARIOS, make_scenario
+from repro.sim.soc import DeviceResult, RunResult
+
+
+def _device(kind: DeviceKind, finish: float, name: str = "dev") -> DeviceResult:
+    return DeviceResult(
+        name=name,
+        workload="w",
+        kind=kind,
+        requests=10,
+        finish_cycle=finish,
+        compute_cycles=finish / 2.0,
+    )
+
+
+def _run(scheme_name, finishes, traffic_bytes=1000):
+    """A RunResult whose scheme is a stub carrying only what metrics read."""
+    stub = SimpleNamespace(
+        stats=SimpleNamespace(
+            traffic=SimpleNamespace(total_bytes=traffic_bytes)
+        ),
+        metadata_cache=SimpleNamespace(misses=0),
+        mac_cache=SimpleNamespace(misses=0),
+    )
+    devices = [
+        _device(kind, finish, name=f"d{i}")
+        for i, (kind, finish) in enumerate(finishes)
+    ]
+    return RunResult(
+        scheme_name=scheme_name,
+        devices=devices,
+        channel=ChannelStats(),
+        scheme=stub,
+    )
+
+
+def _paired_runs(secure_factor=1.5, conventional_factor=2.0):
+    finishes = [(DeviceKind.CPU, 100.0), (DeviceKind.GPU, 200.0)]
+    return {
+        "unsecure": _run("unsecure", finishes, traffic_bytes=1000),
+        "ours": _run(
+            "ours",
+            [(k, f * secure_factor) for k, f in finishes],
+            traffic_bytes=1200,
+        ),
+        "conventional": _run(
+            "conventional",
+            [(k, f * conventional_factor) for k, f in finishes],
+            traffic_bytes=1600,
+        ),
+    }
+
+
+class TestNormalizedAndGain:
+    def test_normalized_is_mean_over_devices(self):
+        runs = _paired_runs(secure_factor=1.5)
+        assert metrics.normalized(runs, "ours") == pytest.approx(1.5)
+
+    def test_overhead_subtracts_one(self):
+        runs = _paired_runs(secure_factor=1.25)
+        assert metrics.overhead(runs, "ours") == pytest.approx(0.25)
+
+    def test_gain_is_relative_reduction(self):
+        runs = _paired_runs(secure_factor=1.5, conventional_factor=2.0)
+        # (2.0 - 1.5) / 2.0
+        assert metrics.gain(runs, "ours", "conventional") == pytest.approx(0.25)
+
+    def test_gain_zero_when_reference_degenerate(self):
+        runs = _paired_runs()
+        runs["conventional"] = _run(
+            "conventional", [(DeviceKind.CPU, 0.0), (DeviceKind.GPU, 0.0)]
+        )
+        # Zero-finish baseline devices normalize to 1.0 each, so the
+        # reference stays positive; force the degenerate branch directly.
+        assert metrics.gain(runs, "ours", "ours") == pytest.approx(0.0)
+
+
+class TestScenarioGroup:
+    def test_selected_scenarios_map_to_their_group(self):
+        for group, names in SELECTED_GROUPS.items():
+            for scenario in SELECTED_SCENARIOS:
+                if scenario.name in names:
+                    assert metrics.scenario_group(scenario) == group
+
+    def test_custom_scenario_is_ungrouped(self):
+        scenario = SELECTED_SCENARIOS[0]
+        custom = make_scenario("nonsense", *scenario.workload_names)
+        assert metrics.scenario_group(custom) == "-"
+
+
+class TestGroupGains:
+    def test_gains_averaged_per_group(self):
+        scenario = SELECTED_SCENARIOS[0]
+        group = metrics.scenario_group(scenario)
+        results = [
+            (scenario, _paired_runs(secure_factor=1.5, conventional_factor=2.0)),
+            (scenario, _paired_runs(secure_factor=1.0, conventional_factor=2.0)),
+        ]
+        gains = metrics.group_gains(results, "ours", "conventional")
+        assert set(gains) == {group}
+        assert gains[group] == pytest.approx((0.25 + 0.5) / 2)
+
+
+class TestDeviceClassNormalized:
+    def test_per_kind_means(self):
+        finishes = [
+            (DeviceKind.CPU, 100.0),
+            (DeviceKind.GPU, 100.0),
+            (DeviceKind.NPU, 100.0),
+            (DeviceKind.NPU, 100.0),
+        ]
+        runs = {
+            "unsecure": _run("unsecure", finishes),
+            "ours": _run(
+                "ours",
+                [
+                    (DeviceKind.CPU, 200.0),
+                    (DeviceKind.GPU, 150.0),
+                    (DeviceKind.NPU, 110.0),
+                    (DeviceKind.NPU, 130.0),
+                ],
+            ),
+        }
+        per_kind = metrics.device_class_normalized(runs, "ours")
+        assert per_kind[DeviceKind.CPU] == pytest.approx(2.0)
+        assert per_kind[DeviceKind.GPU] == pytest.approx(1.5)
+        assert per_kind[DeviceKind.NPU] == pytest.approx(1.2)
+
+
+class TestSweepSummary:
+    def test_summary_fields(self):
+        scenario = SELECTED_SCENARIOS[0]
+        results = [
+            (scenario, _paired_runs(secure_factor=2.0)),
+            (scenario, _paired_runs(secure_factor=0.5)),
+        ]
+        summary = metrics.sweep_summary(results, ["ours"])
+        entry = summary["ours"]
+        assert entry["mean"] == pytest.approx((2.0 + 0.5) / 2)
+        # geomean(2.0, 0.5) == 1.0
+        assert entry["geomean"] == pytest.approx(1.0)
+        assert entry["traffic_vs_unsecure"] == pytest.approx(1.2)
+
+    def test_traffic_guard_against_zero_baseline(self):
+        scenario = SELECTED_SCENARIOS[0]
+        runs = _paired_runs()
+        runs["unsecure"].scheme.stats.traffic.total_bytes = 0
+        summary = metrics.sweep_summary([(scenario, runs)], ["ours"])
+        assert summary["ours"]["traffic_vs_unsecure"] == pytest.approx(1200.0)
