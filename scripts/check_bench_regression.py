@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""CI gate: the sweep must not get slower than the committed baseline.
+
+Compares a freshly measured ``repro-bench/v1`` snapshot against a
+baseline snapshot.  Two checks:
+
+* **sweep wall time** -- the timed multi-scenario sweep slice (the
+  ``sweep`` section) must not regress by more than the sweep
+  tolerance (default 25%).  This is the number that tracks real
+  figure-regeneration cost; it only compares when both snapshots
+  measured the same sweep shape (scenarios / schemes / duration /
+  jobs), otherwise it is skipped with a notice rather than producing
+  an apples-to-oranges failure.
+* **per-scheme wall time** -- the repeated single-scenario timings
+  compare under their own (looser-than-review, CI-noise-tolerant)
+  tolerance, default 50%.
+
+Absolute wall times do not transfer between machines; this gate is
+meant for snapshots produced *on the same runner in the same job*
+(measure baseline-commit and head-commit back to back), or for
+committed snapshots from the same machine class.  ``cpu_count`` is
+recorded in every snapshot so a mismatch is at least visible.
+
+Usage:
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        BASELINE.json CURRENT.json [--sweep-tolerance 0.25] \
+        [--scheme-tolerance 0.50]
+
+Exit status: 0 clean, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs import bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline repro-bench/v1 snapshot")
+    parser.add_argument("current", help="freshly measured snapshot")
+    parser.add_argument(
+        "--sweep-tolerance", type=float, default=0.25,
+        help="max allowed relative sweep slowdown (default 0.25)",
+    )
+    parser.add_argument(
+        "--scheme-tolerance", type=float, default=0.50,
+        help="max allowed relative per-scheme slowdown (default 0.50)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = bench.load_snapshot(args.baseline)
+        current = bench.load_snapshot(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for label, snap in (("baseline", baseline), ("current", current)):
+        plat = snap.get("platform", {})
+        sweep = snap.get("sweep") or {}
+        print(
+            f"{label}: generated={snap['generated']} "
+            f"cpu_count={plat.get('cpu_count', sweep.get('cpu_count', '?'))} "
+            f"sweep_min={sweep.get('wall_seconds', {}).get('min', 'n/a')}"
+        )
+
+    if "sweep" not in baseline or "sweep" not in current:
+        print(
+            "notice: sweep section missing from "
+            + ("baseline" if "sweep" not in baseline else "current")
+            + " snapshot; sweep gate skipped"
+        )
+
+    regressions = bench.compare_snapshots(
+        baseline,
+        current,
+        tolerance=args.scheme_tolerance,
+        sweep_tolerance=args.sweep_tolerance,
+    )
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"no regressions (sweep tolerance {args.sweep_tolerance:.0%}, "
+        f"scheme tolerance {args.scheme_tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

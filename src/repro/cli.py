@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.common import label
 from repro.schemes.registry import SCHEME_NAMES
+from repro.sim.parallel import default_jobs
 from repro.sim.runner import run_scenario
 from repro.sim.scenario import (
     REALWORLD_SCENARIOS,
@@ -35,6 +36,11 @@ from repro.sim.scenario import (
     make_scenario,
 )
 from repro.workloads.registry import WORKLOADS
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    """Effective worker count: ``--jobs``, else REPRO_JOBS/CPU count."""
+    return args.jobs if args.jobs is not None else default_jobs()
 
 
 def _find_scenario(name: str):
@@ -91,7 +97,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         s for s in args.schemes.split(",") if s != "unsecure"
     ]
     runs = run_scenario(
-        scenario, schemes, duration_cycles=args.duration, seed=args.seed
+        scenario, schemes, duration_cycles=args.duration, seed=args.seed,
+        jobs=_jobs(args),
     )
     base = runs["unsecure"]
     if args.json:
@@ -123,6 +130,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown experiment {args.id!r}; known: {sorted(ALL_EXPERIMENTS)}"
         )
+    from repro.experiments.report import PARALLEL_EXPERIMENTS
+
     kwargs = {}
     if args.duration is not None:
         kwargs["duration_cycles"] = args.duration
@@ -130,6 +139,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "fig15", "fig16", "fig17", "fig18",
     ):
         kwargs["sample"] = args.sample
+    if args.id in PARALLEL_EXPERIMENTS:
+        kwargs["jobs"] = _jobs(args)
     result = module.run(**kwargs)
     if isinstance(result, dict):  # fig19 panels
         for panel in result.values():
@@ -168,6 +179,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         sample=args.sample,
         seed=args.seed,
         progress=progress,
+        jobs=_jobs(args),
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -192,7 +204,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             tuple(args.modes.split(",")) if args.modes else FAILURE_MODES
         ),
     )
-    result = run_campaign(config)
+    result = run_campaign(config, jobs=_jobs(args))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
@@ -301,7 +313,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeat=args.repeat,
     )
     sim = bench.sim_payload(scenario, runs, args.duration, args.seed)
-    snapshot = bench.make_snapshot(sim, wall, args.repeat)
+    sweep = None
+    if not args.no_sweep:
+        sweep = bench.measure_sweep(
+            sample=args.sweep_sample or bench.SWEEP_SAMPLE,
+            duration_cycles=args.sweep_duration or bench.SWEEP_DURATION,
+            seed=args.seed,
+            jobs=_jobs(args),
+        )
+    snapshot = bench.make_snapshot(sim, wall, args.repeat, sweep=sweep)
     path = bench.snapshot_path(args.output)
     bench.write_snapshot(snapshot, path)
     for scheme in schemes:
@@ -309,6 +329,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(
             f"{scheme:28s} min {timing['min']:.4f}s "
             f"mean {timing['mean']:.4f}s over {args.repeat} runs"
+        )
+    if sweep is not None:
+        print(
+            f"{'sweep':28s} min {sweep['wall_seconds']['min']:.4f}s "
+            f"({sweep['scenarios']} scenarios x {len(sweep['schemes'])} "
+            f"schemes, jobs={sweep['jobs']})"
         )
     print(f"wrote {path}")
     if args.check:
@@ -338,6 +364,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help=(
+                "worker processes for independent simulations "
+                "(default: REPRO_JOBS or the CPU count; 1 = serial)"
+            ),
+        )
+
     p_list = sub.add_parser("list", help="enumerate library contents")
     p_list.add_argument(
         "what",
@@ -362,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the repro-sim/v1 JSON payload instead of a table",
     )
+    add_jobs_flag(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -371,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument(
         "--plot", action="store_true", help="ASCII CDF plot (fig15/fig17)"
     )
+    add_jobs_flag(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
     p_rep = sub.add_parser("report", help="regenerate all artifacts")
@@ -378,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--duration", type=float, default=None)
     p_rep.add_argument("--sample", type=int, default=None)
     p_rep.add_argument("--seed", type=int, default=0)
+    add_jobs_flag(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
     p_flt = sub.add_parser(
@@ -396,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--modes", default=None, help="failure modes (default: all three)"
     )
     p_flt.add_argument("--json", default=None, help="also write JSON results")
+    add_jobs_flag(p_flt)
     p_flt.set_defaults(func=cmd_faults)
 
     p_trc = sub.add_parser(
@@ -452,6 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline snapshot to compare against (non-zero on regression)",
     )
     p_bch.add_argument("--tolerance", type=float, default=0.05)
+    p_bch.add_argument(
+        "--no-sweep", action="store_true",
+        help="skip the sweep-timing section of the snapshot",
+    )
+    p_bch.add_argument("--sweep-sample", type=int, default=None)
+    p_bch.add_argument("--sweep-duration", type=float, default=None)
+    add_jobs_flag(p_bch)
     p_bch.set_defaults(func=cmd_bench)
 
     return parser

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Tuple
 
 from repro.common.address import line_in_partition, partition_in_chunk
 from repro.common.constants import (
@@ -79,6 +81,51 @@ def locate_counter(
     )
 
 
+@lru_cache(maxsize=8192)
+def _chunk_mac_layout(
+    bits: int, max_granularity: int
+) -> Tuple[Tuple[int, ...], Tuple[bool, ...], int]:
+    """Precomputed compaction layout of one (bitmap, cap) signature.
+
+    Returns ``(part_index, part_merged, total)`` where
+    ``part_index[p]`` is the compacted index of the first MAC of
+    partition ``p`` (for a merged 4KB group, every member partition
+    maps to the group's single MAC), ``part_merged[p]`` says the
+    partition is covered by one merged MAC (512B or coarser), and
+    ``total`` is the chunk's post-merge MAC count.
+
+    The address-order walk of Fig. 9 is O(partitions) per lookup; the
+    timing layer resolves a MAC address for *every* request, and the
+    sweep revisits the same few bitmaps millions of times, so the walk
+    is done once per signature and reduced to two tuple reads.
+    """
+    part_index: List[int] = []
+    part_merged: List[bool] = []
+    index = 0
+    for group in range(PARTITIONS_PER_CHUNK // _PARTS_PER_4KB):
+        mask = ((1 << _PARTS_PER_4KB) - 1) << (group * _PARTS_PER_4KB)
+        if bits & mask == mask and max_granularity >= GRANULARITIES[2]:
+            part_index.extend([index] * _PARTS_PER_4KB)
+            part_merged.extend([True] * _PARTS_PER_4KB)
+            index += 1
+            continue
+        for part in range(group * _PARTS_PER_4KB, (group + 1) * _PARTS_PER_4KB):
+            part_index.append(index)
+            merged = bool(bits & (1 << part)) and (
+                max_granularity >= GRANULARITIES[1]
+            )
+            part_merged.append(merged)
+            index += stream_part.mac_count_of_partition(
+                bits, part, max_granularity
+            )
+    return tuple(part_index), tuple(part_merged), index
+
+
+def clear_layout_cache() -> None:
+    """Drop memoized chunk MAC layouts (tests)."""
+    _chunk_mac_layout.cache_clear()
+
+
 def mac_index_in_chunk(
     bits: int, addr: int, max_granularity: int = GRANULARITIES[3]
 ) -> int:
@@ -89,27 +136,17 @@ def mac_index_in_chunk(
     has one MAC; a streamed 4KB group one; a stream partition one; a
     fine partition eight (one per line).  This realizes the
     fragmentation-free compaction of Fig. 9.  ``max_granularity`` caps
-    merging for dual-granularity baselines.
+    merging for dual-granularity baselines.  The per-bitmap walk is
+    memoized by :func:`_chunk_mac_layout`.
     """
     if bits == stream_part.FULL_MASK and max_granularity >= GRANULARITIES[3]:
         return 0
 
+    part_index, part_merged, _ = _chunk_mac_layout(bits, max_granularity)
     my_partition = partition_in_chunk(addr)
-    my_group = my_partition // _PARTS_PER_4KB
-    index = 0
-
-    for group in range(my_group):
-        index += _macs_of_group(bits, group, max_granularity)
-
-    group_mask = ((1 << _PARTS_PER_4KB) - 1) << (my_group * _PARTS_PER_4KB)
-    if bits & group_mask == group_mask and max_granularity >= GRANULARITIES[2]:
-        return index  # one merged MAC for the whole 4KB group
-
-    for part in range(my_group * _PARTS_PER_4KB, my_partition):
-        index += stream_part.mac_count_of_partition(bits, part, max_granularity)
-
-    if bits & (1 << my_partition) and max_granularity >= GRANULARITIES[1]:
-        return index  # one merged MAC for the 512B partition
+    index = part_index[my_partition]
+    if part_merged[my_partition]:
+        return index
     return index + line_in_partition(addr)
 
 
@@ -151,10 +188,7 @@ def macs_per_chunk(bits: int, max_granularity: int = GRANULARITIES[3]) -> int:
     """Total MACs a chunk stores under bitmap ``bits`` (after merging)."""
     if bits == stream_part.FULL_MASK and max_granularity >= GRANULARITIES[3]:
         return 1
-    return sum(
-        _macs_of_group(bits, group, max_granularity)
-        for group in range(PARTITIONS_PER_CHUNK // _PARTS_PER_4KB)
-    )
+    return _chunk_mac_layout(bits, max_granularity)[2]
 
 
 def fine_lines_of_region(addr: int, granularity: int) -> range:

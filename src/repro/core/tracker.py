@@ -62,6 +62,13 @@ class AccessTracker:
         self.evictions_full = 0
         self.evictions_expired = 0
         self.evictions_capacity = 0
+        # Earliest cycle any current entry can expire; ``observe`` runs
+        # per request, so the expiry sweep is skipped entirely until
+        # this deadline passes.  The value is conservative (it may
+        # reference an entry that already left for another reason) --
+        # a stale deadline only triggers a scan that finds nothing and
+        # recomputes the true one, never a missed eviction.
+        self._next_expiry = float("inf")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,7 +76,8 @@ class AccessTracker:
     def observe(self, addr: int, cycle: int) -> List[Eviction]:
         """Record an access; return entries evicted by this access."""
         evicted: List[Eviction] = []
-        evicted.extend(self._sweep_expired(cycle))
+        if cycle > self._next_expiry:
+            evicted.extend(self._sweep_expired(cycle))
 
         chunk = chunk_index(addr)
         entry = self._entries.get(chunk)
@@ -87,6 +95,9 @@ class AccessTracker:
                 last_cycle=cycle,
             )
             self._entries[chunk] = entry
+            deadline = cycle + self.config.lifetime_cycles
+            if deadline < self._next_expiry:
+                self._next_expiry = deadline
         else:
             # Refresh LRU position.
             self._entries.move_to_end(chunk)
@@ -110,19 +121,27 @@ class AccessTracker:
         ]
         self.evictions_expired += len(evicted)
         self._entries.clear()
+        self._next_expiry = float("inf")
         return evicted
 
     def _sweep_expired(self, now: int) -> List[Eviction]:
+        lifetime = self.config.lifetime_cycles
         expired = [
             chunk
             for chunk, entry in self._entries.items()
-            if entry.expired(now, self.config.lifetime_cycles)
+            if entry.expired(now, lifetime)
         ]
         evicted = []
         for chunk in expired:
             entry = self._entries.pop(chunk)
             self.evictions_expired += 1
             evicted.append(Eviction(entry, "expired"))
+        # Recompute the exact deadline from the survivors.
+        self._next_expiry = (
+            min(e.birth_cycle for e in self._entries.values()) + lifetime
+            if self._entries
+            else float("inf")
+        )
         return evicted
 
     def on_chip_bits(self) -> int:

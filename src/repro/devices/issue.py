@@ -45,6 +45,7 @@ class DeviceIssueState:
     __slots__ = (
         "index", "trace", "config", "kind", "cursor",
         "clock", "outstanding", "finish", "compute", "last_read_done",
+        "_entries", "_num_entries", "_max_outstanding", "_dependent_loads",
     )
 
     def __init__(self, index: int, trace: Trace, config: DeviceConfig) -> None:
@@ -58,10 +59,17 @@ class DeviceIssueState:
         self.finish = 0.0
         self.compute = 0.0
         self.last_read_done = 0.0
+        # Hot-path locals: ``next_issue_time`` runs once per issued
+        # request; the attribute chains through Trace/DeviceConfig are
+        # flattened here once.
+        self._entries = trace.entries
+        self._num_entries = len(trace.entries)
+        self._max_outstanding = config.max_outstanding
+        self._dependent_loads = config.dependent_loads
 
     @property
     def done(self) -> bool:
-        return self.cursor >= len(self.trace.entries)
+        return self.cursor >= self._num_entries
 
     def is_dependent(self) -> bool:
         """Deterministic per-request dependency draw (pointer chase).
@@ -69,7 +77,7 @@ class DeviceIssueState:
         Hashing the cursor (instead of consuming an RNG) keeps the draw
         identical across schemes, so scheme comparisons stay paired.
         """
-        fraction = self.config.dependent_loads
+        fraction = self._dependent_loads
         if fraction <= 0.0:
             return False
         draw = ((self.cursor * 2654435761 + self.index * 97) & 0xFFFF) / 65536.0
@@ -77,25 +85,31 @@ class DeviceIssueState:
 
     def next_issue_time(self) -> float:
         """Earliest cycle the next request can issue."""
-        gap, _, is_write = self.trace.entries[self.cursor]
+        gap, _, is_write = self._entries[self.cursor]
         ready = self.clock + gap
         if not is_write and self.is_dependent():
-            ready = max(ready, self.last_read_done)
-        while self.outstanding and self.outstanding[0] <= ready:
-            heapq.heappop(self.outstanding)
-        if len(self.outstanding) >= self.config.max_outstanding:
-            ready = max(ready, self.outstanding[0])
+            done = self.last_read_done
+            if done > ready:
+                ready = done
+        outstanding = self.outstanding
+        while outstanding and outstanding[0] <= ready:
+            heapq.heappop(outstanding)
+        if len(outstanding) >= self._max_outstanding:
+            head = outstanding[0]
+            if head > ready:
+                ready = head
         return ready
 
     def issue(self, at: float, completion: float, is_write: bool) -> None:
         """Commit the issue of the cursor's request at cycle ``at``."""
-        gap, _, _ = self.trace.entries[self.cursor]
+        gap, _, _ = self._entries[self.cursor]
         self.compute += gap
         self.clock = at
         self.cursor += 1
-        while self.outstanding and self.outstanding[0] <= at:
-            heapq.heappop(self.outstanding)
+        outstanding = self.outstanding
+        while outstanding and outstanding[0] <= at:
+            heapq.heappop(outstanding)
         if not is_write:
-            heapq.heappush(self.outstanding, completion)
+            heapq.heappush(outstanding, completion)
             self.last_read_done = completion
         self.finish = max(self.finish, completion, at)

@@ -27,11 +27,12 @@ def run(
     sample: Optional[int] = None,
     duration_cycles: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 15's CDF summary statistics."""
     if sample is None:
         sample = default_sweep_sample()
-    results = sweep_results(sample, duration_cycles, seed)
+    results = sweep_results(sample, duration_cycles, seed, jobs=jobs)
     rows = []
     for scheme in SCHEMES:
         times = normalized_exec_times(results, scheme)

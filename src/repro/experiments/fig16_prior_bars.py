@@ -30,11 +30,12 @@ def run(
     sample: Optional[int] = None,
     duration_cycles: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 16's three bar groups."""
     if sample is None:
         sample = default_sweep_sample()
-    results = sweep_results(sample, duration_cycles, seed)
+    results = sweep_results(sample, duration_cycles, seed, jobs=jobs)
 
     ours_traffic = sum(total_traffic(results, "ours"))
     ours_misses = sum(cache_misses(results, "ours"))

@@ -42,11 +42,12 @@ def run(
     sample: Optional[int] = None,
     duration_cycles: Optional[float] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 18's three bar groups."""
     if sample is None:
         sample = default_sweep_sample()
-    results = sweep_results(sample, duration_cycles, seed)
+    results = sweep_results(sample, duration_cycles, seed, jobs=jobs)
 
     unsecure_traffic = sum(total_traffic(results, "unsecure"))
     conventional_misses = sum(cache_misses(results, "conventional"))

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.common import ExperimentResult, label, mean
-from repro.sim.runner import run_scenario
+from repro.sim.runner import run_many
 from repro.sim.scenario import SELECTED_SCENARIOS
 
 PAPER_NOTE = (
@@ -39,13 +39,16 @@ _COLUMNS = [
 
 
 def run(
-    duration_cycles: Optional[float] = None, seed: int = 0
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 20's ablation bars."""
     rows = []
     sums = {name: 0.0 for name in SCHEMES[1:]}
-    for scenario in SELECTED_SCENARIOS:
-        runs = run_scenario(scenario, SCHEMES, None, duration_cycles, seed)
+    for scenario, runs in run_many(
+        SELECTED_SCENARIOS, SCHEMES, None, duration_cycles, seed, jobs=jobs
+    ):
         base = runs["unsecure"]
         norms = {
             name: runs[name].mean_normalized_exec_time(base)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.common import ExperimentResult, label
-from repro.sim.runner import run_scenario
+from repro.sim.runner import run_many
 from repro.sim.scenario import REALWORLD_SCENARIOS
 
 PAPER_NOTE = (
@@ -31,12 +31,15 @@ _COLUMNS = ["pipeline", "scheme", "norm_exec", "overhead"]
 
 
 def run(
-    duration_cycles: Optional[float] = None, seed: int = 0
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """Regenerate Fig. 21's pipeline bars."""
     rows = []
-    for scenario in REALWORLD_SCENARIOS:
-        runs = run_scenario(scenario, SCHEMES, None, duration_cycles, seed)
+    for scenario, runs in run_many(
+        REALWORLD_SCENARIOS, SCHEMES, None, duration_cycles, seed, jobs=jobs
+    ):
         base = runs["unsecure"]
         for scheme in SCHEMES[1:]:
             norm = runs[scheme].mean_normalized_exec_time(base)

@@ -41,12 +41,18 @@ def _render(result: ExperimentResult, out: io.StringIO) -> None:
     out.write("\n```\n\n")
 
 
+#: Experiments whose ``run`` accepts a ``jobs`` parameter (they fan
+#: independent simulations out over worker processes).
+PARALLEL_EXPERIMENTS = ("fig15", "fig16", "fig17", "fig18", "fig20", "fig21")
+
+
 def generate_report(
     duration_cycles: Optional[float] = None,
     sample: Optional[int] = None,
     seed: int = 0,
     experiments=REPORT_ORDER,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> str:
     """Run the chosen experiments and return the markdown report."""
     out = io.StringIO()
@@ -67,6 +73,8 @@ def generate_report(
             kwargs["duration_cycles"] = duration_cycles
         elif key not in ("tab_hw", "ext_metadata"):
             kwargs["duration_cycles"] = duration_cycles
+        if jobs is not None and key in PARALLEL_EXPERIMENTS:
+            kwargs["jobs"] = jobs
         started = time.perf_counter()
         result = module.run(seed=seed, **kwargs)
         timings[key] = time.perf_counter() - started

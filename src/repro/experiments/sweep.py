@@ -2,18 +2,29 @@
 
 The four prior-work/breakdown figures all evaluate the same scenario
 population under overlapping scheme sets, so the sweep runs once per
-(schemes, sample, duration, seed) signature and is memoized for the
-process lifetime -- a pytest session regenerating every figure reuses
-one sweep.
+signature and is memoized for the process lifetime -- a pytest session
+regenerating every figure reuses one sweep.
+
+The memo key includes the *effective environment*: ``sweep_scenarios``
+reads ``REPRO_FULL_SWEEP`` and the duration default comes from
+``REPRO_SIM_DURATION``, so a cached sweep must never be served after
+either changes mid-process (duration scans and the full-sweep CI job
+both do exactly that).  The memo is LRU-bounded -- a duration scan
+would otherwise accumulate one full sweep result per step forever.
+``jobs`` is deliberately *not* part of the key: parallel and serial
+sweeps are numerically identical (asserted by the parity suite), so
+either may serve the other from cache.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.runner import run_scenario, sweep_scenarios
+from repro.sim.runner import run_many, sweep_scenarios
 from repro.sim.scenario import Scenario, all_scenarios
-from repro.sim.soc import RunResult
+from repro.sim.soc import ResultView
 
 #: Every scheme any of Figs. 15-18 needs; sweeping them together lets
 #: the memoized sweep serve all four figures.
@@ -29,7 +40,21 @@ SWEEP_SCHEMES: Tuple[str, ...] = (
     "bmf_unused_ours",
 )
 
-_cache: Dict[tuple, List[Tuple[Scenario, Dict[str, RunResult]]]] = {}
+#: A handful of distinct sweep signatures covers every figure plus a
+#: couple of ad-hoc calls; anything beyond this is a scan that should
+#: not pin every step's results in memory.
+_CACHE_MAX = 8
+_cache: "OrderedDict[tuple, List[Tuple[Scenario, Dict[str, ResultView]]]]" = (
+    OrderedDict()
+)
+
+
+def _env_fingerprint() -> Tuple[Optional[str], Optional[str]]:
+    """The env knobs a sweep's content depends on."""
+    return (
+        os.environ.get("REPRO_SIM_DURATION"),
+        os.environ.get("REPRO_FULL_SWEEP"),
+    )
 
 
 def sweep_results(
@@ -37,26 +62,32 @@ def sweep_results(
     duration_cycles: Optional[float] = None,
     seed: int = 0,
     schemes: Sequence[str] = SWEEP_SCHEMES,
-) -> List[Tuple[Scenario, Dict[str, RunResult]]]:
-    """Run (or reuse) the scenario sweep for the given signature."""
-    key = (tuple(schemes), sample, duration_cycles, seed)
+    jobs: Optional[int] = None,
+) -> List[Tuple[Scenario, Dict[str, ResultView]]]:
+    """Run (or reuse) the scenario sweep for the given signature.
+
+    ``jobs`` above 1 fans the sweep out over worker processes (see
+    :mod:`repro.sim.parallel`); results are then slim picklable
+    payloads rather than live ``RunResult`` objects -- identical for
+    everything the figures read.
+    """
+    key = (tuple(schemes), sample, duration_cycles, seed, _env_fingerprint())
     cached = _cache.get(key)
     if cached is not None:
+        _cache.move_to_end(key)
         return cached
     scenarios = sweep_scenarios(all_scenarios(), sample)
-    results = [
-        (
-            scenario,
-            run_scenario(scenario, schemes, None, duration_cycles, seed),
-        )
-        for scenario in scenarios
-    ]
+    results = run_many(
+        scenarios, schemes, None, duration_cycles, seed, jobs=jobs
+    )
     _cache[key] = results
+    while len(_cache) > _CACHE_MAX:
+        _cache.popitem(last=False)
     return results
 
 
 def normalized_exec_times(
-    results: List[Tuple[Scenario, Dict[str, RunResult]]], scheme: str
+    results: List[Tuple[Scenario, Dict[str, ResultView]]], scheme: str
 ) -> List[float]:
     """Per-scenario mean normalized execution time of one scheme."""
     return [
@@ -66,14 +97,14 @@ def normalized_exec_times(
 
 
 def total_traffic(
-    results: List[Tuple[Scenario, Dict[str, RunResult]]], scheme: str
+    results: List[Tuple[Scenario, Dict[str, ResultView]]], scheme: str
 ) -> List[int]:
     """Per-scenario total off-chip bytes moved by one scheme."""
     return [runs[scheme].total_traffic_bytes for _, runs in results]
 
 
 def cache_misses(
-    results: List[Tuple[Scenario, Dict[str, RunResult]]], scheme: str
+    results: List[Tuple[Scenario, Dict[str, ResultView]]], scheme: str
 ) -> List[int]:
     """Per-scenario security-cache (metadata + MAC) miss counts."""
     return [runs[scheme].security_cache_misses for _, runs in results]

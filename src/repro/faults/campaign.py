@@ -374,10 +374,14 @@ def traced_fault_slice(obs, seed: int = 0) -> SecureMemory:
     return mem
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run the full sweep described by ``config``."""
-    config = config or CampaignConfig()
-    cells: List[CellResult] = []
+#: One campaign cell, fully described by picklable scalars: the worker
+#: re-resolves the attack from the catalog by name.
+_CellSpec = Tuple[CampaignConfig, str, str, str, int]
+
+
+def _cell_specs(config: CampaignConfig) -> List[_CellSpec]:
+    """Enumerate the sweep's cells in the canonical (reported) order."""
+    specs: List[_CellSpec] = []
     for policy in config.policies:
         grans = [
             g
@@ -389,41 +393,62 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
                 continue
             for granularity in grans:
                 for mode in config.failure_modes:
-                    cell = CellResult(
-                        attack=attack.name,
-                        policy=policy,
-                        failure_mode=mode,
-                        granularity=granularity,
+                    specs.append(
+                        (config, attack.name, policy, mode, granularity)
                     )
-                    for trial in range(config.trials):
-                        seed = _trial_seed(
-                            config.seed,
-                            attack.name,
-                            policy,
-                            mode,
-                            granularity,
-                            trial,
-                        )
-                        outcome, detail, contained = _run_trial(
-                            attack,
-                            policy,
-                            mode,
-                            granularity,
-                            seed,
-                            config.region_bytes,
-                        )
-                        cell.trials += 1
-                        if outcome == "detected":
-                            cell.detected += 1
-                        elif outcome == "misclassified":
-                            cell.misclassified += 1
-                        elif outcome == "recovered":
-                            cell.recovered += 1
-                        else:
-                            cell.silent_corruption += 1
-                        if not contained:
-                            cell.containment_failures += 1
-                        if outcome != "detected" or not contained:
-                            cell.details.append(f"trial {trial}: {outcome}; {detail}")
-                    cells.append(cell)
+    return specs
+
+
+def _run_cell(spec: _CellSpec) -> CellResult:
+    """Run every trial of one cell (the parallel worker body).
+
+    Each trial builds its own engine from a seed derived only from the
+    cell coordinates, so cells are independent and the campaign result
+    does not depend on execution order or process placement.
+    """
+    config, attack_name, policy, mode, granularity = spec
+    attack = attack_by_name(attack_name)
+    cell = CellResult(
+        attack=attack.name,
+        policy=policy,
+        failure_mode=mode,
+        granularity=granularity,
+    )
+    for trial in range(config.trials):
+        seed = _trial_seed(
+            config.seed, attack.name, policy, mode, granularity, trial
+        )
+        outcome, detail, contained = _run_trial(
+            attack, policy, mode, granularity, seed, config.region_bytes
+        )
+        cell.trials += 1
+        if outcome == "detected":
+            cell.detected += 1
+        elif outcome == "misclassified":
+            cell.misclassified += 1
+        elif outcome == "recovered":
+            cell.recovered += 1
+        else:
+            cell.silent_corruption += 1
+        if not contained:
+            cell.containment_failures += 1
+        if outcome != "detected" or not contained:
+            cell.details.append(f"trial {trial}: {outcome}; {detail}")
+    return cell
+
+
+def run_campaign(
+    config: Optional[CampaignConfig] = None, jobs: Optional[int] = None
+) -> CampaignResult:
+    """Run the full sweep described by ``config``.
+
+    ``jobs`` above 1 fans independent cells out over worker processes
+    (``None`` consults ``REPRO_JOBS``, else serial); cells come back in
+    canonical order either way, so the coverage matrix and JSON dump
+    are byte-identical to a serial campaign.
+    """
+    from repro.sim.parallel import map_ordered
+
+    config = config or CampaignConfig()
+    cells = map_ordered(_run_cell, _cell_specs(config), jobs=jobs)
     return CampaignResult(config=config, cells=cells)

@@ -28,6 +28,13 @@ class CacheAccessResult:
     writeback_addr: Optional[int] = None
 
 
+#: Shared immutable results for the two overwhelmingly common outcomes
+#: (hit, and miss with no dirty victim); ``access`` runs once per
+#: metadata touch, so avoiding an allocation per call is measurable.
+_HIT = CacheAccessResult(hit=True)
+_MISS = CacheAccessResult(hit=False)
+
+
 class SetAssociativeCache:
     """LRU set-associative cache keyed by line address.
 
@@ -41,13 +48,19 @@ class SetAssociativeCache:
         self._sets: List[OrderedDict] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
+        # Hot-path copies of the geometry: ``access`` is the most
+        # frequently called method in the whole timing layer and the
+        # frozen-dataclass attribute chain shows up in profiles.
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._ways = config.ways
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
 
     def _locate(self, addr: int) -> tuple:
-        line = addr // self.config.line_bytes
-        return line, self._sets[line % self.config.num_sets]
+        line = addr // self._line_bytes
+        return line, self._sets[line % self._num_sets]
 
     def probe(self, addr: int) -> bool:
         """Presence check with no side effects."""
@@ -56,22 +69,27 @@ class SetAssociativeCache:
 
     def access(self, addr: int, write: bool = False) -> CacheAccessResult:
         """Look up ``addr``; allocate on miss; return hit + any writeback."""
-        line, cache_set = self._locate(addr)
+        line = addr // self._line_bytes
+        cache_set = self._sets[line % self._num_sets]
         if line in cache_set:
             self.hits += 1
-            dirty = cache_set.pop(line) or write
-            cache_set[line] = dirty
-            return CacheAccessResult(hit=True)
+            if write and not cache_set[line]:
+                cache_set[line] = True
+            cache_set.move_to_end(line)
+            return _HIT
 
         self.misses += 1
-        writeback_addr = None
-        if len(cache_set) >= self.config.ways:
+        if len(cache_set) >= self._ways:
             victim_line, victim_dirty = cache_set.popitem(last=False)
             if victim_dirty:
                 self.writebacks += 1
-                writeback_addr = victim_line * self.config.line_bytes
+                cache_set[line] = write
+                return CacheAccessResult(
+                    hit=False,
+                    writeback_addr=victim_line * self._line_bytes,
+                )
         cache_set[line] = write
-        return CacheAccessResult(hit=False, writeback_addr=writeback_addr)
+        return _MISS
 
     def touch_dirty(self, addr: int) -> None:
         """Mark a (present) line dirty without counting an access."""

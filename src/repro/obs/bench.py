@@ -16,7 +16,12 @@ Snapshot schema (``repro-bench/v1``)::
       "wall_seconds": {                  # per scheme, over N repeats
         "<scheme>": {"runs": [...], "min": ..., "mean": ...}
       },
-      "sim": { ... }                     # a full repro-sim/v1 payload
+      "sim": { ... },                    # a full repro-sim/v1 payload
+      "sweep": {                         # optional sweep timing section
+        "wall_seconds": {"runs": [...], "min": ..., "mean": ...},
+        "scenarios": N, "schemes": [...],
+        "duration_cycles": ..., "jobs": N, "cpu_count": N
+      }
     }
 
 The ``sim`` section is byte-for-byte the object ``python -m repro
@@ -113,29 +118,85 @@ def measure(
     return runs, wall
 
 
+#: Default sweep-timing configuration: a small-but-real slice of the
+#: Figs. 15-18 sweep (enough scenarios to exercise the parallel
+#: fan-out, short enough for CI).
+SWEEP_SAMPLE = 6
+SWEEP_SCHEMES = ("unsecure", "conventional", "static_device", "ours")
+SWEEP_DURATION = 800.0
+
+
+def measure_sweep(
+    sample: int = SWEEP_SAMPLE,
+    duration_cycles: float = SWEEP_DURATION,
+    seed: int = 0,
+    scheme_names: Sequence[str] = SWEEP_SCHEMES,
+    jobs: Optional[int] = None,
+    repeat: int = 1,
+) -> Dict[str, object]:
+    """Time a scenario-sweep slice end to end (the ``sweep`` section).
+
+    Unlike :func:`measure` this times the *orchestration* -- trace
+    building, scheme construction and the (possibly parallel) fan-out
+    of :func:`repro.sim.runner.run_many` -- which is what dominates
+    figure regeneration.  The memoized static-best search is cleared
+    before every repetition so each sample pays the full cost.
+    """
+    from repro.sim import parallel
+    from repro.sim.runner import clear_static_best_cache, run_many, sweep_scenarios
+    from repro.sim.scenario import all_scenarios
+
+    scenarios = sweep_scenarios(all_scenarios(), sample)
+    samples: List[float] = []
+    for _ in range(max(1, repeat)):
+        clear_static_best_cache()
+        start = time.perf_counter()
+        run_many(
+            scenarios, scheme_names, None, duration_cycles, seed, jobs=jobs
+        )
+        samples.append(time.perf_counter() - start)
+    return {
+        "wall_seconds": {
+            "runs": samples,
+            "min": min(samples),
+            "mean": sum(samples) / len(samples),
+        },
+        "scenarios": len(scenarios),
+        "schemes": list(scheme_names),
+        "duration_cycles": duration_cycles,
+        "jobs": parallel.resolve_jobs(jobs),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def make_snapshot(
     sim: Dict[str, object],
     wall_seconds: Dict[str, Dict[str, object]],
     repeat: int,
     generated: Optional[str] = None,
+    sweep: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Assemble a ``repro-bench/v1`` snapshot from its two halves."""
+    """Assemble a ``repro-bench/v1`` snapshot from its parts."""
     if sim.get("schema") != SIM_SCHEMA:
         raise ValueError(
             f"sim section must be a {SIM_SCHEMA} payload, "
             f"got schema={sim.get('schema')!r}"
         )
-    return {
+    snapshot: Dict[str, object] = {
         "schema": BENCH_SCHEMA,
         "generated": generated or datetime.date.today().isoformat(),
         "platform": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
+            "cpu_count": os.cpu_count(),
         },
         "repeat": repeat,
         "wall_seconds": wall_seconds,
         "sim": sim,
     }
+    if sweep is not None:
+        snapshot["sweep"] = sweep
+    return snapshot
 
 
 def validate_snapshot(snapshot: Dict[str, object]) -> None:
@@ -151,6 +212,11 @@ def validate_snapshot(snapshot: Dict[str, object]) -> None:
     for scheme, timing in snapshot["wall_seconds"].items():
         if "min" not in timing or "runs" not in timing:
             raise ValueError(f"wall_seconds[{scheme!r}] missing min/runs")
+    sweep = snapshot.get("sweep")
+    if sweep is not None:
+        timing = sweep.get("wall_seconds")
+        if not isinstance(timing, dict) or "min" not in timing:
+            raise ValueError("sweep section missing wall_seconds.min")
 
 
 def snapshot_path(out: Optional[str] = None, generated: Optional[str] = None) -> str:
@@ -183,11 +249,15 @@ def compare_snapshots(
     baseline: Dict[str, object],
     current: Dict[str, object],
     tolerance: float = 0.05,
+    sweep_tolerance: float = 0.25,
 ) -> List[str]:
     """Wall-time regressions of ``current`` vs ``baseline``.
 
     Compares per-scheme *minimum* wall time (the least noisy sample);
-    a scheme regresses when it is more than ``tolerance`` slower.
+    a scheme regresses when it is more than ``tolerance`` slower.  When
+    both snapshots carry a ``sweep`` section with matching shape, its
+    wall time is compared under ``sweep_tolerance`` (sweeps run once,
+    so they are noisier than the repeated per-scheme timings).
     Returns human-readable regression descriptions (empty = clean).
     """
     regressions: List[str] = []
@@ -202,4 +272,24 @@ def compare_snapshots(
                 f"{scheme}: {new:.4f}s vs baseline {old:.4f}s "
                 f"(+{(new / old - 1.0):.1%}, tolerance {tolerance:.0%})"
             )
+    base_sweep = baseline.get("sweep")
+    cur_sweep = current.get("sweep")
+    if base_sweep and cur_sweep and _sweeps_comparable(base_sweep, cur_sweep):
+        old = float(base_sweep["wall_seconds"]["min"])
+        new = float(cur_sweep["wall_seconds"]["min"])
+        if old > 0 and new > old * (1.0 + sweep_tolerance):
+            regressions.append(
+                f"sweep: {new:.4f}s vs baseline {old:.4f}s "
+                f"(+{(new / old - 1.0):.1%}, tolerance {sweep_tolerance:.0%})"
+            )
     return regressions
+
+
+def _sweeps_comparable(
+    base: Dict[str, object], cur: Dict[str, object]
+) -> bool:
+    """Sweep timings only compare when they measured the same work."""
+    return all(
+        base.get(key) == cur.get(key)
+        for key in ("scenarios", "schemes", "duration_cycles", "jobs")
+    )

@@ -461,13 +461,20 @@ class ProtectionScheme(abc.ABC):
         without every miss paying a full DRAM round trip.  Returns the
         cycle at which the leaf counter is trusted.
         """
+        geometry = self.geometry
+        # The walk is per-request; index the precomputed level tables
+        # directly instead of re-validating levels through the public
+        # accessors (nodes derived from an in-region address are in
+        # range by construction).
+        level_bases = geometry._level_base_addrs
+        arity = geometry.arity
         ready = cycle
         levels_walked = 0
-        node = self.geometry.node_of_addr(addr, start_level)
-        for level in range(start_level, self.geometry.root_level):
+        node = addr // geometry._level_spans[start_level]
+        for level in range(start_level, geometry.root_level):
             if trusted_stop is not None and trusted_stop(level, node):
                 break
-            node_addr = self.geometry.node_addr(level, node)
+            node_addr = level_bases[level] + node * CACHELINE_BYTES
             hit, done = self._cache_fill(
                 self.metadata_cache, node_addr, False, cycle, channel,
                 MetadataKind.COUNTER,
@@ -477,7 +484,7 @@ class ProtectionScheme(abc.ABC):
                 break
             ready = max(ready, done)
             self.stats.serialized_level_fetches += 1
-            node //= self.geometry.arity
+            node //= arity
         if self._active_device is not None and levels_walked:
             self.stats.device(self._active_device).bump(
                 "tree_levels_verified", levels_walked
@@ -506,16 +513,19 @@ class ProtectionScheme(abc.ABC):
         Counter updates are posted (they do not block the device), so
         only bandwidth and cache state are charged, not latency.
         """
-        node = self.geometry.node_of_addr(addr, start_level)
-        for level in range(start_level, self.geometry.root_level):
+        geometry = self.geometry
+        level_bases = geometry._level_base_addrs
+        arity = geometry.arity
+        node = addr // geometry._level_spans[start_level]
+        for level in range(start_level, geometry.root_level):
             if trusted_stop is not None and trusted_stop(level, node):
                 return
-            node_addr = self.geometry.node_addr(level, node)
+            node_addr = level_bases[level] + node * CACHELINE_BYTES
             self._cache_fill(
                 self.metadata_cache, node_addr, True, cycle, channel,
                 MetadataKind.COUNTER,
             )
-            node //= self.geometry.arity
+            node //= arity
 
     def _mac_access(
         self, mac_line_addr: int, write: bool, cycle: float, channel: MemoryChannel

@@ -2,6 +2,14 @@
 
 from repro.sim import metrics
 
+from repro.sim.parallel import (
+    SlimRunResult,
+    default_jobs,
+    map_ordered,
+    resolve_jobs,
+    run_scenarios,
+    slim_result,
+)
 from repro.sim.runner import (
     best_static_granularities,
     best_static_granularity,
@@ -20,10 +28,22 @@ from repro.sim.scenario import (
     make_scenario,
     selected_scenario,
 )
-from repro.sim.soc import DeviceResult, RunResult, device_config_for, simulate
+from repro.sim.soc import (
+    DeviceResult,
+    ResultView,
+    RunResult,
+    device_config_for,
+    simulate,
+)
 
 __all__ = [
     "metrics",
+    "SlimRunResult",
+    "default_jobs",
+    "map_ordered",
+    "resolve_jobs",
+    "run_scenarios",
+    "slim_result",
     "best_static_granularities",
     "best_static_granularity",
     "run_many",
@@ -39,6 +59,7 @@ __all__ = [
     "make_scenario",
     "selected_scenario",
     "DeviceResult",
+    "ResultView",
     "RunResult",
     "device_config_for",
     "simulate",

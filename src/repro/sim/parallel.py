@@ -1,0 +1,255 @@
+"""Parallel fan-out of independent (scenario, scheme) simulations.
+
+Every cell of a sweep -- one scenario replayed under one protection
+scheme -- is completely independent of every other cell, so sweeps,
+figure drivers and fault campaigns parallelize embarrassingly across
+processes.  This module is the one place that knows how:
+
+* **SlimRunResult** -- the picklable payload that crosses the worker
+  pipe.  Live :class:`~repro.sim.soc.RunResult` objects carry the
+  scheme itself (whose metrics registry binds closures and is therefore
+  unpicklable); the slim twin captures the derived scalars instead and
+  shares the whole read API through :class:`~repro.sim.soc.ResultView`,
+  so serial and parallel callers render byte-identical output.
+* **Shared-trace chunking** -- traces are built once per scenario in
+  the parent and shipped to workers, never regenerated per scheme; a
+  scenario's scheme list is split into contiguous chunks only when
+  there are fewer scenarios than workers.
+* **Ordered reduce** -- worker outputs are reassembled in submission
+  order (scenario order, then scheme order), so results are
+  byte-identical to a serial run regardless of completion order.
+* **Graceful serial fallback** -- ``jobs<=1``, a single task, or *any*
+  pool/pickling failure falls back to running the same pure functions
+  in-process; results are identical either way.
+
+``jobs`` semantics everywhere in the library: ``None`` means "consult
+``REPRO_JOBS``, else stay serial" (back-compatible); the CLI layer
+defaults to :func:`default_jobs` (``REPRO_JOBS`` else CPU count).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
+
+from repro.common.config import SoCConfig
+from repro.mem.channel import ChannelStats
+from repro.sim.runner import _run_schemes_over_traces, sim_duration
+from repro.sim.scenario import Scenario
+from repro.sim.soc import DeviceResult, ResultView, RunResult
+from repro.workloads.generator import Trace
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Anything a caller may treat as "the result of one (scenario, scheme)
+#: run": live when produced in-process, slim when it crossed a pipe.
+AnyRunResult = Union[RunResult, "SlimRunResult"]
+
+
+# ----------------------------------------------------------------------
+# Job-count resolution
+# ----------------------------------------------------------------------
+
+def _env_jobs() -> Optional[int]:
+    raw = os.environ.get("REPRO_JOBS")
+    if raw is None or not raw.strip():
+        return None
+    return max(1, int(raw))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Effective worker count for a library call.
+
+    ``None`` (the default everywhere) resolves to ``REPRO_JOBS`` when
+    set and to ``1`` otherwise, so existing callers keep their serial
+    behaviour unless the environment opts in.
+    """
+    if jobs is not None:
+        return max(1, int(jobs))
+    return _env_jobs() or 1
+
+
+def default_jobs() -> int:
+    """CLI default: ``REPRO_JOBS`` if set, else the machine's CPU count."""
+    env = _env_jobs()
+    if env is not None:
+        return env
+    return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# The picklable result payload
+# ----------------------------------------------------------------------
+
+@dataclass
+class SlimRunResult(ResultView):
+    """Picklable twin of :class:`~repro.sim.soc.RunResult`.
+
+    Carries per-device results, channel statistics, the metrics
+    snapshot and the two scheme-derived scalars -- everything the
+    figures, tables and ``--json`` payloads consume -- but *not* the
+    live scheme/observability objects, which cannot cross a process
+    boundary.  Callers that need ``result.scheme`` (switch accounting,
+    granularity histograms) must run serially.
+    """
+
+    scheme_name: str
+    devices: List[DeviceResult]
+    channel: ChannelStats
+    total_traffic_bytes: int
+    security_cache_misses: int
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+
+def slim_result(result: AnyRunResult) -> "SlimRunResult":
+    """Capture a picklable snapshot of a run result (idempotent)."""
+    if isinstance(result, SlimRunResult):
+        return result
+    return SlimRunResult(
+        scheme_name=result.scheme_name,
+        devices=list(result.devices),
+        channel=result.channel,
+        total_traffic_bytes=result.total_traffic_bytes,
+        security_cache_misses=result.security_cache_misses,
+        metrics=dict(result.metrics),
+    )
+
+
+# ----------------------------------------------------------------------
+# Ordered parallel map with serial fallback
+# ----------------------------------------------------------------------
+
+def map_ordered(
+    fn: Callable[[T], R], items: Sequence[T], jobs: Optional[int] = None
+) -> List[R]:
+    """``[fn(x) for x in items]`` fanned out over processes.
+
+    Results come back in input order no matter which worker finishes
+    first.  ``fn`` must be a module-level function over picklable
+    arguments returning picklable values; it must also be *pure* --
+    any pool failure (unpicklable payload, broken worker, fork
+    refusal) silently reruns the whole map serially in-process, so a
+    function with side effects would see them twice.
+    """
+    items = list(items)
+    workers = min(resolve_jobs(jobs), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunksize = max(1, len(items) // (workers * 4))
+            return list(pool.map(fn, items, chunksize=chunksize))
+    except Exception:
+        # Serial fallback: same pure functions, same inputs, same
+        # order -- only the wall clock differs.
+        return [fn(item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# Scenario/scheme fan-out
+# ----------------------------------------------------------------------
+
+#: One unit of worker work: schemes ``names`` replayed over the
+#: already-built ``traces`` of one scenario.
+_ChunkTask = Tuple[Tuple[Trace, ...], int, Tuple[str, ...], SoCConfig, bool]
+
+
+def _run_chunk(task: _ChunkTask) -> List[Tuple[str, SlimRunResult]]:
+    """Worker body: run one scheme chunk over shared traces."""
+    traces, footprint, names, config, warmup = task
+    results = _run_schemes_over_traces(
+        list(traces), footprint, names, config, warmup
+    )
+    return [(name, slim_result(results[name])) for name in names]
+
+
+def _scheme_chunks(
+    names: Sequence[str], parts: int
+) -> List[Tuple[str, ...]]:
+    """Split a scheme list into ``parts`` contiguous near-equal chunks."""
+    parts = max(1, min(parts, len(names)))
+    size, extra = divmod(len(names), parts)
+    chunks: List[Tuple[str, ...]] = []
+    start = 0
+    for i in range(parts):
+        width = size + (1 if i < extra else 0)
+        chunks.append(tuple(names[start:start + width]))
+        start += width
+    return chunks
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    scheme_names: Sequence[str],
+    config: Optional[SoCConfig] = None,
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+    warmup: bool = True,
+    jobs: Optional[int] = None,
+) -> List[Tuple[Scenario, Dict[str, AnyRunResult]]]:
+    """Fan a scenario x scheme cross-product out over worker processes.
+
+    Traces are built once per scenario *in the parent* (sharing them
+    across that scenario's schemes, exactly like the serial runner) and
+    shipped to workers.  When there are at least as many scenarios as
+    workers each task is one whole scenario; otherwise each scenario's
+    scheme list is split into contiguous chunks so all workers stay
+    busy even for a single-scenario call.
+
+    The reduce is ordered: the returned list follows ``scenarios`` and
+    each result dict follows ``scheme_names``, so output is
+    byte-identical to :func:`repro.sim.runner.run_many` -- the parity
+    suite in ``tests/test_parallel_parity.py`` asserts this.
+    """
+    config = config or SoCConfig()
+    duration = duration_cycles if duration_cycles is not None else sim_duration()
+    workers = resolve_jobs(jobs)
+    scheme_names = list(scheme_names)
+
+    built = [scenario.build_traces(duration, seed) for scenario in scenarios]
+    chunks_per_scenario = 1
+    if scenarios and workers > len(scenarios):
+        chunks_per_scenario = -(-workers // len(scenarios))  # ceil
+    tasks: List[_ChunkTask] = []
+    shape: List[int] = []  # chunks per scenario, for the reduce
+    for traces, footprint in built:
+        chunks = _scheme_chunks(scheme_names, chunks_per_scenario)
+        shape.append(len(chunks))
+        for chunk in chunks:
+            tasks.append((tuple(traces), footprint, chunk, config, warmup))
+
+    chunk_results = map_ordered(_run_chunk, tasks, jobs=workers)
+
+    out: List[Tuple[Scenario, Dict[str, AnyRunResult]]] = []
+    cursor = 0
+    for scenario, count in zip(scenarios, shape):
+        merged: Dict[str, AnyRunResult] = {}
+        for chunk_result in chunk_results[cursor:cursor + count]:
+            merged.update(chunk_result)
+        cursor += count
+        # Reassemble in scheme_names order regardless of chunking.
+        out.append((scenario, {name: merged[name] for name in scheme_names}))
+    return out
+
+
+def run_schemes_parallel(
+    traces: Sequence[Trace],
+    footprint: int,
+    scheme_names: Sequence[str],
+    config: SoCConfig,
+    warmup: bool,
+    jobs: int,
+) -> Dict[str, AnyRunResult]:
+    """Single-scenario fan-out used by ``run_scenario(jobs=N)``."""
+    scheme_names = list(scheme_names)
+    chunks = _scheme_chunks(scheme_names, jobs)
+    tasks: List[_ChunkTask] = [
+        (tuple(traces), footprint, chunk, config, warmup) for chunk in chunks
+    ]
+    merged: Dict[str, AnyRunResult] = {}
+    for chunk_result in map_ordered(_run_chunk, tasks, jobs=jobs):
+        merged.update(chunk_result)
+    return {name: merged[name] for name in scheme_names}

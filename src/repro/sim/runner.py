@@ -23,9 +23,15 @@ from repro.workloads.generator import Trace
 
 # LRU-bounded memo of the per-device exhaustive search: long sweeps
 # and duration scans would otherwise grow it without limit (one entry
-# per distinct workload/duration/trace-length triple).
+# per distinct workload/duration/trace-length/config quadruple).  The
+# key includes the SoCConfig itself (frozen, hence hashable): the best
+# static granularity of a workload depends on channel bandwidth, cache
+# sizes and engine latencies, so a result found under one config must
+# never be served under another.
 _STATIC_BEST_CACHE_MAX = 512
-_static_best_cache: "OrderedDict[Tuple[str, float, int], int]" = OrderedDict()
+_static_best_cache: "OrderedDict[Tuple[str, float, int, SoCConfig], int]" = (
+    OrderedDict()
+)
 
 
 def clear_static_best_cache() -> None:
@@ -51,7 +57,7 @@ def best_static_granularity(
     exhaustive search (Sec. 3.3), memoized per workload/trace shape.
     """
     config = config or SoCConfig()
-    key = (trace.spec.name, trace.compute_cycles, len(trace.entries))
+    key = (trace.spec.name, trace.compute_cycles, len(trace.entries), config)
     cached = _static_best_cache.get(key)
     if cached is not None:
         _static_best_cache.move_to_end(key)
@@ -98,29 +104,19 @@ def best_static_granularities(
     }
 
 
-def run_scenario(
-    scenario: Scenario,
+def _run_schemes_over_traces(
+    traces: Sequence[Trace],
+    footprint: int,
     scheme_names: Sequence[str],
-    config: Optional[SoCConfig] = None,
-    duration_cycles: Optional[float] = None,
-    seed: int = 0,
-    warmup: bool = True,
+    config: SoCConfig,
+    warmup: bool,
     obs_factory=None,
 ) -> Dict[str, RunResult]:
-    """Simulate one scenario under several schemes over shared traces.
+    """Replay already-built traces under each scheme (the serial core).
 
-    ``warmup`` (default on) replays each trace once before measuring,
-    so dynamic schemes are evaluated in their trained steady state --
-    the regime the paper's long simulations report.
-
-    ``obs_factory``, when given, is called once per scheme (it takes no
-    arguments) and must return an :class:`~repro.obs.ObsContext`; each
-    scheme gets its own context so traces and metrics stay per-run.
+    Shared by the serial path below and by the worker bodies in
+    :mod:`repro.sim.parallel`, so both produce identical results.
     """
-    config = config or SoCConfig()
-    duration = duration_cycles if duration_cycles is not None else sim_duration()
-    traces, footprint = scenario.build_traces(duration, seed)
-
     results: Dict[str, RunResult] = {}
     for name in scheme_names:
         device_granularities = None
@@ -135,6 +131,49 @@ def run_scenario(
     return results
 
 
+def run_scenario(
+    scenario: Scenario,
+    scheme_names: Sequence[str],
+    config: Optional[SoCConfig] = None,
+    duration_cycles: Optional[float] = None,
+    seed: int = 0,
+    warmup: bool = True,
+    obs_factory=None,
+    jobs: Optional[int] = None,
+) -> Dict[str, RunResult]:
+    """Simulate one scenario under several schemes over shared traces.
+
+    ``warmup`` (default on) replays each trace once before measuring,
+    so dynamic schemes are evaluated in their trained steady state --
+    the regime the paper's long simulations report.
+
+    ``obs_factory``, when given, is called once per scheme (it takes no
+    arguments) and must return an :class:`~repro.obs.ObsContext`; each
+    scheme gets its own context so traces and metrics stay per-run.
+
+    ``jobs`` above 1 fans the scheme list out over worker processes
+    (``None`` consults ``REPRO_JOBS``, else stays serial).  Parallel
+    results are :class:`~repro.sim.parallel.SlimRunResult` payloads --
+    numerically identical, but without the live ``.scheme`` object.
+    Live tracing (``obs_factory``) always forces the serial path, since
+    per-run observability objects cannot cross a process boundary.
+    """
+    config = config or SoCConfig()
+    duration = duration_cycles if duration_cycles is not None else sim_duration()
+    traces, footprint = scenario.build_traces(duration, seed)
+
+    from repro.sim import parallel  # runner is imported by parallel
+
+    workers = parallel.resolve_jobs(jobs)
+    if workers > 1 and obs_factory is None and len(scheme_names) > 1:
+        return parallel.run_schemes_parallel(
+            traces, footprint, scheme_names, config, warmup, workers
+        )
+    return _run_schemes_over_traces(
+        traces, footprint, scheme_names, config, warmup, obs_factory
+    )
+
+
 def run_many(
     scenarios: Sequence[Scenario],
     scheme_names: Sequence[str],
@@ -142,8 +181,22 @@ def run_many(
     duration_cycles: Optional[float] = None,
     seed: int = 0,
     warmup: bool = True,
+    jobs: Optional[int] = None,
 ) -> List[Tuple[Scenario, Dict[str, RunResult]]]:
-    """Run a list of scenarios; returns (scenario, results) pairs."""
+    """Run a list of scenarios; returns (scenario, results) pairs.
+
+    ``jobs`` above 1 dispatches the whole cross-product to
+    :func:`repro.sim.parallel.run_scenarios` (slim, picklable results);
+    ``None`` consults ``REPRO_JOBS`` and otherwise stays serial.
+    """
+    from repro.sim import parallel  # runner is imported by parallel
+
+    workers = parallel.resolve_jobs(jobs)
+    if workers > 1:
+        return parallel.run_scenarios(
+            scenarios, scheme_names, config, duration_cycles, seed, warmup,
+            jobs=workers,
+        )
     return [
         (
             scenario,

@@ -14,6 +14,7 @@ figures normalize this against the unsecured run of the same trace.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -58,33 +59,22 @@ class DeviceResult:
         }
 
 
-@dataclass
-class RunResult:
-    """Everything one (scenario, scheme) simulation produced."""
+class ResultView:
+    """Shared read API of one (scenario, scheme) simulation result.
 
-    scheme_name: str
-    devices: List[DeviceResult]
-    channel: ChannelStats
-    scheme: ProtectionScheme
-    #: Uniform metrics snapshot (hierarchical names -> values) taken at
-    #: the end of the measured run; {} when no registry was attached.
-    metrics: Dict[str, object] = field(default_factory=dict)
-    #: Recorded trace events (empty unless tracing was enabled).
-    trace: List[TraceEvent] = field(default_factory=list)
+    Implemented by :class:`RunResult` (live objects attached) and by
+    :class:`repro.sim.parallel.SlimRunResult` (the picklable payload
+    that crosses the worker pipe).  Everything here only touches the
+    attributes both carry -- ``scheme_name``, ``devices``, ``channel``,
+    ``metrics``, ``total_traffic_bytes``, ``security_cache_misses`` --
+    so serial and parallel results render byte-identically.
+    """
 
     @property
     def finish_cycle(self) -> float:
         return max((d.finish_cycle for d in self.devices), default=0.0)
 
-    @property
-    def total_traffic_bytes(self) -> int:
-        return self.scheme.stats.traffic.total_bytes
-
-    @property
-    def security_cache_misses(self) -> int:
-        return self.scheme.metadata_cache.misses + self.scheme.mac_cache.misses
-
-    def normalized_exec_times(self, baseline: "RunResult") -> List[float]:
+    def normalized_exec_times(self, baseline: "ResultView") -> List[float]:
         """Per-device execution time relative to ``baseline`` (same traces)."""
         if len(self.devices) != len(baseline.devices):
             raise ValueError("cannot normalize against a different scenario")
@@ -96,11 +86,11 @@ class RunResult:
                 out.append(mine.finish_cycle / base.finish_cycle)
         return out
 
-    def mean_normalized_exec_time(self, baseline: "RunResult") -> float:
+    def mean_normalized_exec_time(self, baseline: "ResultView") -> float:
         times = self.normalized_exec_times(baseline)
         return sum(times) / len(times) if times else 1.0
 
-    def to_dict(self, baseline: Optional["RunResult"] = None) -> Dict[str, object]:
+    def to_dict(self, baseline: Optional["ResultView"] = None) -> Dict[str, object]:
         """JSON-friendly view of the run (the ``--json`` payload)."""
         out: Dict[str, object] = {
             "scheme": self.scheme_name,
@@ -122,6 +112,29 @@ class RunResult:
                 baseline
             )
         return out
+
+
+@dataclass
+class RunResult(ResultView):
+    """Everything one (scenario, scheme) simulation produced."""
+
+    scheme_name: str
+    devices: List[DeviceResult]
+    channel: ChannelStats
+    scheme: ProtectionScheme
+    #: Uniform metrics snapshot (hierarchical names -> values) taken at
+    #: the end of the measured run; {} when no registry was attached.
+    metrics: Dict[str, object] = field(default_factory=dict)
+    #: Recorded trace events (empty unless tracing was enabled).
+    trace: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return self.scheme.stats.traffic.total_bytes
+
+    @property
+    def security_cache_misses(self) -> int:
+        return self.scheme.metadata_cache.misses + self.scheme.mac_cache.misses
 
 
 def simulate(
@@ -210,32 +223,46 @@ def _run_loop(
     scheme: ProtectionScheme,
     channel: MemoryChannel,
 ) -> None:
-    """Drive every device trace to completion through the scheme."""
+    """Drive every device trace to completion through the scheme.
+
+    Devices are kept in an index-heap ordered by next-issue time.  A
+    device's issue time only changes when *it* issues (issue-window and
+    dependency state are private), so each heap entry stays valid until
+    its device is popped -- one ``next_issue_time`` evaluation per
+    issued request instead of one per active device per request.  Ties
+    break on device index, matching the original list-scan order.
+    """
     tracer = scheme.tracer
-    active = [st for st in states if not st.done]
-    while active:
-        # Pick the globally earliest issuer (4 devices: a scan is fine).
-        best = min(active, key=DeviceIssueState.next_issue_time)
-        issue_at = best.next_issue_time()
-        gap, addr, is_write = best.trace.entries[best.cursor]
+    process = scheme.process
+    heap = [
+        (st.next_issue_time(), st.index, st) for st in states if not st.done
+    ]
+    heapq.heapify(heap)
+    heappush, heappop = heapq.heappush, heapq.heappop
+    write_access, read_access = AccessType.WRITE, AccessType.READ
+
+    while heap:
+        issue_at, index, best = heappop(heap)
+        entry = best.trace.entries[best.cursor]
+        gap, addr, is_write = entry
         req = MemoryRequest(
             cycle=int(issue_at),
             addr=addr,
             size=64,
-            access=AccessType.WRITE if is_write else AccessType.READ,
-            device=best.index,
+            access=write_access if is_write else read_access,
+            device=index,
             kind=best.kind,
         )
-        completion = scheme.process(req, issue_at, channel)
+        completion = process(req, issue_at, channel)
         if tracer:
             tracer.emit(
                 EventType.REQUEST,
                 issue_at,
-                device=best.index,
+                device=index,
                 latency=completion - issue_at,
                 write=is_write,
                 stalled=issue_at > best.clock + gap,
             )
         best.issue(issue_at, completion, is_write)
-        if best.done:
-            active.remove(best)
+        if not best.done:
+            heappush(heap, (best.next_issue_time(), index, best))

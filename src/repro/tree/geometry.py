@@ -22,6 +22,7 @@ fetched.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterator, List, Tuple
 
 from repro.common.constants import (
@@ -105,14 +106,47 @@ class TreeGeometry:
         """Level index of the root node (held on-chip)."""
         return self.num_levels - 1
 
+    # The per-level arithmetic below sits on the simulator's hottest
+    # path (every counter walk resolves node spans and addresses), so
+    # the power-of-arity spans and per-level base addresses are
+    # flattened into tuples once per geometry instead of recomputing
+    # ``arity ** level`` on every call.  ``cached_property`` stores
+    # into ``__dict__`` directly, which stays legal on a frozen
+    # dataclass.
+
+    @cached_property
+    def _level_spans(self) -> Tuple[int, ...]:
+        """span_of_level(l) for every level, precomputed."""
+        return tuple(
+            CACHELINE_BYTES * self.arity ** (level + 1)
+            for level in range(self.num_levels)
+        )
+
+    @cached_property
+    def _counter_spans(self) -> Tuple[int, ...]:
+        """Bytes covered by one *counter* at each level (Eq. 3 divisor)."""
+        return tuple(
+            CACHELINE_BYTES * self.arity**level
+            for level in range(self.num_levels)
+        )
+
+    @cached_property
+    def _level_base_addrs(self) -> Tuple[int, ...]:
+        """Simulated address of node 0 of every level."""
+        return tuple(
+            self.tree_base + offset * CACHELINE_BYTES
+            for offset in self.level_offsets
+        )
+
     def span_of_level(self, level: int) -> int:
         """Bytes of data covered by one node at ``level``."""
-        return CACHELINE_BYTES * self.arity ** (level + 1)
+        self._check_level(level)
+        return self._level_spans[level]
 
     def node_of_addr(self, addr: int, level: int) -> int:
         """Index of the level-``level`` node covering byte ``addr``."""
         self._check_level(level)
-        return addr // self.span_of_level(level)
+        return addr // self._level_spans[level]
 
     def leaf_counter_index(self, addr: int) -> int:
         """Global index of the fine (64B) counter of ``addr``."""
@@ -125,7 +159,7 @@ class TreeGeometry:
         of granularity ``64B * 8**l`` live at level ``l`` (paper Eq. 3).
         """
         self._check_level(level)
-        region = addr // (CACHELINE_BYTES * self.arity**level)
+        region = addr // self._counter_spans[level]
         return region // self.arity, region % self.arity
 
     def parent(self, level: int, node_index: int) -> Tuple[int, int]:
@@ -147,7 +181,7 @@ class TreeGeometry:
                 f"node {node_index} out of range at level {level} "
                 f"(count {self.level_counts[level]})"
             )
-        return self.tree_base + (self.level_offsets[level] + node_index) * CACHELINE_BYTES
+        return self._level_base_addrs[level] + node_index * CACHELINE_BYTES
 
     def fine_mac_addr(self, line_index: int) -> int:
         """Address of the 8B fine MAC of global line ``line_index``."""

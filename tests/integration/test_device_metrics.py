@@ -1,5 +1,7 @@
 """Per-device integrity metrics and the bounded static-best memo."""
 
+from dataclasses import replace
+
 from repro.common.config import SoCConfig
 from repro.sim import runner
 from repro.sim.runner import (
@@ -50,6 +52,39 @@ class TestStaticBestCacheBound:
         assert len(runner._static_best_cache) == size
         clear_static_best_cache()
         assert len(runner._static_best_cache) == 0
+
+    def test_memo_key_distinguishes_configs(self):
+        """A result found under one SoCConfig must not serve another.
+
+        Regression test: the memo key used to omit the config, so a
+        sweep that varied channel bandwidth or engine latency silently
+        reused the first config's search result for every other config.
+        """
+        clear_static_best_cache()
+        config = SoCConfig()
+        # Starve the channel: the traffic term of the search's cost
+        # function blows up, which can legitimately flip the winner --
+        # and must at minimum be recomputed, not served from cache.
+        starved = replace(
+            config,
+            memory=replace(
+                config.memory,
+                bytes_per_cycle=config.memory.bytes_per_cycle / 64.0,
+            ),
+        )
+        scenario = SELECTED_SCENARIOS[0]
+        traces, _ = scenario.build_traces(500.0, seed=0)
+        first = best_static_granularity(traces[0], config)
+        assert len(runner._static_best_cache) == 1
+        second = best_static_granularity(traces[0], starved)
+        # One entry per config: the second call computed, not reused.
+        assert len(runner._static_best_cache) == 2
+        # Both answers match a fresh computation under their config.
+        clear_static_best_cache()
+        assert best_static_granularity(traces[0], starved) == second
+        clear_static_best_cache()
+        assert best_static_granularity(traces[0], config) == first
+        clear_static_best_cache()
 
     def test_lru_eviction_keeps_newest(self):
         clear_static_best_cache()

@@ -130,6 +130,39 @@ class TestSweepFigures:
         ALL_EXPERIMENTS["fig16"].run(sample=SAMPLE, duration_cycles=DURATION)
         assert len(sweep._cache) == max(1, before)
 
+    def test_sweep_cache_keyed_on_environment(self, monkeypatch):
+        """A cached sweep must not survive env-knob changes.
+
+        ``sweep_scenarios`` reads REPRO_FULL_SWEEP and the default
+        duration comes from REPRO_SIM_DURATION, so the memo key
+        carries both; flipping either must miss the cache.
+        """
+        monkeypatch.delenv("REPRO_SIM_DURATION", raising=False)
+        sweep.clear_cache()
+        schemes = ("unsecure", "ours")
+        sweep.sweep_results(2, 300.0, schemes=schemes)
+        assert len(sweep._cache) == 1
+        # Same signature, same env: served from cache.
+        sweep.sweep_results(2, 300.0, schemes=schemes)
+        assert len(sweep._cache) == 1
+        # Env changed: the old entry must not be served.
+        monkeypatch.setenv("REPRO_SIM_DURATION", "250")
+        sweep.sweep_results(2, 300.0, schemes=schemes)
+        assert len(sweep._cache) == 2
+        sweep.clear_cache()
+
+    def test_sweep_cache_is_lru_bounded(self):
+        sweep.clear_cache()
+        for i in range(sweep._CACHE_MAX):
+            sweep._cache[("fake", i)] = []
+        schemes = ("unsecure", "ours")
+        sweep.sweep_results(2, 300.0, schemes=schemes)
+        assert len(sweep._cache) <= sweep._CACHE_MAX
+        # The oldest synthetic entry was evicted, the real one kept.
+        assert ("fake", 0) not in sweep._cache
+        assert sweep.sweep_results(2, 300.0, schemes=schemes) is not None
+        sweep.clear_cache()
+
 
 class TestFig19:
     @pytest.fixture(scope="class")
