@@ -21,10 +21,16 @@ meant for snapshots produced *on the same runner in the same job*
 committed snapshots from the same machine class.  ``cpu_count`` is
 recorded in every snapshot so a mismatch is at least visible.
 
+A snapshot without a ``sweep`` section would make the sweep gate
+silently vacuous, so it is treated as a usage error (exit 2) unless
+``--allow-missing-sweep`` explicitly opts into per-scheme-only
+comparison.  Schema-version mismatches and malformed JSON exit 2 with
+a one-line error, never a traceback.
+
 Usage:
     PYTHONPATH=src python scripts/check_bench_regression.py \
         BASELINE.json CURRENT.json [--sweep-tolerance 0.25] \
-        [--scheme-tolerance 0.50]
+        [--scheme-tolerance 0.50] [--allow-missing-sweep]
 
 Exit status: 0 clean, 1 regression, 2 usage/schema error.
 """
@@ -49,14 +55,28 @@ def main(argv=None) -> int:
         "--scheme-tolerance", type=float, default=0.50,
         help="max allowed relative per-scheme slowdown (default 0.50)",
     )
+    parser.add_argument(
+        "--allow-missing-sweep", action="store_true",
+        help="tolerate snapshots without a sweep section (per-scheme "
+        "gate only) instead of failing with exit 2",
+    )
     args = parser.parse_args(argv)
 
-    try:
-        baseline = bench.load_snapshot(args.baseline)
-        current = bench.load_snapshot(args.current)
-    except (OSError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    snapshots = {}
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        try:
+            snapshots[label] = bench.load_snapshot(path)
+        except OSError as exc:
+            print(f"error: cannot read {label} snapshot: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(
+                f"error: {label} snapshot {path} is invalid: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    baseline = snapshots["baseline"]
+    current = snapshots["current"]
 
     for label, snap in (("baseline", baseline), ("current", current)):
         plat = snap.get("platform", {})
@@ -67,11 +87,25 @@ def main(argv=None) -> int:
             f"sweep_min={sweep.get('wall_seconds', {}).get('min', 'n/a')}"
         )
 
-    if "sweep" not in baseline or "sweep" not in current:
+    missing = [
+        label
+        for label, snap in (("baseline", baseline), ("current", current))
+        if not snap.get("sweep")
+    ]
+    if missing:
+        where = " and ".join(missing)
+        if not args.allow_missing_sweep:
+            print(
+                f"error: sweep section missing from {where} snapshot; the "
+                "sweep gate would be vacuous.  Re-measure with the sweep "
+                "enabled, or pass --allow-missing-sweep to compare "
+                "per-scheme timings only.",
+                file=sys.stderr,
+            )
+            return 2
         print(
-            "notice: sweep section missing from "
-            + ("baseline" if "sweep" not in baseline else "current")
-            + " snapshot; sweep gate skipped"
+            f"notice: sweep section missing from {where} snapshot; "
+            "sweep gate skipped (--allow-missing-sweep)"
         )
 
     regressions = bench.compare_snapshots(

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden corpora under ``tests/golden/``.
+
+Replays every tier's seeded streams through the differential harness
+(which already cross-checks engine vs oracle on every request) and
+writes the resulting digests byte-deterministically.  Running this
+script twice must produce identical files; CI regenerates the quick
+corpus on every PR and fails if the committed bytes differ.
+
+Usage:
+    PYTHONPATH=src python scripts/refresh_goldens.py [--tier quick|deep|all]
+        [--out tests/golden] [--verify]
+
+``--verify`` regenerates in memory and compares against the committed
+files instead of rewriting them (exit 1 on drift) -- the CI mode.
+
+Exit status: 0 ok, 1 drift (--verify), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.check import golden
+from repro.check.differential import DifferentialHarness
+from repro.check.runner import specs_for_tier
+from repro.check.streams import generate_stream
+
+
+def build_corpus(tier: str) -> dict:
+    specs = specs_for_tier(tier)
+    digests = []
+    for spec in specs:
+        harness = DifferentialHarness(spec.region_bytes, seed=spec.seed)
+        harness.replay(generate_stream(spec))
+        digests.append(golden.corpus_digest(harness))
+        print(
+            f"  {spec.name:16s} {len(harness.records):5d} requests  "
+            f"records={digests[-1]['records'][:12]}  "
+            f"state={digests[-1]['state'][:12]}"
+        )
+    return golden.make_corpus(tier, specs, digests)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tier", choices=("quick", "deep", "all"), default="all")
+    parser.add_argument("--out", default=golden.DEFAULT_GOLDEN_DIR)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="compare against committed corpora instead of rewriting",
+    )
+    args = parser.parse_args(argv)
+
+    tiers = ("quick", "deep") if args.tier == "all" else (args.tier,)
+    drift = False
+    for tier in tiers:
+        print(f"{tier} corpus:")
+        corpus = build_corpus(tier)
+        path = golden.corpus_path(args.out, tier)
+        if args.verify:
+            try:
+                committed = golden.load_corpus(path)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            problems = golden.diff_corpus(committed, corpus)
+            if problems:
+                drift = True
+                for problem in problems:
+                    print(f"DRIFT: {tier}: {problem}", file=sys.stderr)
+            else:
+                print(f"  {path} matches")
+        else:
+            golden.write_corpus(path, corpus)
+            print(f"  wrote {path}")
+    if drift:
+        print(
+            "golden corpora drifted; if the layout change is intended, "
+            "rerun scripts/refresh_goldens.py and commit the result",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

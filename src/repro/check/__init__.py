@@ -1,0 +1,44 @@
+"""Differential-oracle correctness subsystem (``python -m repro check``).
+
+``repro.check`` is the safety net under the optimized metadata-layout
+code: a deliberately simple, obviously-correct *reference model* of the
+paper's multi-granular layout (Eqs. 1-4 addressing, Alg. 1 detection,
+promotion/pruning geometry, Fig. 9 MAC compaction, Fig. 13 counter
+re-keying) plus harnesses that replay seeded request streams through
+both the optimized engine and the oracle and fail loudly on the first
+divergence.
+
+Modules:
+
+* :mod:`repro.check.oracle`       -- naive reference implementations;
+* :mod:`repro.check.streams`      -- seeded request-stream generation;
+* :mod:`repro.check.differential` -- engine-vs-oracle replay harness;
+* :mod:`repro.check.metamorphic`  -- permutation / split / idempotence
+  relations that must hold for any correct implementation;
+* :mod:`repro.check.golden`       -- committed golden-corpus digests;
+* :mod:`repro.check.timing`       -- timing-layer (scheme) invariants;
+* :mod:`repro.check.runner`       -- the ``--quick`` / ``--deep`` tiers.
+
+See ``docs/correctness.md`` for the full workflow.
+"""
+
+from repro.check.differential import DifferentialHarness, Divergence, DivergenceError
+from repro.check.golden import corpus_digest, load_corpus, write_corpus
+from repro.check.oracle import RefGeometry, RefModel
+from repro.check.runner import CheckReport, run_check
+from repro.check.streams import StreamSpec, generate_stream
+
+__all__ = [
+    "CheckReport",
+    "DifferentialHarness",
+    "Divergence",
+    "DivergenceError",
+    "RefGeometry",
+    "RefModel",
+    "StreamSpec",
+    "corpus_digest",
+    "generate_stream",
+    "load_corpus",
+    "run_check",
+    "write_corpus",
+]

@@ -1,0 +1,289 @@
+"""Engine-vs-oracle differential replay harness.
+
+Replays one seeded op stream through the real optimized engine
+(:class:`repro.secure_memory.engine.SecureMemory`, multigranular
+policy) and the naive reference model (:class:`repro.check.oracle.
+RefModel`) in lock-step, and after *every* request diffs every
+observable the two sides share:
+
+* effective granularity of the touched address;
+* the chunk's ``current`` / ``next`` stream-part bitmaps;
+* the counter value of the resolved protection region;
+* compacted MAC index / address (optimized ``core.addressing`` vs the
+  literal region walk), plus presence of the MAC at the predicted
+  address after a write;
+* per-chunk MAC count under the live bitmap;
+* counter location (optimized ``locate_counter`` vs Eq. 2/3 re-derived
+  slot and node address) and the window classification of every
+  metadata address the op implies;
+* plaintext read data;
+* cycle and cumulative lazy-switch counts.
+
+The first mismatch raises :class:`DivergenceError` whose report names
+the mismatching request (index, kind, address) and the differing
+field.  Each op also appends a stable integer-only observation record,
+which the golden corpus digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.check import oracle as ref
+from repro.check.streams import Op
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    LINES_PER_CHUNK,
+    MAC_BYTES,
+    granularity_level,
+)
+from repro.core import addressing
+from repro.crypto.keys import KeySet
+from repro.secure_memory.engine import SecureMemory
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One engine/oracle disagreement, anchored to the request stream."""
+
+    index: int
+    kind: str
+    addr: int
+    fld: str
+    engine: object
+    oracle: object
+
+    def describe(self) -> str:
+        return (
+            f"first divergence at request #{self.index} "
+            f"({self.kind} addr=0x{self.addr:x}): field {self.fld!r} "
+            f"engine={self.engine!r} oracle={self.oracle!r}"
+        )
+
+
+class DivergenceError(AssertionError):
+    """Raised on the first engine/oracle mismatch."""
+
+    def __init__(self, divergence: Divergence) -> None:
+        super().__init__(divergence.describe())
+        self.divergence = divergence
+
+
+def _payload(seed: int, addr: int, version: int) -> bytes:
+    """Deterministic, address-keyed line payload.
+
+    Depends only on (seed, addr, per-address write ordinal), never on
+    the op's position in the stream, so permuting independent ops does
+    not change what any address ends up holding.
+    """
+    tag = f"{seed}:{addr}:{version}".encode()
+    return hashlib.blake2b(tag, digest_size=CACHELINE_BYTES).digest()
+
+
+@dataclass
+class DifferentialHarness:
+    """Lock-step replay of one op stream through engine and oracle."""
+
+    region_bytes: int
+    seed: int = 0
+    records: List[dict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        keys = KeySet.from_seed(f"repro-check-{self.seed}".encode())
+        self.engine = SecureMemory(
+            self.region_bytes, keys=keys, policy="multigranular", counter_bits=64
+        )
+        self.oracle = ref.RefModel(self.region_bytes)
+        self.ref_geometry = ref.RefGeometry(self.region_bytes)
+        self._write_versions: Dict[int, int] = {}
+        self._index = 0
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self, ops: Sequence[Op]) -> None:
+        """Run ``ops``; raise :class:`DivergenceError` on first mismatch."""
+        for op in ops:
+            self._step(op)
+
+    def _step(self, op: Op) -> None:
+        index = self._index
+        self._index += 1
+        if op.kind == "advance":
+            self.engine.advance(op.cycles)
+            self.oracle.advance(op.cycles)
+            self.records.append({"i": index, "op": "advance", "cycles": op.cycles})
+            return
+        if op.kind == "write":
+            version = self._write_versions.get(op.addr, 0)
+            self._write_versions[op.addr] = version + 1
+            payload = _payload(self.seed, op.addr, version)
+            self.engine.write(op.addr, payload)
+            self.oracle.write(op.addr, payload)
+            engine_data = oracle_data = payload
+        elif op.kind == "read":
+            engine_data = self.engine.read(op.addr, CACHELINE_BYTES)
+            oracle_data = self.oracle.read(op.addr)
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+        self._observe(index, op, engine_data, oracle_data)
+
+    # -- per-op observation + diff --------------------------------------
+
+    def _diff(self, index: int, op: Op, fld: str, engine, oracle) -> None:
+        if engine != oracle:
+            raise DivergenceError(
+                Divergence(index, op.kind, op.addr, fld, engine, oracle)
+            )
+
+    def _observe(self, index: int, op: Op, engine_data, oracle_data) -> None:
+        diff = self._diff
+        addr = op.addr
+        diff(index, op, "data", engine_data, oracle_data)
+        diff(index, op, "cycle", self.engine.cycle, self.oracle.cycle)
+        diff(index, op, "switches", self.engine.switches, self.oracle.switches)
+
+        engine_current, engine_next = self.engine.table_bits(addr)
+        current, nxt = self.oracle.bits_of(addr)
+        diff(index, op, "bits.current", engine_current, current)
+        diff(index, op, "bits.next", engine_next, nxt)
+
+        granularity = self.engine.granularity_of(addr)
+        diff(index, op, "granularity", granularity, self.oracle.granularity_of(addr))
+
+        level = granularity_level(granularity)
+        region_base = addr - addr % granularity
+        counter = self.engine.counter_value(addr, granularity)
+        diff(index, op, "counter", counter, self.oracle.counter_of(region_base, level))
+
+        # Eq. 1 / Fig. 9: optimized MAC addressing vs the literal walk.
+        # One region walk serves index, address and per-chunk count.
+        max_g = self.engine.table.max_granularity
+        spans = ref.ref_region_spans(current, max_g)
+        offset = addr % CHUNK_BYTES
+        ref_index = next(
+            i for i, (off, g) in enumerate(spans) if off <= offset < off + g
+        )
+        ref_mac = (
+            self.region_bytes
+            + (addr // CHUNK_BYTES) * LINES_PER_CHUNK * MAC_BYTES
+            + ref_index * MAC_BYTES
+        )
+        diff(
+            index,
+            op,
+            "mac.index",
+            addressing.mac_index_in_chunk(current, addr, max_g),
+            ref_index,
+        )
+        diff(
+            index,
+            op,
+            "mac.addr",
+            addressing.mac_addr(self.engine.geometry, current, addr, max_g),
+            ref_mac,
+        )
+        diff(
+            index,
+            op,
+            "mac.per_chunk",
+            addressing.macs_per_chunk(current, max_g),
+            len(spans),
+        )
+        if op.kind == "write":
+            diff(index, op, "mac.sealed", self.engine.has_mac(ref_mac), True)
+
+        # Eqs. 2-3: optimized counter location vs naive slot arithmetic.
+        loc = addressing.locate_counter(self.engine.geometry, addr, granularity)
+        node, slot = self.ref_geometry.counter_slot(addr, level)
+        diff(index, op, "counter.level", loc.level, level)
+        diff(index, op, "counter.node", loc.node_index, node)
+        diff(index, op, "counter.slot", loc.slot, slot)
+        diff(
+            index,
+            op,
+            "counter.node_addr",
+            loc.node_addr,
+            self.ref_geometry.node_addr(level, node),
+        )
+
+        # Every implied metadata address must land in its window.
+        diff(index, op, "window.mac", self.ref_geometry.classify(ref_mac), "mac")
+        diff(
+            index, op, "window.tree", self.ref_geometry.classify(loc.node_addr), "tree"
+        )
+        diff(
+            index,
+            op,
+            "window.table",
+            self.ref_geometry.classify(self.engine.table.entry_line_addr(addr)),
+            "table",
+        )
+
+        self.records.append(
+            {
+                "i": index,
+                "op": op.kind,
+                "addr": addr,
+                "granularity": granularity,
+                "current": current,
+                "next": nxt,
+                "counter": counter,
+                "mac_index": ref_index,
+                "switches": self.engine.switches,
+            }
+        )
+
+    # -- state fingerprints (metamorphic relations) ---------------------
+
+    def fingerprint(self, include_counters: bool = True) -> str:
+        """Digest of the harness's functional end state.
+
+        ``include_counters=False`` drops counter values and switch
+        counts: within a permuted group the *order* decides which
+        access triggers a scale-up (``shared = max + 1``), so those are
+        legitimately order-dependent while everything else is not.
+        """
+        chunks: Dict[str, List[int]] = {}
+        for chunk in range(self.region_bytes // CHUNK_BYTES):
+            entry = self.engine.table.entry_by_chunk(chunk)
+            if entry.current or entry.next:
+                chunks[str(chunk)] = [entry.current, entry.next]
+        state: Dict[str, object] = {
+            "chunks": chunks,
+            "data": {
+                str(addr): hashlib.sha256(line).hexdigest()
+                for addr, line in sorted(self.oracle.data.items())
+            },
+        }
+        if include_counters:
+            state["counters"] = {
+                f"{level}:{region}": value
+                for (level, region), value in sorted(self.oracle.counters.items())
+                if value
+            }
+            state["switches"] = self.engine.switches
+            state["cycle"] = self.engine.cycle
+        blob = _canonical_json(state)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def record_digest(self) -> str:
+        """Digest of the per-op observation records (golden corpus)."""
+        return hashlib.sha256(_canonical_json(self.records).encode()).hexdigest()
+
+
+def _canonical_json(value) -> str:
+    import json
+
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def replay_spec(spec, ops: Optional[Sequence[Op]] = None) -> DifferentialHarness:
+    """Build a harness for ``spec`` and replay its (or the given) ops."""
+    from repro.check.streams import generate_stream
+
+    harness = DifferentialHarness(spec.region_bytes, seed=spec.seed)
+    harness.replay(generate_stream(spec) if ops is None else ops)
+    return harness

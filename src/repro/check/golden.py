@@ -1,0 +1,95 @@
+"""Golden-corpus storage for the differential harness.
+
+A corpus file (``tests/golden/corpus_quick.json`` /
+``corpus_deep.json``) pins, per stream, the sha256 digest of the
+harness's per-op observation records and of its final functional
+state.  The corpus is fully deterministic -- streams come from
+``random.Random(seed)``, keys from ``KeySet.from_seed`` -- so CI can
+regenerate it from scratch (``scripts/refresh_goldens.py``) and demand
+the committed bytes match.
+
+A digest change is a *semantic* change to the metadata layout or the
+detection/switching pipeline.  That is sometimes intended (a real
+behaviour fix); the workflow is then to re-run the refresh script and
+commit the new corpus together with the change, which makes layout
+drift reviewable instead of silent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+CORPUS_SCHEMA = "repro-check/v1"
+
+#: Repo-relative default location of the committed corpus files.
+DEFAULT_GOLDEN_DIR = os.path.join("tests", "golden")
+
+
+def corpus_digest(harness) -> Dict[str, str]:
+    """Stable digests of one replayed harness."""
+    return {
+        "records": harness.record_digest(),
+        "state": harness.fingerprint(include_counters=True),
+    }
+
+
+def corpus_path(golden_dir: str, tier: str) -> str:
+    return os.path.join(golden_dir, f"corpus_{tier}.json")
+
+
+def make_corpus(tier: str, specs: List, digests: List[Dict[str, str]]) -> dict:
+    """Assemble the canonical corpus document for ``tier``."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "tier": tier,
+        "streams": [
+            {"spec": spec.to_dict(), **digest}
+            for spec, digest in zip(specs, digests)
+        ],
+    }
+
+
+def write_corpus(path: str, corpus: dict) -> None:
+    """Write ``corpus`` byte-deterministically (sorted keys, LF, EOF \\n)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    blob = json.dumps(corpus, sort_keys=True, indent=2) + "\n"
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(blob)
+
+
+def load_corpus(path: str) -> dict:
+    """Load and schema-check one corpus file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        corpus = json.load(handle)
+    if not isinstance(corpus, dict):
+        raise ValueError(f"{path}: corpus must be a JSON object")
+    schema = corpus.get("schema")
+    if schema != CORPUS_SCHEMA:
+        raise ValueError(f"{path}: schema {schema!r} does not match {CORPUS_SCHEMA!r}")
+    if not isinstance(corpus.get("streams"), list):
+        raise ValueError(f"{path}: corpus is missing its streams list")
+    return corpus
+
+
+def diff_corpus(expected: dict, actual: dict) -> List[str]:
+    """Human-readable differences between two corpus documents."""
+    problems: List[str] = []
+    want = {s["spec"]["name"]: s for s in expected.get("streams", [])}
+    have = {s["spec"]["name"]: s for s in actual.get("streams", [])}
+    for name in sorted(set(want) | set(have)):
+        if name not in have:
+            problems.append(f"stream {name!r}: missing from regenerated corpus")
+            continue
+        if name not in want:
+            problems.append(f"stream {name!r}: not in committed corpus")
+            continue
+        for key in ("records", "state"):
+            if want[name].get(key) != have[name].get(key):
+                problems.append(
+                    f"stream {name!r}: {key} digest changed "
+                    f"({str(want[name].get(key))[:16]} -> "
+                    f"{str(have[name].get(key))[:16]})"
+                )
+    return problems

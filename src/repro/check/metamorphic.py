@@ -1,0 +1,134 @@
+"""Metamorphic relations the engine must satisfy for *any* stream.
+
+Differential replay checks "engine == oracle"; the relations here
+check the engine against *itself* under transformations that provably
+cannot change functional state:
+
+* **permutation** -- reordering accesses within a permutation group
+  (distinct, previously untouched lines of one chunk, no clock advance
+  inside the group) must leave data contents and both granularity
+  bitmaps unchanged.  Counter values and switch counts are excluded:
+  inside a group the order decides *which* access triggers a scale-up
+  (``shared = max + 1`` is taken once, by whichever access applies the
+  lazy switch), so they are legitimately order-dependent.
+* **split/resume** -- replaying ``ops[:k]`` then ``ops[k:]`` on one
+  harness must be byte-identical (full fingerprint *and* per-op
+  observation records) to replaying ``ops`` in one pass: the harness
+  keeps no hidden per-call state.
+* **read idempotence** -- reading the same line repeatedly returns the
+  same plaintext and never changes stored data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.check.differential import DifferentialHarness
+from repro.check.streams import Op, StreamSpec, generate_stream, touched_addrs
+
+
+class MetamorphicError(AssertionError):
+    """A metamorphic relation failed to hold."""
+
+
+def _permute_groups(ops: Sequence[Op], seed: int) -> List[Op]:
+    """Shuffle ops within each permutation group, keep everything else."""
+    rng = random.Random(seed)
+    out: List[Op] = []
+    index = 0
+    ops = list(ops)
+    while index < len(ops):
+        group = ops[index].group
+        if group < 0:
+            out.append(ops[index])
+            index += 1
+            continue
+        end = index
+        while end < len(ops) and ops[end].group == group:
+            end += 1
+        block = ops[index:end]
+        rng.shuffle(block)
+        out.extend(block)
+        index = end
+    return out
+
+
+def check_permutation(spec: StreamSpec, variants: int = 2) -> Dict[str, object]:
+    """Same-group permutations must not change functional state."""
+    ops = generate_stream(spec)
+    baseline = DifferentialHarness(spec.region_bytes, seed=spec.seed)
+    baseline.replay(ops)
+    want = baseline.fingerprint(include_counters=False)
+    for variant in range(variants):
+        permuted = _permute_groups(ops, seed=spec.seed * 1000 + variant)
+        harness = DifferentialHarness(spec.region_bytes, seed=spec.seed)
+        harness.replay(permuted)
+        got = harness.fingerprint(include_counters=False)
+        if got != want:
+            raise MetamorphicError(
+                f"permutation variant {variant} of stream {spec.name!r} changed "
+                f"functional state: {got[:16]} != {want[:16]}"
+            )
+    return {"relation": "permutation", "stream": spec.name, "variants": variants}
+
+
+def check_split_resume(
+    spec: StreamSpec, fractions: Tuple[float, ...] = (0.25, 0.5, 0.75)
+) -> Dict[str, object]:
+    """Splitting a replay at any point and resuming must be invisible."""
+    ops = generate_stream(spec)
+    one_pass = DifferentialHarness(spec.region_bytes, seed=spec.seed)
+    one_pass.replay(ops)
+    want_state = one_pass.fingerprint(include_counters=True)
+    want_records = one_pass.record_digest()
+    for fraction in fractions:
+        split = max(1, min(len(ops) - 1, int(len(ops) * fraction)))
+        resumed = DifferentialHarness(spec.region_bytes, seed=spec.seed)
+        resumed.replay(ops[:split])
+        resumed.replay(ops[split:])
+        if resumed.fingerprint(include_counters=True) != want_state:
+            raise MetamorphicError(
+                f"split at {split}/{len(ops)} changed the end state of "
+                f"stream {spec.name!r}"
+            )
+        if resumed.record_digest() != want_records:
+            raise MetamorphicError(
+                f"split at {split}/{len(ops)} changed the observation records "
+                f"of stream {spec.name!r}"
+            )
+    return {
+        "relation": "split-resume",
+        "stream": spec.name,
+        "splits": len(fractions),
+    }
+
+
+def check_read_idempotence(spec: StreamSpec, samples: int = 16) -> Dict[str, object]:
+    """Repeated reads of one line return identical plaintext."""
+    ops = generate_stream(spec)
+    harness = DifferentialHarness(spec.region_bytes, seed=spec.seed)
+    harness.replay(ops)
+    rng = random.Random(spec.seed ^ 0x1DE0)
+    addrs = touched_addrs(ops)
+    rng.shuffle(addrs)
+    for addr in addrs[:samples]:
+        data_before = dict(harness.oracle.data)
+        first = harness.engine.read(addr, 64)
+        harness.oracle.read(addr)
+        second = harness.engine.read(addr, 64)
+        harness.oracle.read(addr)
+        if first != second:
+            raise MetamorphicError(
+                f"re-reading 0x{addr:x} in stream {spec.name!r} returned "
+                "different plaintext"
+            )
+        if harness.oracle.data != data_before:
+            raise MetamorphicError(
+                f"reading 0x{addr:x} in stream {spec.name!r} mutated stored data"
+            )
+    return {
+        "relation": "read-idempotence",
+        "stream": spec.name,
+        "samples": min(samples, len(addrs)),
+    }

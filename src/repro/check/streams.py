@@ -1,0 +1,271 @@
+"""Seeded request-stream generation for the differential harness.
+
+A stream is a list of :class:`Op` values -- single-cacheline reads and
+writes plus explicit clock advances.  Profiles are designed to steer
+the multi-granular machinery through its interesting regimes:
+
+* ``stream``    -- full-chunk bursts: full-vector tracker evictions,
+  promotion to 32KB, reads through the promoted layout;
+* ``sparse``    -- scattered lines over more chunks than the tracker
+  holds: capacity evictions and censored detection merges;
+* ``mixed``     -- fully streamed 4KB groups next to sparse lines in
+  the same chunks: 4KB/512B promotions, fine residue, compacted MAC
+  indices that actually move;
+* ``boundary``  -- chunk/group/partition edges and 7-of-8 partitions:
+  off-by-one bait for the addressing and detection code;
+* ``phase``     -- stream, then sparse rewrites of the same region:
+  demotions (scale-down) exercising Fig. 13 counter retention;
+* ``permute``   -- group-structured accesses used by the metamorphic
+  permutation check (groups of distinct never-touched lines within
+  one chunk, clock advances only between groups).
+
+Everything is driven by ``random.Random(seed)`` only, so a
+``StreamSpec`` regenerates the identical stream on any platform.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.common.constants import (
+    CACHELINE_BYTES,
+    CHUNK_BYTES,
+    GRANULARITIES,
+    LINES_PER_CHUNK,
+    LINES_PER_PARTITION,
+    PARTITIONS_PER_CHUNK,
+    TRACKER_LIFETIME_CYCLES,
+)
+
+#: Clock advance large enough to expire every live tracker entry.
+EXPIRE_CYCLES = TRACKER_LIFETIME_CYCLES + 64
+
+PROFILES = ("stream", "sparse", "mixed", "boundary", "phase", "permute")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One harness operation."""
+
+    kind: str  # "read" | "write" | "advance"
+    addr: int = 0
+    cycles: int = 0
+    group: int = -1  # permutation-group id (-1: not permutable)
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Deterministic recipe for one request stream."""
+
+    name: str
+    profile: str
+    seed: int
+    ops: int
+    region_chunks: int = 32
+
+    @property
+    def region_bytes(self) -> int:
+        return self.region_chunks * CHUNK_BYTES
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "profile": self.profile,
+            "seed": self.seed,
+            "ops": self.ops,
+            "region_chunks": self.region_chunks,
+        }
+
+
+def _line_addr(chunk: int, line: int) -> int:
+    return chunk * CHUNK_BYTES + line * CACHELINE_BYTES
+
+
+def _emit_chunk_burst(out: List[Op], chunk: int, write: bool = True) -> None:
+    kind = "write" if write else "read"
+    for line in range(LINES_PER_CHUNK):
+        out.append(Op(kind, _line_addr(chunk, line)))
+
+
+def _stream_profile(rng: random.Random, ops: int, chunks: int) -> List[Op]:
+    out: List[Op] = []
+    while len(out) < ops:
+        chunk = rng.randrange(chunks)
+        _emit_chunk_burst(out, chunk, write=True)
+        out.append(Op("advance", cycles=EXPIRE_CYCLES))
+        for _ in range(48):
+            out.append(Op("read", _line_addr(chunk, rng.randrange(LINES_PER_CHUNK))))
+        for _ in range(16):
+            out.append(Op("write", _line_addr(chunk, rng.randrange(LINES_PER_CHUNK))))
+    return out[:ops]
+
+
+def _sparse_profile(rng: random.Random, ops: int, chunks: int) -> List[Op]:
+    out: List[Op] = []
+    for index in range(ops):
+        chunk = rng.randrange(chunks)
+        line = rng.randrange(LINES_PER_CHUNK)
+        kind = "write" if rng.random() < 0.5 else "read"
+        out.append(Op(kind, _line_addr(chunk, line)))
+        if index % 97 == 96:
+            out.append(Op("advance", cycles=EXPIRE_CYCLES))
+    return out[:ops]
+
+
+def _mixed_profile(rng: random.Random, ops: int, chunks: int) -> List[Op]:
+    lines_per_group = GRANULARITIES[2] // CACHELINE_BYTES
+    groups_per_chunk = CHUNK_BYTES // GRANULARITIES[2]
+    out: List[Op] = []
+    while len(out) < ops:
+        chunk = rng.randrange(chunks)
+        group = rng.randrange(groups_per_chunk)
+        first = group * lines_per_group
+        # Fully stream one 4KB group, sparsely touch the rest.
+        for line in range(first, first + lines_per_group):
+            out.append(Op("write", _line_addr(chunk, line)))
+        for _ in range(12):
+            line = rng.randrange(LINES_PER_CHUNK)
+            out.append(
+                Op("write" if rng.random() < 0.5 else "read", _line_addr(chunk, line))
+            )
+        out.append(Op("advance", cycles=EXPIRE_CYCLES))
+        # Revisit: the group switches coarse, the sparse lines stay fine.
+        for _ in range(24):
+            if rng.random() < 0.5:
+                line = first + rng.randrange(lines_per_group)
+            else:
+                line = rng.randrange(LINES_PER_CHUNK)
+            out.append(Op("read", _line_addr(chunk, line)))
+    return out[:ops]
+
+
+def _boundary_profile(rng: random.Random, ops: int, chunks: int) -> List[Op]:
+    out: List[Op] = []
+    edges = [0, chunks - 1]
+    while len(out) < ops:
+        chunk = rng.choice(edges) if rng.random() < 0.5 else rng.randrange(chunks)
+        part = rng.choice(
+            [0, 1, PARTITIONS_PER_CHUNK - 1, rng.randrange(PARTITIONS_PER_CHUNK)]
+        )
+        first = part * LINES_PER_PARTITION
+        skipped = rng.randrange(LINES_PER_PARTITION)
+        # 7-of-8 partition: must NOT be detected as a stream.
+        for line in range(first, first + LINES_PER_PARTITION):
+            if line - first != skipped:
+                out.append(Op("write", _line_addr(chunk, line)))
+        if rng.random() < 0.5:
+            # Complete it later: now it must be detected.
+            out.append(Op("write", _line_addr(chunk, first + skipped)))
+        out.append(Op("read", _line_addr(chunk, first)))
+        out.append(Op("read", _line_addr(chunk, LINES_PER_CHUNK - 1)))
+        if rng.random() < 0.25:
+            out.append(Op("advance", cycles=EXPIRE_CYCLES))
+    return out[:ops]
+
+
+def _phase_profile(rng: random.Random, ops: int, chunks: int) -> List[Op]:
+    out: List[Op] = []
+    while len(out) < ops:
+        chunk = rng.randrange(chunks)
+        _emit_chunk_burst(out, chunk, write=True)
+        out.append(Op("advance", cycles=EXPIRE_CYCLES))
+        # Apply the promotion, then turn sparse: partial partitions
+        # demote on the next eviction.
+        for _ in range(24):
+            part = rng.randrange(PARTITIONS_PER_CHUNK)
+            line = part * LINES_PER_PARTITION + rng.randrange(LINES_PER_PARTITION)
+            out.append(Op("write", _line_addr(chunk, line)))
+        out.append(Op("advance", cycles=EXPIRE_CYCLES))
+        for _ in range(24):
+            out.append(Op("read", _line_addr(chunk, rng.randrange(LINES_PER_CHUNK))))
+    return out[:ops]
+
+
+def _permute_profile(rng: random.Random, ops: int, chunks: int) -> List[Op]:
+    """Group-structured stream for the permutation metamorphic check.
+
+    Each group touches one chunk with distinct, never-before-touched
+    lines, so any permutation *within* a group must leave the final
+    functional state unchanged.  Clock advances sit only between
+    groups, keeping tracker evictions at group boundaries.
+    """
+    out: List[Op] = []
+    group_id = 0
+    used_parts: dict = {}
+    # Concentrate on few chunks so partitions complete and the permuted
+    # stream crosses real promotion/demotion switches.
+    chunks = min(4, chunks)
+    while len(out) < ops:
+        chunk = rng.randrange(chunks)
+        parts_used = used_parts.setdefault(chunk, set())
+        free_parts = [p for p in range(PARTITIONS_PER_CHUNK) if p not in parts_used]
+        if not free_parts:
+            used_parts[chunk] = set()
+            free_parts = list(range(PARTITIONS_PER_CHUNK))
+            # Reset at a group boundary with an expiry, so re-touched
+            # lines always start from an empty tracker entry.
+            out.append(Op("advance", cycles=EXPIRE_CYCLES))
+        if parts_used and rng.random() < 0.25:
+            # Revisit an already-classified partition: this is where the
+            # lazily deferred promotion/demotion switch actually fires.
+            part = rng.choice(sorted(parts_used))
+            lines = [part * LINES_PER_PARTITION + i for i in range(LINES_PER_PARTITION)]
+            for line in lines:
+                out.append(Op("read", _line_addr(chunk, line), group=group_id))
+            group_id += 1
+            if rng.random() < 0.25:
+                out.append(Op("advance", cycles=EXPIRE_CYCLES))
+            continue
+        if rng.random() < 0.8 or len(free_parts) <= 4:
+            # Whole partitions: complete stream evidence -> promotions.
+            count = min(len(free_parts), rng.randrange(1, 4))
+            parts = rng.sample(free_parts, count)
+            lines = [
+                p * LINES_PER_PARTITION + i
+                for p in parts
+                for i in range(LINES_PER_PARTITION)
+            ]
+        else:
+            # Partial partition: sparse evidence -> demotions.
+            parts = [rng.choice(free_parts)]
+            lines = [
+                parts[0] * LINES_PER_PARTITION + i
+                for i in rng.sample(range(LINES_PER_PARTITION), rng.randrange(2, 7))
+            ]
+        parts_used.update(parts)
+        kind = "write" if rng.random() < 0.7 else "read"
+        for line in lines:
+            out.append(Op(kind, _line_addr(chunk, line), group=group_id))
+        group_id += 1
+        if rng.random() < 0.25:
+            out.append(Op("advance", cycles=EXPIRE_CYCLES))
+    return out[:ops]
+
+
+_GENERATORS = {
+    "stream": _stream_profile,
+    "sparse": _sparse_profile,
+    "mixed": _mixed_profile,
+    "boundary": _boundary_profile,
+    "phase": _phase_profile,
+    "permute": _permute_profile,
+}
+
+
+def generate_stream(spec: StreamSpec) -> List[Op]:
+    """Materialize the deterministic op list of ``spec``."""
+    try:
+        generator = _GENERATORS[spec.profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {spec.profile!r}; known: {sorted(_GENERATORS)}"
+        ) from None
+    rng = random.Random(spec.seed)
+    return generator(rng, spec.ops, spec.region_chunks)
+
+
+def touched_addrs(ops: Iterable[Op]) -> List[int]:
+    """Sorted distinct line addresses a stream reads or writes."""
+    return sorted({op.addr for op in ops if op.kind in ("read", "write")})

@@ -1,0 +1,144 @@
+"""Timing-layer (scheme) invariants against the naive geometry.
+
+The functional engine is covered by the differential harness; this
+module aims the same oracle at the *timing* model
+(:class:`repro.schemes.multigran.MultiGranularScheme`).  A recording
+subclass intercepts every metadata-cache fill and, per request,
+validates the addresses the scheme actually touched against the
+reference geometry:
+
+* counter fills walk node addresses that all lie on the naive
+  root path of the request address, starting exactly at the promoted
+  level's node (Eqs. 2-4);
+* the single MAC fill hits exactly the naive compacted MAC line
+  (Eq. 1 under the live bitmap);
+* granularity-table fills stay inside the table window;
+* every metadata address classifies into its own window, never into
+  data or another metadata region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.check import oracle as ref
+from repro.check.streams import Op
+from repro.common.config import SoCConfig
+from repro.common.constants import CACHELINE_BYTES, granularity_level
+from repro.common.types import AccessType, MemoryRequest
+from repro.mem.channel import MemoryChannel
+from repro.schemes.multigran import MultiGranularScheme
+
+
+class TimingInvariantError(AssertionError):
+    """A scheme touched a metadata address the oracle cannot explain."""
+
+
+class RecordingScheme(MultiGranularScheme):
+    """MultiGranularScheme that logs every metadata-cache fill."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.fills: List[Tuple[str, int, bool]] = []
+
+    def _cache_fill(self, cache, addr, write, cycle, channel, kind):
+        self.fills.append((kind.value, addr, write))
+        return super()._cache_fill(cache, addr, write, cycle, channel, kind)
+
+
+@dataclass
+class TimingCheckResult:
+    requests: int
+    counter_fills: int
+    mac_fills: int
+    table_fills: int
+
+
+def check_timing_invariants(
+    ops: Sequence[Op], region_bytes: int, label: str = "stream"
+) -> TimingCheckResult:
+    """Replay ``ops`` through a recording scheme, validating every fill."""
+    config = SoCConfig()
+    scheme = RecordingScheme(config, region_bytes=region_bytes)
+    channel = MemoryChannel(config.memory)
+    geometry = ref.RefGeometry(region_bytes)
+    root_level = geometry.root_level
+
+    counter_fills = mac_fills = table_fills = requests = 0
+    cycle = 0.0
+    for index, op in enumerate(ops):
+        if op.kind == "advance":
+            cycle += op.cycles
+            continue
+        req = MemoryRequest(
+            cycle=int(cycle),
+            addr=op.addr,
+            size=CACHELINE_BYTES,
+            access=AccessType.WRITE if op.kind == "write" else AccessType.READ,
+        )
+        scheme.fills.clear()
+        scheme.process(req, cycle, channel)
+        cycle += 1.0
+        requests += 1
+
+        def bail(message: str) -> None:
+            raise TimingInvariantError(
+                f"{label}: request #{index} ({op.kind} addr=0x{op.addr:x}): "
+                + message
+            )
+
+        granularity = scheme.table.peek_granularity(op.addr)
+        level = granularity_level(granularity)
+        path_addrs = [
+            geometry.node_addr(lvl, node)
+            for lvl, node in geometry.path_to_root(op.addr)
+            if lvl < root_level
+        ]
+        node, _slot = geometry.counter_slot(op.addr, level)
+        expected_first = geometry.node_addr(level, node) if level < root_level else None
+
+        counters = [addr for kind, addr, _ in scheme.fills if kind == "counter"]
+        macs = [addr for kind, addr, _ in scheme.fills if kind == "mac"]
+        tables = [addr for kind, addr, _ in scheme.fills if kind == "gran_table"]
+        counter_fills += len(counters)
+        mac_fills += len(macs)
+        table_fills += len(tables)
+
+        for addr in counters:
+            if addr not in path_addrs:
+                bail(
+                    f"counter fill 0x{addr:x} is not on the naive root path "
+                    f"{[hex(a) for a in path_addrs]}"
+                )
+            if geometry.classify(addr) != "tree":
+                bail(f"counter fill 0x{addr:x} is outside the tree window")
+        if counters and expected_first is not None and counters[0] != expected_first:
+            bail(
+                f"counter walk started at 0x{counters[0]:x}, naive start for "
+                f"granularity {granularity} is 0x{expected_first:x}"
+            )
+
+        bits = scheme.table.entry(op.addr).current
+        want_mac = ref.ref_mac_addr(
+            region_bytes, bits, op.addr, scheme.table.max_granularity
+        )
+        want_mac_line = want_mac - want_mac % CACHELINE_BYTES
+        if len(macs) != 1:
+            bail(f"expected exactly one MAC fill, saw {len(macs)}")
+        if macs[0] != want_mac_line:
+            bail(
+                f"MAC fill 0x{macs[0]:x} differs from naive compacted line "
+                f"0x{want_mac_line:x} (bits=0x{bits:x})"
+            )
+        if geometry.classify(macs[0]) != "mac":
+            bail(f"MAC fill 0x{macs[0]:x} is outside the MAC window")
+
+        for addr in tables:
+            if geometry.classify(addr) != "table":
+                bail(f"table fill 0x{addr:x} is outside the table window")
+            if addr % CACHELINE_BYTES:
+                bail(f"table fill 0x{addr:x} is not line-aligned")
+
+    scheme.finish(channel)
+    return TimingCheckResult(requests, counter_fills, mac_fills, table_fills)

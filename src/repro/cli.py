@@ -14,7 +14,10 @@ Commands:
 * ``profile``     -- wall-time-per-stage and cProfile view of the
   simulator itself;
 * ``bench``       -- write (and optionally check) a
-  ``BENCH_<date>.json`` simulator-performance snapshot.
+  ``BENCH_<date>.json`` simulator-performance snapshot;
+* ``check``       -- differential-oracle correctness harness: replay
+  seeded streams through the engine and the naive reference model,
+  diff every observable (``--quick`` for CI, ``--deep`` nightly).
 """
 
 from __future__ import annotations
@@ -353,6 +356,29 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the differential-oracle correctness tiers."""
+    import contextlib
+
+    from repro.check import runner as check_runner
+
+    tier = "deep" if args.deep else "quick"
+    bug = (
+        check_runner.inject_layout_bug()
+        if args.inject_layout_bug
+        else contextlib.nullcontext()
+    )
+    with bug:
+        report = check_runner.run_check(
+            tier,
+            seed=args.seed,
+            golden_dir=args.golden,
+            echo=print,
+        )
+    print("PASS" if report.passed else "FAIL")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -499,6 +525,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_bch.add_argument("--sweep-duration", type=float, default=None)
     add_jobs_flag(p_bch)
     p_bch.set_defaults(func=cmd_bench)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="differential-oracle correctness harness (engine vs naive "
+        "reference model)",
+    )
+    tier = p_chk.add_mutually_exclusive_group()
+    tier.add_argument(
+        "--quick", action="store_true",
+        help="CI tier: seeded streams + metamorphic + golden (default)",
+    )
+    tier.add_argument(
+        "--deep", action="store_true",
+        help="nightly tier: longer streams, more geometries, timing "
+        "and determinism sections",
+    )
+    p_chk.add_argument(
+        "--seed", type=int, default=0,
+        help="extra seed folded into every stream (non-zero skips the "
+        "golden-corpus section, which pins seed 0)",
+    )
+    p_chk.add_argument(
+        "--golden", default="tests/golden",
+        help="golden corpus directory (default tests/golden)",
+    )
+    p_chk.add_argument(
+        "--inject-layout-bug", action="store_true",
+        help="deliberately off-by-one the compacted-MAC offset; the "
+        "check must FAIL (CI uses this to prove the harness bites)",
+    )
+    p_chk.set_defaults(func=cmd_check)
 
     return parser
 

@@ -126,6 +126,23 @@ def clear_layout_cache() -> None:
     _chunk_mac_layout.cache_clear()
 
 
+def layout_cache_stats() -> dict:
+    """Hit/miss/size counters of the memoized chunk MAC layout.
+
+    The cache is a pure memo over (bits, max_granularity) signatures:
+    it can change speed but never results.  ``repro check`` pins that
+    claim by diffing every cached answer against the uncached reference
+    walk in :mod:`repro.check.oracle`.
+    """
+    info = _chunk_mac_layout.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "entries": info.currsize,
+        "capacity": info.maxsize,
+    }
+
+
 def mac_index_in_chunk(
     bits: int, addr: int, max_granularity: int = GRANULARITIES[3]
 ) -> int:

@@ -200,7 +200,18 @@ def make_snapshot(
 
 
 def validate_snapshot(snapshot: Dict[str, object]) -> None:
-    """Raise ``ValueError`` when a snapshot violates the v1 schema."""
+    """Raise ``ValueError`` when a snapshot violates the v1 schema.
+
+    Every malformed shape -- wrong top-level type, wrong schema tag,
+    non-dict sections -- raises ``ValueError`` (never ``TypeError`` or
+    ``AttributeError``), so CLI consumers such as
+    ``scripts/check_bench_regression.py`` can turn any bad input into
+    a clean exit instead of a traceback.
+    """
+    if not isinstance(snapshot, dict):
+        raise ValueError(
+            f"snapshot must be a JSON object, got {type(snapshot).__name__}"
+        )
     if snapshot.get("schema") != BENCH_SCHEMA:
         raise ValueError(f"not a {BENCH_SCHEMA} snapshot")
     for key in ("generated", "wall_seconds", "sim", "repeat"):
@@ -209,11 +220,16 @@ def validate_snapshot(snapshot: Dict[str, object]) -> None:
     sim = snapshot["sim"]
     if not isinstance(sim, dict) or sim.get("schema") != SIM_SCHEMA:
         raise ValueError(f"snapshot sim section is not {SIM_SCHEMA}")
-    for scheme, timing in snapshot["wall_seconds"].items():
-        if "min" not in timing or "runs" not in timing:
+    wall = snapshot["wall_seconds"]
+    if not isinstance(wall, dict):
+        raise ValueError("snapshot wall_seconds section is not an object")
+    for scheme, timing in wall.items():
+        if not isinstance(timing, dict) or "min" not in timing or "runs" not in timing:
             raise ValueError(f"wall_seconds[{scheme!r}] missing min/runs")
     sweep = snapshot.get("sweep")
     if sweep is not None:
+        if not isinstance(sweep, dict):
+            raise ValueError("sweep section is not an object")
         timing = sweep.get("wall_seconds")
         if not isinstance(timing, dict) or "min" not in timing:
             raise ValueError("sweep section missing wall_seconds.min")

@@ -397,6 +397,19 @@ class ProtectionScheme(abc.ABC):
     # Shared building blocks
     # ------------------------------------------------------------------
 
+    def metadata_windows(self) -> Dict[str, Tuple[int, int]]:
+        """Half-open address windows of the scheme's metadata layout.
+
+        Mirror of :meth:`repro.tree.geometry.TreeGeometry.metadata_bounds`
+        exposed at the scheme level so harnesses (``repro.check``) and
+        trace tooling can classify every address a run touched without
+        reaching into the geometry object.
+        """
+        return {
+            name: (start, end)
+            for name, (start, end) in self.geometry.metadata_bounds().items()
+        }
+
     def _transfer(
         self,
         channel: MemoryChannel,

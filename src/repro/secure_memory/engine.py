@@ -1017,6 +1017,38 @@ class SecureMemory:
                 f"read_bytes/write_bytes for unaligned access"
             )
 
+    # Introspection for external correctness harnesses ------------------
+
+    def mac_addresses(self) -> List[int]:
+        """Sorted addresses currently holding a stored MAC.
+
+        Public, read-only view for differential checkers
+        (:mod:`repro.check`): after a write, the compacted MAC of the
+        written region must appear at exactly the Eq. 1 address.
+        """
+        return sorted(self._macs)
+
+    def has_mac(self, mac_addr: int) -> bool:
+        """True when a MAC is stored at metadata address ``mac_addr``."""
+        return mac_addr in self._macs
+
+    def table_bits(self, addr: int) -> Tuple[int, int]:
+        """(current, next) stream-part bitmaps of ``addr``'s chunk."""
+        if self.policy == "fixed":
+            return 0, 0
+        entry = self.table.entry(addr)
+        return entry.current, entry.next
+
+    def counter_value(self, addr: int, granularity: Optional[int] = None) -> int:
+        """Counter of ``addr``'s protection region, without any access.
+
+        ``granularity`` defaults to the currently sealed granularity;
+        the counter is read at its promoted tree level (Eqs. 2-3).
+        """
+        granularity = granularity or self.granularity_of(addr)
+        level = granularity_level(granularity)
+        return self.tree.read_counter(align_down(addr, granularity), level)
+
     def metadata_footprint(self) -> dict:
         """Bytes of security metadata currently stored off-chip.
 

@@ -208,6 +208,35 @@ class TreeGeometry:
         """Total counters stored at ``level`` (8 per node)."""
         return self.level_counts[level] * COUNTERS_PER_LINE
 
+    def metadata_bounds(self) -> dict:
+        """Half-open [start, end) address range of every layout window.
+
+        The granularity table stores 16B per 32KB chunk; its end is
+        derived here rather than stored because only the table places
+        anything past ``table_base``.
+        """
+        from repro.common.constants import CHUNK_BYTES
+
+        table_bytes = -(-self.region_bytes // CHUNK_BYTES) * 16
+        return {
+            "data": (0, self.region_bytes),
+            "mac": (self.mac_base, self.tree_base),
+            "tree": (self.tree_base, self.table_base),
+            "table": (self.table_base, self.table_base + table_bytes),
+        }
+
+    def classify_addr(self, addr: int) -> str:
+        """Name of the layout window containing ``addr``.
+
+        Cross-checked against the naive re-derivation in
+        :meth:`repro.check.oracle.RefGeometry.classify`; returns
+        ``"invalid"`` for addresses no window owns.
+        """
+        for name, (start, end) in self.metadata_bounds().items():
+            if start <= addr < end:
+                return name
+        return "invalid"
+
     def _check_level(self, level: int) -> None:
         if not 0 <= level < self.num_levels:
             raise ConfigError(

@@ -1,0 +1,121 @@
+"""Exit-status contract of ``scripts/check_bench_regression.py``.
+
+The script is a CI gate, so its failure modes must be clean: malformed
+or schema-mismatched snapshots and missing sweep sections exit 2 with
+a one-line error (never a traceback), regressions exit 1, and
+``--allow-missing-sweep`` opts into per-scheme-only comparison.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), "..", "..", "scripts", "check_bench_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _snapshot(sweep=True, schema="repro-bench/v1", scheme_min=1.0, sweep_min=10.0):
+    snap = {
+        "schema": schema,
+        "generated": "2026-08-06",
+        "platform": {"python": "3.12", "implementation": "CPython", "cpu_count": 4},
+        "repeat": 2,
+        "wall_seconds": {
+            "ours": {"min": scheme_min, "runs": [scheme_min, scheme_min * 1.1]}
+        },
+        "sim": {"schema": "repro-sim/v1"},
+    }
+    if sweep:
+        snap["sweep"] = {
+            "cpu_count": 4,
+            "duration_cycles": 1500.0,
+            "jobs": 1,
+            "scenarios": ["cc1"],
+            "schemes": ["ours"],
+            "wall_seconds": {"min": sweep_min},
+        }
+    return snap
+
+
+def _write(tmp_path, name, snap):
+    path = tmp_path / name
+    path.write_text(json.dumps(snap))
+    return str(path)
+
+
+def test_clean_comparison_exits_zero(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot())
+    cur = _write(tmp_path, "cur.json", _snapshot())
+    assert gate.main([base, cur]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_missing_sweep_is_a_usage_error(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot())
+    cur = _write(tmp_path, "cur.json", _snapshot(sweep=False))
+    assert gate.main([base, cur]) == 2
+    err = capsys.readouterr().err
+    assert "sweep section missing from current" in err
+    assert "--allow-missing-sweep" in err
+
+
+def test_missing_sweep_in_both_names_both(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot(sweep=False))
+    cur = _write(tmp_path, "cur.json", _snapshot(sweep=False))
+    assert gate.main([base, cur]) == 2
+    assert "baseline and current" in capsys.readouterr().err
+
+
+def test_allow_missing_sweep_opts_into_scheme_gate(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot(sweep=False))
+    cur = _write(tmp_path, "cur.json", _snapshot(sweep=False))
+    assert gate.main([base, cur, "--allow-missing-sweep"]) == 0
+    assert "sweep gate skipped" in capsys.readouterr().out
+
+
+def test_schema_mismatch_exits_two_without_traceback(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot())
+    cur = _write(tmp_path, "cur.json", _snapshot(schema="repro-bench/v999"))
+    assert gate.main([base, cur]) == 2
+    err = capsys.readouterr().err
+    assert "current snapshot" in err
+    assert "Traceback" not in err
+
+
+def test_non_object_json_exits_two(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot())
+    cur = tmp_path / "cur.json"
+    cur.write_text(json.dumps([1, 2, 3]))
+    assert gate.main([base, str(cur)]) == 2
+    assert "JSON object" in capsys.readouterr().err
+
+
+def test_unreadable_snapshot_exits_two(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot())
+    assert gate.main([base, str(tmp_path / "missing.json")]) == 2
+    assert "cannot read current snapshot" in capsys.readouterr().err
+
+
+def test_scheme_regression_exits_one(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot(scheme_min=1.0))
+    cur = _write(tmp_path, "cur.json", _snapshot(scheme_min=2.0))
+    assert gate.main([base, cur]) == 1
+    assert "REGRESSION: ours" in capsys.readouterr().err
+
+
+def test_sweep_regression_exits_one(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot(sweep_min=10.0))
+    cur = _write(tmp_path, "cur.json", _snapshot(sweep_min=20.0))
+    assert gate.main([base, cur]) == 1
+    assert "REGRESSION: sweep" in capsys.readouterr().err
