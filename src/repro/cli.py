@@ -17,7 +17,14 @@ Commands:
   ``BENCH_<date>.json`` simulator-performance snapshot;
 * ``check``       -- differential-oracle correctness harness: replay
   seeded streams through the engine and the naive reference model,
-  diff every observable (``--quick`` for CI, ``--deep`` nightly).
+  diff every observable (``--quick`` for CI, ``--deep`` nightly);
+* ``chaos``       -- execution-chaos harness: inject worker crashes,
+  hangs, lost results and journal damage into supervised sweeps and
+  campaigns, asserting payloads stay byte-identical to a clean run.
+
+Fan-out commands (``simulate``, ``experiment``, ``report``, ``faults``)
+accept the resilience flags ``--timeout``, ``--retries``, ``--run-id``,
+``--resume`` and ``--runs-dir`` (see ``docs/resilience.md``).
 """
 
 from __future__ import annotations
@@ -44,6 +51,50 @@ from repro.workloads.registry import WORKLOADS
 def _jobs(args: argparse.Namespace) -> int:
     """Effective worker count: ``--jobs``, else REPRO_JOBS/CPU count."""
     return args.jobs if args.jobs is not None else default_jobs()
+
+
+def _supervisor(args: argparse.Namespace):
+    """Build the run's Supervisor from the resilience flags (or None).
+
+    ``None`` leaves the ambient default in force (supervised, no
+    journal; ``REPRO_EXEC=plain`` opts out entirely).  Any explicit
+    flag -- ``--run-id``, ``--resume``, ``--timeout``, ``--retries`` --
+    pins an explicit supervisor for the whole command, and
+    ``--run-id``/``--resume`` turn on the checkpoint journal under
+    ``--runs-dir`` (see docs/resilience.md).
+    """
+    from repro.sim.resilient import ResiliencePolicy, Supervisor
+
+    resume_id = getattr(args, "resume", None)
+    run_id = resume_id or getattr(args, "run_id", None)
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", None)
+    if run_id is None and timeout is None and retries is None:
+        return None
+    policy = ResiliencePolicy(
+        timeout_seconds=timeout,
+        max_retries=retries if retries is not None else 3,
+    )
+    return Supervisor(
+        policy=policy,
+        run_id=run_id,
+        resume=resume_id is not None,
+        runs_dir=getattr(args, "runs_dir", None),
+    )
+
+
+def _supervised(args: argparse.Namespace):
+    """Context manager activating this command's supervisor (if any)."""
+    from repro.sim.resilient import supervision
+
+    supervisor = _supervisor(args)
+    if supervisor is not None and supervisor.journaling:
+        print(
+            f"[resilient] run {supervisor.run_id} "
+            f"(journal: {supervisor.run_dir()})",
+            file=sys.stderr,
+        )
+    return supervision(supervisor)
 
 
 def _find_scenario(name: str):
@@ -99,10 +150,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     schemes = ["unsecure"] + [
         s for s in args.schemes.split(",") if s != "unsecure"
     ]
-    runs = run_scenario(
-        scenario, schemes, duration_cycles=args.duration, seed=args.seed,
-        jobs=_jobs(args),
-    )
+    with _supervised(args):
+        runs = run_scenario(
+            scenario, schemes, duration_cycles=args.duration, seed=args.seed,
+            jobs=_jobs(args),
+        )
     base = runs["unsecure"]
     if args.json:
         from repro.obs.bench import sim_payload
@@ -144,7 +196,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["sample"] = args.sample
     if args.id in PARALLEL_EXPERIMENTS:
         kwargs["jobs"] = _jobs(args)
-    result = module.run(**kwargs)
+    with _supervised(args):
+        result = module.run(**kwargs)
     if isinstance(result, dict):  # fig19 panels
         for panel in result.values():
             print(panel.format_table())
@@ -177,13 +230,14 @@ def cmd_report(args: argparse.Namespace) -> int:
     def progress(key: str) -> None:
         print(f"[report] running {key} ...", file=sys.stderr)
 
-    report = generate_report(
-        duration_cycles=args.duration,
-        sample=args.sample,
-        seed=args.seed,
-        progress=progress,
-        jobs=_jobs(args),
-    )
+    with _supervised(args):
+        report = generate_report(
+            duration_cycles=args.duration,
+            sample=args.sample,
+            seed=args.seed,
+            progress=progress,
+            jobs=_jobs(args),
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report)
@@ -207,7 +261,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             tuple(args.modes.split(",")) if args.modes else FAILURE_MODES
         ),
     )
-    result = run_campaign(config, jobs=_jobs(args))
+    with _supervised(args):
+        result = run_campaign(config, jobs=_jobs(args))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
@@ -221,8 +276,37 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 f"{'; '.join(cell.details)}",
                 file=sys.stderr,
             )
+        for cell in result.error_cells():
+            print(
+                f"ERROR: {cell.attack} policy={cell.policy} "
+                f"mode={cell.failure_mode} granularity={cell.granularity}: "
+                f"{cell.error}",
+                file=sys.stderr,
+            )
         return 1
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Execution-chaos harness: fail unless payloads stay byte-identical."""
+    from repro.faults.exec_chaos import run_chaos
+
+    report = run_chaos(
+        sample=args.sample,
+        duration=args.duration,
+        seed=args.seed,
+        crash_rate=args.crash_rate,
+        lost_rate=args.lost_rate,
+        timeout=args.timeout,
+        schemes=args.schemes.split(","),
+        jobs=_jobs(args),
+        runs_dir=args.runs_dir,
+        skip_sweep=args.skip_sweep,
+        skip_campaign=args.skip_campaign,
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.format())
+    return 0 if report.passed else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -323,6 +407,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             duration_cycles=args.sweep_duration or bench.SWEEP_DURATION,
             seed=args.seed,
             jobs=_jobs(args),
+            repeat=args.sweep_repeat,
         )
     snapshot = bench.make_snapshot(sim, wall, args.repeat, sweep=sweep)
     path = bench.snapshot_path(args.output)
@@ -399,6 +484,35 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group(
+            "resilience", "supervised execution (see docs/resilience.md)"
+        )
+        group.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-task wall-clock timeout (hung workers are killed "
+            "and the task retried)",
+        )
+        group.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="max retries of transient worker failures per task "
+            "(default 3)",
+        )
+        group.add_argument(
+            "--run-id", default=None, metavar="ID",
+            help="name this run and journal every completed task under "
+            "<runs-dir>/<ID>/ for later --resume",
+        )
+        group.add_argument(
+            "--resume", default=None, metavar="ID",
+            help="resume run ID: skip tasks its journal already records "
+            "(output stays byte-identical to an uninterrupted run)",
+        )
+        group.add_argument(
+            "--runs-dir", default=None, metavar="DIR",
+            help="journal root (default: REPRO_RUNS_DIR or ./runs)",
+        )
+
     p_list = sub.add_parser("list", help="enumerate library contents")
     p_list.add_argument(
         "what",
@@ -424,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the repro-sim/v1 JSON payload instead of a table",
     )
     add_jobs_flag(p_sim)
+    add_resilience_flags(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -434,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="ASCII CDF plot (fig15/fig17)"
     )
     add_jobs_flag(p_exp)
+    add_resilience_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
     p_rep = sub.add_parser("report", help="regenerate all artifacts")
@@ -442,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--sample", type=int, default=None)
     p_rep.add_argument("--seed", type=int, default=0)
     add_jobs_flag(p_rep)
+    add_resilience_flags(p_rep)
     p_rep.set_defaults(func=cmd_report)
 
     p_flt = sub.add_parser(
@@ -461,7 +578,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_flt.add_argument("--json", default=None, help="also write JSON results")
     add_jobs_flag(p_flt)
+    add_resilience_flags(p_flt)
     p_flt.set_defaults(func=cmd_faults)
+
+    p_cha = sub.add_parser(
+        "chaos",
+        help="execution-chaos harness: crash/hang/lose workers, damage "
+        "journals, assert byte-identical payloads",
+    )
+    p_cha.add_argument(
+        "--sample", type=int, default=6,
+        help="sweep scenarios to subject to chaos (default 6)",
+    )
+    p_cha.add_argument("--duration", type=float, default=800.0)
+    p_cha.add_argument("--seed", type=int, default=0)
+    p_cha.add_argument(
+        "--crash-rate", type=float, default=0.2,
+        help="seeded probability a worker hard-exits per task attempt",
+    )
+    p_cha.add_argument(
+        "--lost-rate", type=float, default=0.0,
+        help="seeded probability a computed result is dropped",
+    )
+    p_cha.add_argument(
+        "--timeout", type=float, default=15.0,
+        help="supervision timeout the injected hang must trip",
+    )
+    p_cha.add_argument("--schemes", default="conventional,ours")
+    p_cha.add_argument(
+        "--runs-dir", default=None,
+        help="journal root for the kill+resume sections "
+        "(default: a temp dir, removed afterwards)",
+    )
+    p_cha.add_argument("--skip-sweep", action="store_true")
+    p_cha.add_argument("--skip-campaign", action="store_true")
+    add_jobs_flag(p_cha)
+    p_cha.set_defaults(func=cmd_chaos)
 
     p_trc = sub.add_parser(
         "trace", help="record a structured event trace (JSONL)"
@@ -523,6 +675,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bch.add_argument("--sweep-sample", type=int, default=None)
     p_bch.add_argument("--sweep-duration", type=float, default=None)
+    p_bch.add_argument(
+        "--sweep-repeat", type=int, default=1,
+        help="sweep timing repetitions (min-of-N; the supervision "
+        "overhead gate uses 5 to beat runner noise)",
+    )
     add_jobs_flag(p_bch)
     p_bch.set_defaults(func=cmd_bench)
 

@@ -88,4 +88,19 @@ def generate_report(
     for key, elapsed in timings.items():
         out.write(f"{key:14s} {elapsed:8.1f}s\n")
     out.write("```\n")
+
+    # When the report ran under an explicit supervisor (--run-id,
+    # --resume, --timeout), surface what the executor survived: a
+    # resumed report should *say* how much work the journal saved.
+    from repro.sim.resilient import current_supervisor
+
+    supervisor = current_supervisor()
+    if supervisor is not None and (
+        supervisor.report.attempts or supervisor.report.resume_skips
+    ):
+        out.write("\n## Supervision\n\n```\n")
+        out.write(supervisor.report.summary() + "\n")
+        for name, value in sorted(supervisor.report.as_dict().items()):
+            out.write(f"{name:26s} {value}\n")
+        out.write("```\n")
     return out.getvalue()

@@ -18,6 +18,7 @@ either may serve the other from cache.
 
 from __future__ import annotations
 
+import json
 import os
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -84,6 +85,24 @@ def sweep_results(
     while len(_cache) > _CACHE_MAX:
         _cache.popitem(last=False)
     return results
+
+
+def canonical_payloads(
+    results: List[Tuple[Scenario, Dict[str, ResultView]]],
+    schemes: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Canonical per-run JSON strings -- the byte-parity currency.
+
+    Serial, parallel, supervised and resumed executions of the same
+    sweep must produce *identical* lists; the parity tests and the
+    chaos harness compare these strings directly.
+    """
+    out: List[str] = []
+    for _scenario, runs in results:
+        names = list(schemes) if schemes is not None else sorted(runs)
+        for name in names:
+            out.append(json.dumps(runs[name].to_dict(), sort_keys=True))
+    return out
 
 
 def normalized_exec_times(

@@ -10,6 +10,9 @@ that every mutation is *detected* (the right ``SecurityError``), never
 * :mod:`repro.faults.injector` -- the seeded attack catalog.
 * :mod:`repro.faults.campaign` -- the sweep runner behind
   ``python -m repro faults``.
+* :mod:`repro.faults.exec_chaos` -- seeded chaos against the *executor*
+  (worker crashes, hangs, journal damage) behind
+  ``python -m repro chaos``.
 """
 
 from repro.faults.injector import ATTACKS, Attack, Victim, attack_by_name
@@ -19,6 +22,7 @@ from repro.faults.campaign import (
     CellResult,
     run_campaign,
 )
+from repro.faults.exec_chaos import ChaosReport, ChaosSpec, run_chaos
 
 __all__ = [
     "ATTACKS",
@@ -29,4 +33,7 @@ __all__ = [
     "CampaignResult",
     "CellResult",
     "run_campaign",
+    "ChaosReport",
+    "ChaosSpec",
+    "run_chaos",
 ]

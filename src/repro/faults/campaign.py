@@ -84,6 +84,12 @@ class CellResult:
     silent_corruption: int = 0
     containment_failures: int = 0
     details: List[str] = field(default_factory=list)
+    #: ``"ok"`` or ``"error"`` -- an error cell is one whose trial
+    #: machinery itself raised (an infrastructure/harness bug, not a
+    #: security verdict).  Error cells never abort the sweep; they fail
+    #: the campaign at the end with a summary.
+    status: str = "ok"
+    error: str = ""
 
     @property
     def fatal(self) -> bool:
@@ -102,6 +108,8 @@ class CellResult:
             "silent_corruption": self.silent_corruption,
             "containment_failures": self.containment_failures,
             "details": self.details,
+            "status": self.status,
+            "error": self.error,
         }
 
 
@@ -115,9 +123,12 @@ class CampaignResult:
     def fatal_cells(self) -> List[CellResult]:
         return [cell for cell in self.cells if cell.fatal]
 
+    def error_cells(self) -> List[CellResult]:
+        return [cell for cell in self.cells if cell.status == "error"]
+
     @property
     def clean(self) -> bool:
-        return not self.fatal_cells()
+        return not self.fatal_cells() and not self.error_cells()
 
     def totals(self) -> Dict[str, int]:
         out = {key: 0 for key in OUTCOMES}
@@ -154,8 +165,8 @@ class CampaignResult:
         """ASCII detection-coverage matrix, one block per policy.
 
         Cells aggregate over failure modes; codes are ``D`` detected,
-        ``M`` misclassified, ``R`` recovered, ``S!`` silent corruption
-        and ``C!`` containment failure.
+        ``M`` misclassified, ``R`` recovered, ``S!`` silent corruption,
+        ``C!`` containment failure and ``E!`` cell errored out.
         """
         lines: List[str] = []
         for policy in self.config.policies:
@@ -199,24 +210,39 @@ class CampaignResult:
                         count = sum(getattr(c, key) for c in cells)
                         if count:
                             code += f"{count}{label}"
+                    errored = sum(1 for c in cells if c.status == "error")
+                    if errored:
+                        code += f"{errored}E!"
                     row += f"{code or '0':>12s}"
                 row += ""
                 if any_cell:
                     lines.append(row)
             lines.append("")
         totals = self.totals()
+        errors = self.error_cells()
         lines.append(
             f"trials={totals['trials']} detected={totals['detected']} "
             f"misclassified={totals['misclassified']} "
             f"recovered={totals['recovered']} "
             f"silent={totals['silent_corruption']} "
-            f"containment_failures={totals['containment_failures']}"
+            f"containment_failures={totals['containment_failures']} "
+            f"error_cells={len(errors)}"
         )
-        lines.append(
-            "campaign CLEAN (no silent corruption)"
-            if self.clean
-            else "campaign FAILED: silent corruption / broken containment"
-        )
+        for cell in errors:
+            lines.append(
+                f"ERROR cell {cell.attack}:{cell.policy}:"
+                f"{cell.failure_mode}:{cell.granularity}: {cell.error}"
+            )
+        if self.clean:
+            lines.append("campaign CLEAN (no silent corruption)")
+        elif errors and not self.fatal_cells():
+            lines.append(
+                f"campaign FAILED: {len(errors)} cell(s) errored out"
+            )
+        else:
+            lines.append(
+                "campaign FAILED: silent corruption / broken containment"
+            )
         return "\n".join(lines)
 
 
@@ -418,9 +444,15 @@ def _run_cell(spec: _CellSpec) -> CellResult:
         seed = _trial_seed(
             config.seed, attack.name, policy, mode, granularity, trial
         )
-        outcome, detail, contained = _run_trial(
-            attack, policy, mode, granularity, seed, config.region_bytes
-        )
+        try:
+            outcome, detail, contained = _run_trial(
+                attack, policy, mode, granularity, seed, config.region_bytes
+            )
+        except Exception as exc:  # harness bug: record, keep sweeping
+            cell.status = "error"
+            cell.error = f"trial {trial}: {type(exc).__name__}: {exc}"
+            cell.details.append(f"trial {trial}: error; {exc}")
+            break
         cell.trials += 1
         if outcome == "detected":
             cell.detected += 1
@@ -445,10 +477,34 @@ def run_campaign(
     ``jobs`` above 1 fans independent cells out over worker processes
     (``None`` consults ``REPRO_JOBS``, else serial); cells come back in
     canonical order either way, so the coverage matrix and JSON dump
-    are byte-identical to a serial campaign.
+    are byte-identical to a serial campaign.  An ambient supervisor
+    (:func:`repro.sim.resilient.supervision`) adds per-cell timeouts,
+    retries, and -- when journaling -- checkpoint/resume keyed by the
+    cell coordinates.
+
+    A cell whose trial machinery raises is recorded with
+    ``status="error"`` instead of aborting the sweep; the campaign as a
+    whole then reports ``clean == False`` with a per-cell summary.
     """
-    from repro.sim.parallel import map_ordered
+    from repro.sim.parallel import _execute_tasks
 
     config = config or CampaignConfig()
-    cells = map_ordered(_run_cell, _cell_specs(config), jobs=jobs)
+    specs = _cell_specs(config)
+    keys = [
+        f"{attack}:{policy}:{mode}:{granularity}"
+        for (_, attack, policy, mode, granularity) in specs
+    ]
+    context = json.dumps(
+        {
+            "seed": config.seed,
+            "trials": config.trials,
+            "region_bytes": config.region_bytes,
+            "granularities": list(config.granularities),
+            "policies": list(config.policies),
+            "failure_modes": list(config.failure_modes),
+            "attacks": list(config.attacks),
+        },
+        sort_keys=True,
+    )
+    cells = _execute_tasks(_run_cell, specs, keys, "campaign", context, jobs)
     return CampaignResult(config=config, cells=cells)

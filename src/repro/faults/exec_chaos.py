@@ -1,0 +1,477 @@
+"""Execution-chaos harness: seeded failures aimed at the executor.
+
+PR 4's differential oracle checks the *layout math*; this module is
+its twin for the *execution layer*.  It injects worker crashes, hangs,
+lost results, parent kills and journal damage at seeded rates into
+supervised sweeps and campaign slices, then asserts the one property
+the resilience layer promises: **final payloads are byte-identical to
+a clean serial run**, no matter what the executor survived along the
+way.
+
+Driven by ``python -m repro chaos`` and the chaos CI job; the same
+:class:`ChaosSpec` plugs into any :class:`repro.sim.resilient.Supervisor`
+for targeted tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.resilient import (
+    ExecutionAborted,
+    JournalError,
+    ResiliencePolicy,
+    Supervisor,
+    count_journal_entries,
+    supervision,
+)
+
+#: Default wall-clock budget for one task before the supervisor kills
+#: its pool (chaos hangs sleep well past this).
+DEFAULT_TIMEOUT_SECONDS = 15.0
+
+
+# ----------------------------------------------------------------------
+# The injection spec
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded, picklable failure-injection plan for supervised maps.
+
+    ``decide(key, attempt)`` is consulted *inside the worker* before
+    the real task body runs and returns one of ``"crash"`` (hard
+    ``os._exit``), ``"hang"`` (sleep past the supervision timeout),
+    ``"lose"`` (raise a transient :class:`LostResultError`) or ``None``.
+    Decisions are pure functions of ``(seed, key, attempt)`` so a chaos
+    story replays identically, and no fault fires at or beyond
+    ``fault_attempts`` -- every task is guaranteed to succeed within
+    the retry budget, which is what lets the harness demand
+    byte-identical output.
+
+    ``abort_after`` is parent-side chaos: the supervised map raises
+    :class:`ExecutionAborted` after that many *live* completions,
+    simulating a killed run for checkpoint/resume tests.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    lost_rate: float = 0.0
+    hang_keys: Tuple[str, ...] = ()
+    hang_seconds: float = 60.0
+    fault_attempts: int = 2
+    abort_after: Optional[int] = None
+
+    def _uniform(self, key: str, attempt: int) -> float:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{key}:{attempt}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little") / 2**64
+
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        if attempt >= self.fault_attempts:
+            return None
+        if key in self.hang_keys and attempt == 0:
+            return "hang"
+        roll = self._uniform(key, attempt)
+        if roll < self.crash_rate:
+            return "crash"
+        if roll < self.crash_rate + self.lost_rate:
+            return "lose"
+        return None
+
+
+# ----------------------------------------------------------------------
+# Journal damage helpers (tests + the harness's own sections)
+# ----------------------------------------------------------------------
+
+def corrupt_journal_entry(path: Path, entry_index: int = 0) -> str:
+    """Flip one character inside entry ``entry_index``'s payload.
+
+    Returns the corrupted line's original key.  The damaged entry must
+    fail its digest check on replay and be re-executed.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    target = 1 + entry_index  # line 0 is the header
+    if target >= len(lines):
+        raise IndexError(f"journal has no entry {entry_index}")
+    entry = json.loads(lines[target])
+    payload = entry["payload"]
+    pos = len(payload) // 2
+    flipped = "A" if payload[pos] != "A" else "B"
+    entry["payload"] = payload[:pos] + flipped + payload[pos + 1:]
+    lines[target] = json.dumps(entry, sort_keys=True) + "\n"
+    path.write_text("".join(lines), encoding="utf-8")
+    return str(entry["key"])
+
+
+def truncate_journal(path: Path, keep_entries: int, partial: bool = True) -> None:
+    """Cut the journal down to ``keep_entries`` full entries.
+
+    With ``partial`` the next entry is half-written (no newline) --
+    the residue of a crash mid-append that replay must tolerate.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    kept = lines[: 1 + keep_entries]
+    if partial and len(lines) > 1 + keep_entries:
+        kept.append(lines[1 + keep_entries][: 40])  # unterminated tail
+    path.write_text("".join(kept), encoding="utf-8")
+
+
+def break_journal_schema(path: Path) -> None:
+    """Stamp a wrong schema version into the header (must be rejected)."""
+    path = Path(path)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    header = json.loads(lines[0])
+    header["schema"] = "repro-journal/v0"
+    lines[0] = json.dumps(header, sort_keys=True) + "\n"
+    path.write_text("".join(lines), encoding="utf-8")
+
+
+# ----------------------------------------------------------------------
+# The harness
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChaosSection:
+    """One pass/fail check of the chaos story."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """All sections of one ``repro chaos`` run."""
+
+    sections: List[ChaosSection] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(section.passed for section in self.sections)
+
+    def add(self, name: str, passed: bool, detail: str) -> None:
+        self.sections.append(ChaosSection(name, passed, detail))
+
+    def format(self) -> str:
+        lines = ["# execution chaos"]
+        for section in self.sections:
+            mark = "PASS" if section.passed else "FAIL"
+            lines.append(f"[{mark}] {section.name}: {section.detail}")
+        lines.append(
+            "chaos CLEAN (all payloads byte-identical)"
+            if self.passed
+            else "chaos FAILED"
+        )
+        return "\n".join(lines)
+
+
+def _sweep_payloads(
+    sample: int,
+    duration: float,
+    seed: int,
+    schemes: Sequence[str],
+    jobs: int,
+) -> List[str]:
+    """Canonical JSON payloads of one sweep (the byte-parity currency)."""
+    from repro.experiments.sweep import canonical_payloads
+    from repro.sim.runner import clear_static_best_cache, run_many, sweep_scenarios
+    from repro.sim.scenario import all_scenarios
+
+    clear_static_best_cache()
+    scenarios = sweep_scenarios(all_scenarios(), sample)
+    results = run_many(
+        scenarios, schemes, duration_cycles=duration, seed=seed, jobs=jobs
+    )
+    return canonical_payloads(results, schemes)
+
+
+def _sweep_keys(sample: int, schemes: Sequence[str], jobs: int) -> List[str]:
+    from repro.sim.parallel import sweep_task_keys
+    from repro.sim.runner import sweep_scenarios
+    from repro.sim.scenario import all_scenarios
+
+    scenarios = sweep_scenarios(all_scenarios(), sample)
+    return sweep_task_keys(scenarios, schemes, jobs)
+
+
+def _campaign_json(config, jobs: int) -> str:
+    from repro.faults.campaign import run_campaign
+
+    return run_campaign(config, jobs=jobs).to_json()
+
+
+def _journal_files(run_dir: Path) -> List[Path]:
+    return sorted(Path(run_dir).glob("*.jsonl"))
+
+
+def _probe_task(x: int) -> int:
+    """Trivial picklable worker body for the hang-detection probe."""
+    return x * x
+
+
+def _hang_detection_section(
+    report: ChaosReport,
+    say: Callable[[str], None],
+    seed: int,
+) -> None:
+    """Prove the timeout machinery bites, deterministically.
+
+    The full chaos sweep cannot guarantee a timeout fires: a
+    neighbour's crash can break the pool while the hang task is
+    in-flight, charging it a transient retry before its deadline
+    expires.  This probe injects exactly one hang with *no* crashes,
+    so the only way the four tasks finish quickly is the supervisor
+    killing the hung worker.
+    """
+    from repro.sim.resilient import SupervisionReport, supervised_map
+
+    say("[chaos] hang-detection probe (1 hang, no crashes) ...")
+    chaos = ChaosSpec(seed=seed, hang_keys=("probe-2",), hang_seconds=120.0)
+    policy = ResiliencePolicy(timeout_seconds=2.0, seed=seed)
+    stats = SupervisionReport()
+    started = time.monotonic()
+    out = supervised_map(
+        _probe_task, [1, 2, 3, 4], jobs=2,
+        keys=["probe-1", "probe-2", "probe-3", "probe-4"],
+        policy=policy, chaos=chaos, report=stats,
+    )
+    wall = time.monotonic() - started
+    ok = out == [1, 4, 9, 16] and stats.timeouts >= 1 and wall < 60.0
+    report.add(
+        "hang detection",
+        ok,
+        f"{stats.timeouts} timeouts, {stats.pool_breaks} pool breaks, "
+        f"finished in {wall:.1f}s (hang slept 120s)",
+    )
+
+
+def run_chaos(
+    sample: int = 6,
+    duration: float = 800.0,
+    seed: int = 0,
+    crash_rate: float = 0.2,
+    lost_rate: float = 0.0,
+    timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    schemes: Sequence[str] = ("conventional", "ours"),
+    jobs: int = 2,
+    runs_dir: Optional[Path] = None,
+    skip_sweep: bool = False,
+    skip_campaign: bool = False,
+    echo: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Run the full chaos story and return its pass/fail report.
+
+    Sections (each asserting byte-parity against a clean serial run):
+
+    1. **sweep under chaos** -- seeded worker crashes plus one injected
+       hang; the supervised sweep must finish identical.
+    2. **sweep kill + resume** -- abort the run after a few
+       completions, then ``--resume``; only unfinished tasks may
+       re-execute (verified via journal entry counts).
+    3. **corrupted journal** -- flip a byte in one recorded payload and
+       truncate another entry mid-line; resume must re-execute exactly
+       the damaged tasks and still match.
+    4. **schema rejection** -- a wrong-versioned journal header must
+       raise :class:`JournalError`, never silently replay.
+    5. **campaign under chaos** -- same crash story against the
+       fault-campaign fan-out.
+    """
+    report = ChaosReport()
+    say = echo or (lambda _line: None)
+    schemes = list(schemes)
+    cleanup = runs_dir is None
+    runs_root = Path(
+        runs_dir if runs_dir is not None
+        else tempfile.mkdtemp(prefix="repro-chaos-")
+    )
+
+    policy = ResiliencePolicy(timeout_seconds=timeout, seed=seed)
+    try:
+        _hang_detection_section(report, say, seed)
+        if not skip_sweep:
+            _chaos_sweep_sections(
+                report, say, runs_root, policy, sample, duration, seed,
+                crash_rate, lost_rate, schemes, jobs, timeout,
+            )
+        if not skip_campaign:
+            _chaos_campaign_section(
+                report, say, runs_root, policy, seed, crash_rate, lost_rate,
+                jobs,
+            )
+    finally:
+        if cleanup:
+            shutil.rmtree(runs_root, ignore_errors=True)
+    return report
+
+
+def _chaos_sweep_sections(
+    report: ChaosReport,
+    say: Callable[[str], None],
+    runs_root: Path,
+    policy: ResiliencePolicy,
+    sample: int,
+    duration: float,
+    seed: int,
+    crash_rate: float,
+    lost_rate: float,
+    schemes: Sequence[str],
+    jobs: int,
+    timeout: float,
+) -> None:
+    say(f"[chaos] clean serial sweep baseline (sample={sample}) ...")
+    clean = _sweep_payloads(sample, duration, seed, schemes, jobs=1)
+    keys = _sweep_keys(sample, schemes, jobs)
+
+    # 1. crashes + one hang under supervision.
+    say(
+        f"[chaos] supervised sweep: crash_rate={crash_rate} "
+        f"lost_rate={lost_rate} + 1 hang, jobs={jobs} ..."
+    )
+    chaos = ChaosSpec(
+        seed=seed,
+        crash_rate=crash_rate,
+        lost_rate=lost_rate,
+        hang_keys=(keys[len(keys) // 2],),
+        hang_seconds=max(4 * timeout, 30.0),
+    )
+    supervisor = Supervisor(policy=policy, chaos=chaos)
+    with supervision(supervisor):
+        chaotic = _sweep_payloads(sample, duration, seed, schemes, jobs)
+    stats = supervisor.report
+    survived = (
+        f"{stats.retries} retries, {stats.timeouts} timeouts, "
+        f"{stats.pool_breaks} pool breaks, "
+        f"{stats.serial_fallbacks} serial fallbacks"
+    )
+    # The hang may be pre-empted (a neighbour's crash breaks the pool
+    # first, charging the hang task a retry) -- that is legitimate
+    # supervision, so this section asserts parity plus *some* observed
+    # turbulence; the dedicated hang-detection probe above proves the
+    # timeout machinery itself.
+    turbulent = stats.timeouts + stats.pool_breaks + stats.retries > 0
+    report.add(
+        "sweep under chaos",
+        chaotic == clean and turbulent,
+        f"payloads {'identical' if chaotic == clean else 'DIVERGED'} "
+        f"after {survived}",
+    )
+
+    # 2. kill + resume: only unfinished tasks re-execute.
+    say("[chaos] sweep kill + --resume cycle ...")
+    run_id = "chaos-resume"
+    abort_after = max(1, len(keys) // 3)
+    killer = Supervisor(
+        policy=policy, run_id=run_id, runs_dir=runs_root,
+        chaos=ChaosSpec(seed=seed, abort_after=abort_after),
+    )
+    aborted = False
+    try:
+        with supervision(killer):
+            _sweep_payloads(sample, duration, seed, schemes, jobs)
+    except ExecutionAborted:
+        aborted = True
+    journals = _journal_files(runs_root / run_id)
+    done_before = sum(count_journal_entries(path) for path in journals)
+    resumer = Supervisor(
+        policy=policy, run_id=run_id, runs_dir=runs_root, resume=True
+    )
+    with supervision(resumer):
+        resumed = _sweep_payloads(sample, duration, seed, schemes, jobs)
+    ok = (
+        aborted
+        and resumed == clean
+        and resumer.report.resume_skips == done_before
+        and resumer.report.completed == len(keys) - done_before
+    )
+    report.add(
+        "sweep kill+resume",
+        ok,
+        f"aborted after {done_before}/{len(keys)} journaled tasks; resume "
+        f"skipped {resumer.report.resume_skips}, re-executed "
+        f"{resumer.report.completed}, payloads "
+        f"{'identical' if resumed == clean else 'DIVERGED'}",
+    )
+
+    # 3. corrupted + truncated journal: damaged entries re-execute.
+    say("[chaos] corrupting the finished journal, resuming again ...")
+    journal_path = journals[0] if journals else None
+    if journal_path is None:
+        report.add("corrupt journal", False, "no journal file found")
+    else:
+        corrupt_journal_entry(journal_path, entry_index=0)
+        truncate_journal(journal_path, keep_entries=max(1, done_before),
+                         partial=True)
+        repair = Supervisor(
+            policy=policy, run_id=run_id, runs_dir=runs_root, resume=True
+        )
+        with supervision(repair):
+            healed = _sweep_payloads(sample, duration, seed, schemes, jobs)
+        report.add(
+            "corrupt journal",
+            healed == clean and repair.report.completed >= 1
+            and repair.report.journal_corrupt_entries >= 1,
+            f"replay skipped {repair.report.journal_corrupt_entries} corrupt "
+            f"entries ({repair.report.journal_truncated_lines} truncated), "
+            f"re-executed {repair.report.completed}, payloads "
+            f"{'identical' if healed == clean else 'DIVERGED'}",
+        )
+
+        # 4. schema mismatch is rejected, never replayed.
+        break_journal_schema(journal_path)
+        rejecter = Supervisor(
+            policy=policy, run_id=run_id, runs_dir=runs_root, resume=True
+        )
+        try:
+            with supervision(rejecter):
+                _sweep_payloads(sample, duration, seed, schemes, jobs)
+        except JournalError as exc:
+            report.add("schema rejection", True, f"rejected cleanly: {exc}")
+        else:
+            report.add(
+                "schema rejection", False,
+                "wrong-schema journal was silently accepted",
+            )
+
+
+def _chaos_campaign_section(
+    report: ChaosReport,
+    say: Callable[[str], None],
+    runs_root: Path,
+    policy: ResiliencePolicy,
+    seed: int,
+    crash_rate: float,
+    lost_rate: float,
+    jobs: int,
+) -> None:
+    from repro.faults.campaign import CampaignConfig
+
+    config = CampaignConfig(
+        seed=seed, trials=1,
+        attacks=("data_bitflip", "counter_tamper", "mac_delete"),
+    )
+    say("[chaos] clean serial campaign slice ...")
+    clean = _campaign_json(config, jobs=1)
+    say(f"[chaos] supervised campaign: crash_rate={crash_rate} ...")
+    chaos = ChaosSpec(seed=seed + 1, crash_rate=crash_rate,
+                      lost_rate=lost_rate)
+    supervisor = Supervisor(policy=policy, chaos=chaos)
+    with supervision(supervisor):
+        chaotic = _campaign_json(config, jobs=jobs)
+    stats = supervisor.report
+    report.add(
+        "campaign under chaos",
+        chaotic == clean,
+        f"payloads {'identical' if chaotic == clean else 'DIVERGED'} after "
+        f"{stats.retries} retries, {stats.pool_breaks} pool breaks",
+    )

@@ -58,6 +58,17 @@ class EventType(enum.Enum):
     REGION_EVICT = "region_evict"
     #: One device request issued through the SoC loop.
     REQUEST = "request"
+    #: Supervised executor: a task was retried (transient worker loss
+    #: or a first deterministic error).
+    EXEC_RETRY = "exec_retry"
+    #: Supervised executor: a task exceeded its wall-clock timeout and
+    #: its worker pool was killed.
+    EXEC_TIMEOUT = "exec_timeout"
+    #: Supervised executor: graceful degradation (the pool shrank, or
+    #: one task fell back to serial execution in the parent).
+    EXEC_DEGRADE = "exec_degrade"
+    #: Supervised executor: a journaled result was reused on resume.
+    EXEC_RESUME_SKIP = "exec_resume_skip"
 
 
 @dataclass(frozen=True)

@@ -126,6 +126,18 @@ class CounterGroup(CounterStats):
     def value(self) -> Dict[str, int]:
         return self.as_dict()
 
+    def declare(self, *keys: str) -> "CounterGroup":
+        """Pre-register keys at zero so snapshots include them.
+
+        A clean supervised run should *show* ``resilience.exec_retry: 0``
+        rather than omit the group; counters that exist only after
+        their first bump are invisible exactly when their absence is
+        the interesting fact.
+        """
+        for key in keys:
+            self._counts.setdefault(key, 0)
+        return self
+
     def reset(self) -> None:
         self._counts.clear()
 

@@ -29,6 +29,7 @@ defaults to :func:`default_jobs` (``REPRO_JOBS`` else CPU count).
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -40,6 +41,8 @@ from repro.sim.runner import _run_schemes_over_traces, sim_duration
 from repro.sim.scenario import Scenario
 from repro.sim.soc import DeviceResult, ResultView, RunResult
 from repro.workloads.generator import Trace
+
+logger = logging.getLogger("repro.parallel")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -122,17 +125,43 @@ def slim_result(result: AnyRunResult) -> "SlimRunResult":
 # Ordered parallel map with serial fallback
 # ----------------------------------------------------------------------
 
+def _infrastructure_failure(exc: BaseException) -> bool:
+    """Pool/pickling plumbing failures, as opposed to task logic errors.
+
+    ``BrokenExecutor`` covers dead workers and fork refusal; pickling
+    failures surface as :class:`pickle.PicklingError` or -- depending
+    on what exactly refused to serialize -- as a ``TypeError`` or
+    ``AttributeError`` whose message names pickling (a heuristic, but
+    the cost of a miss is only a serial rerun of pure functions).
+    """
+    import pickle
+    from concurrent.futures import BrokenExecutor
+
+    if isinstance(exc, (BrokenExecutor, OSError, pickle.PicklingError)):
+        return True
+    return (
+        isinstance(exc, (TypeError, AttributeError))
+        and "pickle" in str(exc).lower()
+    )
+
+
 def map_ordered(
     fn: Callable[[T], R], items: Sequence[T], jobs: Optional[int] = None
 ) -> List[R]:
     """``[fn(x) for x in items]`` fanned out over processes.
 
     Results come back in input order no matter which worker finishes
-    first.  ``fn`` must be a module-level function over picklable
-    arguments returning picklable values; it must also be *pure* --
-    any pool failure (unpicklable payload, broken worker, fork
-    refusal) silently reruns the whole map serially in-process, so a
-    function with side effects would see them twice.
+    first.  ``fn`` must be a module-level *pure* function over
+    picklable arguments returning picklable values.
+
+    Failure semantics: only pool-infrastructure failures (broken
+    workers, fork refusal, unpicklable payloads) fall back to rerunning
+    the map serially in-process -- with a one-line warning, never
+    silently.  An exception raised by ``fn`` itself is a task bug and
+    re-raises immediately; replaying a deterministic error serially
+    would re-execute every side effect and disguise the bug as a slow
+    pass.  For per-task timeouts, retries and checkpoint/resume use
+    :func:`repro.sim.resilient.supervised_map` instead.
     """
     items = list(items)
     workers = min(resolve_jobs(jobs), len(items))
@@ -142,9 +171,13 @@ def map_ordered(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             chunksize = max(1, len(items) // (workers * 4))
             return list(pool.map(fn, items, chunksize=chunksize))
-    except Exception:
-        # Serial fallback: same pure functions, same inputs, same
-        # order -- only the wall clock differs.
+    except Exception as exc:
+        if not _infrastructure_failure(exc):
+            raise  # deterministic task error: fail fast, no serial replay
+        logger.warning(
+            "parallel map failed with %s: %s; rerunning %d tasks serially",
+            type(exc).__name__, exc, len(items),
+        )
         return [fn(item) for item in items]
 
 
@@ -181,6 +214,63 @@ def _scheme_chunks(
     return chunks
 
 
+def _chunks_per_scenario(n_scenarios: int, workers: int) -> int:
+    if n_scenarios and workers > n_scenarios:
+        return -(-workers // n_scenarios)  # ceil
+    return 1
+
+
+def _task_key(index: int, scenario_name: str, chunk: Sequence[str]) -> str:
+    """Stable journal/event key of one (scenario, scheme-chunk) task."""
+    return f"{index:03d}:{scenario_name}:{'+'.join(chunk)}"
+
+
+def sweep_task_keys(
+    scenarios: Sequence[Scenario],
+    scheme_names: Sequence[str],
+    jobs: Optional[int] = None,
+) -> List[str]:
+    """The task keys :func:`run_scenarios` will journal for this sweep.
+
+    Exposed so the chaos harness can target specific tasks (e.g. hang
+    exactly one) and tests can count journal entries without rerunning
+    the key derivation by hand.  Keys depend on the chunking and hence
+    on ``jobs``; a journal written at one worker count cannot be
+    resumed at another (the journal header enforces this).
+    """
+    workers = resolve_jobs(jobs)
+    per_scenario = _chunks_per_scenario(len(scenarios), workers)
+    keys: List[str] = []
+    for index, scenario in enumerate(scenarios):
+        for chunk in _scheme_chunks(list(scheme_names), per_scenario):
+            keys.append(_task_key(index, scenario.name, chunk))
+    return keys
+
+
+def _execute_tasks(
+    fn: Callable[[T], R],
+    tasks: Sequence[T],
+    keys: Sequence[str],
+    kind: str,
+    context: str,
+    jobs: Optional[int],
+) -> List[R]:
+    """Route a fan-out through the ambient supervisor (or legacy map).
+
+    The supervised engine is the default; ``REPRO_EXEC=plain`` opts
+    back into the bare ``pool.map`` path (the CI overhead gate measures
+    the two back to back).
+    """
+    from repro.sim import resilient  # lazy: resilient imports resolve_jobs
+
+    supervisor = resilient.current_supervisor()
+    if supervisor is None:
+        return map_ordered(fn, tasks, jobs=jobs)
+    return supervisor.map(
+        fn, tasks, keys=keys, kind=kind, context=context, jobs=jobs
+    )
+
+
 def run_scenarios(
     scenarios: Sequence[Scenario],
     scheme_names: Sequence[str],
@@ -210,18 +300,33 @@ def run_scenarios(
     scheme_names = list(scheme_names)
 
     built = [scenario.build_traces(duration, seed) for scenario in scenarios]
-    chunks_per_scenario = 1
-    if scenarios and workers > len(scenarios):
-        chunks_per_scenario = -(-workers // len(scenarios))  # ceil
+    chunks_per_scenario = _chunks_per_scenario(len(scenarios), workers)
     tasks: List[_ChunkTask] = []
+    keys: List[str] = []
     shape: List[int] = []  # chunks per scenario, for the reduce
-    for traces, footprint in built:
+    for index, ((traces, footprint), scenario) in enumerate(
+        zip(built, scenarios)
+    ):
         chunks = _scheme_chunks(scheme_names, chunks_per_scenario)
         shape.append(len(chunks))
         for chunk in chunks:
             tasks.append((tuple(traces), footprint, chunk, config, warmup))
+            keys.append(_task_key(index, scenario.name, chunk))
 
-    chunk_results = map_ordered(_run_chunk, tasks, jobs=workers)
+    context = "|".join(
+        [
+            "sweep",
+            ",".join(scenario.name for scenario in scenarios),
+            ",".join(scheme_names),
+            f"duration={duration}",
+            f"seed={seed}",
+            f"warmup={warmup}",
+            f"config={config!r}",
+        ]
+    )
+    chunk_results = _execute_tasks(
+        _run_chunk, tasks, keys, "sweep", context, workers
+    )
 
     out: List[Tuple[Scenario, Dict[str, AnyRunResult]]] = []
     cursor = 0
@@ -249,7 +354,20 @@ def run_schemes_parallel(
     tasks: List[_ChunkTask] = [
         (tuple(traces), footprint, chunk, config, warmup) for chunk in chunks
     ]
+    keys = [_task_key(0, "scenario", chunk) for chunk in chunks]
+    context = "|".join(
+        [
+            "scenario",
+            ",".join(scheme_names),
+            f"traces={len(traces)}",
+            f"footprint={footprint}",
+            f"warmup={warmup}",
+            f"config={config!r}",
+        ]
+    )
     merged: Dict[str, AnyRunResult] = {}
-    for chunk_result in map_ordered(_run_chunk, tasks, jobs=jobs):
+    for chunk_result in _execute_tasks(
+        _run_chunk, tasks, keys, "scenario", context, jobs
+    ):
         merged.update(chunk_result)
     return {name: merged[name] for name in scheme_names}

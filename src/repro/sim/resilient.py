@@ -1,0 +1,896 @@
+"""Supervised resilient execution: timeouts, retries, checkpoint/resume.
+
+The parallel fan-out of :mod:`repro.sim.parallel` treats worker
+processes as infallible: a bare ``pool.map`` has no per-task timeout,
+cannot tell a dead worker from a buggy task, and throws away every
+finished cell when the parent dies at cell 200/216 of a campaign.
+This module supplies the supervision discipline of real fleets:
+
+* **Future-based dispatch with hang detection** -- every task is
+  submitted individually and watched against a wall-clock deadline;
+  a hung worker is killed (the whole pool is recycled, the victim's
+  innocent neighbours are requeued uncharged) instead of stalling the
+  run forever.
+* **Bounded retries with jittered exponential backoff** -- transient
+  failures (``BrokenProcessPool``, timeouts, exceptions whose class
+  sets ``transient = True``) are retried up to
+  :attr:`ResiliencePolicy.max_retries` times; *deterministic* task
+  errors are retried once and then re-raised -- never silently
+  replayed serially, which would re-execute side effects and mask
+  real bugs as slow passes.
+* **Graceful degradation** -- repeated pool breakage shrinks the
+  worker count stepwise down to :attr:`ResiliencePolicy.min_workers`;
+  a task that exhausts its transient retries falls back to running
+  serially *in the parent*, for that task only.
+* **Checkpoint journal** -- an append-only, fsync'd, schema-versioned
+  JSONL file under ``runs/<run-id>/`` records every completed task's
+  payload, so ``--resume <run-id>`` skips finished work and the
+  resumed output is byte-identical to an uninterrupted run.
+
+Every supervision event (retry, timeout, degrade, resume-skip) is
+emitted through :mod:`repro.obs` as a trace event and counted in the
+``resilience`` metrics group.  ``docs/resilience.md`` documents the
+model, the journal format and the CLI flags.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import os
+import pickle
+import time
+import uuid
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+from repro.obs import EventType
+
+logger = logging.getLogger("repro.resilient")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Journal schema identifier; bump on any incompatible format change.
+JOURNAL_SCHEMA = "repro-journal/v1"
+
+#: Upper bound on one supervision-loop wait, so deadlines and backoff
+#: expiries are re-checked promptly even when nothing completes.
+_TICK_SECONDS = 0.25
+
+#: Supervision counters pre-declared at zero so a clean run's summary
+#: *shows* ``retries=0`` instead of omitting the group entirely.
+RESILIENCE_COUNTERS = (
+    "exec_retry",
+    "exec_timeout",
+    "exec_degrade",
+    "exec_resume_skip",
+)
+
+
+class JournalError(ValueError):
+    """The checkpoint journal is unusable (schema/identity/digest)."""
+
+
+class ExecutionAborted(RuntimeError):
+    """The supervised run was interrupted before finishing all tasks."""
+
+
+class LostResultError(RuntimeError):
+    """A worker computed a result that never reached the parent.
+
+    Marked ``transient``: the supervisor retries it like a worker
+    death rather than raising it as a task bug.
+    """
+
+    transient = True
+
+
+# ----------------------------------------------------------------------
+# Policy and accounting
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs of the supervised executor (all per-task unless noted)."""
+
+    #: Wall-clock seconds one task may run before its pool is killed
+    #: and the task retried as a transient failure.  ``None`` disables
+    #: hang detection.
+    timeout_seconds: Optional[float] = None
+    #: Max retries of *transient* failures (worker death, timeout,
+    #: lost result) before the task falls back to serial in the parent.
+    max_retries: int = 3
+    #: Retries granted to a *deterministic* task exception before it is
+    #: re-raised to the caller.
+    task_error_retries: int = 1
+    #: First backoff delay; doubles per attempt up to the cap.
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    #: Pool breakages tolerated before the worker count is halved.
+    degrade_after_breaks: int = 2
+    min_workers: int = 1
+    #: Folded into the deterministic backoff jitter.
+    seed: int = 0
+
+    def backoff(self, key: str, attempt: int) -> float:
+        """Jittered exponential backoff for retry ``attempt`` (1-based).
+
+        The jitter is derived from ``(seed, key, attempt)`` so reruns
+        of the same supervision story sleep the same amounts --
+        supervision must never introduce nondeterminism of its own.
+        """
+        base = min(
+            self.backoff_cap_seconds,
+            self.backoff_base_seconds * (2 ** max(0, attempt - 1)),
+        )
+        digest = hashlib.blake2b(
+            f"{self.seed}:{key}:{attempt}".encode(), digest_size=8
+        ).digest()
+        jitter = int.from_bytes(digest, "little") / 2**64  # [0, 1)
+        return base * (0.5 + jitter)
+
+
+@dataclass
+class SupervisionReport:
+    """Counters of everything the supervisor did across one run."""
+
+    attempts: int = 0
+    completed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_breaks: int = 0
+    degrades: int = 0
+    serial_fallbacks: int = 0
+    resume_skips: int = 0
+    journal_corrupt_entries: int = 0
+    journal_truncated_lines: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "completed": self.completed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_breaks": self.pool_breaks,
+            "degrades": self.degrades,
+            "serial_fallbacks": self.serial_fallbacks,
+            "resume_skips": self.resume_skips,
+            "journal_corrupt_entries": self.journal_corrupt_entries,
+            "journal_truncated_lines": self.journal_truncated_lines,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"supervision: {self.completed} completed "
+            f"({self.resume_skips} resumed), {self.attempts} attempts, "
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.pool_breaks} pool breaks, {self.degrades} degrades, "
+            f"{self.serial_fallbacks} serial fallbacks"
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _keys_digest(keys: Sequence[str]) -> str:
+    return _digest("\n".join(keys))
+
+
+class Journal:
+    """Append-only, fsync'd checkpoint journal (``repro-journal/v1``).
+
+    Line 1 is a header binding the file to one (kind, context, task
+    set); every further line is one completed task::
+
+        {"schema": "repro-journal/v1", "kind": ..., "context": <sha256>,
+         "tasks": <sha256 of the key list>, "run_id": ..., "total": N}
+        {"key": "...", "digest": <sha256 of payload>, "payload": <b64 pickle>}
+
+    Entries are independent: a corrupted line invalidates only itself
+    (the task is simply re-executed on resume), an unterminated tail
+    line is the expected residue of a crash mid-append, and duplicate
+    keys resolve latest-wins so replay is idempotent.  Header
+    mismatches -- wrong schema version, or a journal recorded for a
+    different task set (changed ``--jobs``, schemes or seed) -- always
+    raise :class:`JournalError`.
+
+    Payloads are pickles produced by this repository's own runs; do
+    not resume journals from untrusted sources.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        kind: str,
+        context: str,
+        keys: Sequence[str],
+        run_id: str = "",
+    ) -> None:
+        self.path = Path(path)
+        self.kind = kind
+        self.context_digest = _digest(context)
+        self.keys_digest = _keys_digest(list(keys))
+        self.run_id = run_id
+        self.total = len(keys)
+        self._fh = None
+        #: Populated by :meth:`load`.
+        self.corrupt_entries = 0
+        self.truncated_lines = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: os.PathLike,
+        kind: str,
+        context: str,
+        keys: Sequence[str],
+        run_id: str = "",
+        resume: bool = False,
+    ) -> "Journal":
+        """Create a fresh journal, or attach to an existing one.
+
+        An existing file is only reopened when ``resume`` is set (so a
+        forgotten ``--run-id`` cannot silently mix two runs) and only
+        when its header matches this run's identity.
+        """
+        journal = cls(path, kind, context, keys, run_id=run_id)
+        if journal.path.exists():
+            if not resume:
+                raise JournalError(
+                    f"journal {journal.path} already exists; pass --resume "
+                    "to continue that run or pick a fresh --run-id"
+                )
+            journal._check_header(journal._read_header())
+        else:
+            journal.path.parent.mkdir(parents=True, exist_ok=True)
+            journal._append_line(json.dumps(journal._header(), sort_keys=True))
+        return journal
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- header --------------------------------------------------------
+
+    def _header(self) -> Dict[str, object]:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "kind": self.kind,
+            "context": self.context_digest,
+            "tasks": self.keys_digest,
+            "run_id": self.run_id,
+            "total": self.total,
+        }
+
+    def _read_header(self) -> Dict[str, object]:
+        with open(self.path, encoding="utf-8") as handle:
+            first = handle.readline()
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"journal {self.path} has an unreadable header: {exc}"
+            ) from exc
+        if not isinstance(header, dict):
+            raise JournalError(f"journal {self.path} header is not an object")
+        return header
+
+    def _check_header(self, header: Dict[str, object]) -> None:
+        schema = header.get("schema")
+        if schema != JOURNAL_SCHEMA:
+            raise JournalError(
+                f"journal {self.path} has schema {schema!r}, "
+                f"expected {JOURNAL_SCHEMA!r}"
+            )
+        for field_name, expected in (
+            ("kind", self.kind),
+            ("context", self.context_digest),
+            ("tasks", self.keys_digest),
+        ):
+            if header.get(field_name) != expected:
+                raise JournalError(
+                    f"journal {self.path} was recorded for a different run "
+                    f"({field_name} mismatch) -- did --jobs, the scheme "
+                    "list, the seed or the config change?"
+                )
+
+    # -- writing -------------------------------------------------------
+
+    def _append_line(self, line: str) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, key: str, value: object) -> None:
+        """Durably append one completed task (atomic: flush + fsync)."""
+        payload = base64.b64encode(
+            pickle.dumps(value, protocol=4)
+        ).decode("ascii")
+        entry = {"key": key, "digest": _digest(payload), "payload": payload}
+        self._append_line(json.dumps(entry, sort_keys=True))
+
+    # -- reading -------------------------------------------------------
+
+    def load(self, strict: bool = False) -> Dict[str, object]:
+        """Replay the journal into ``{key: payload}`` (latest wins).
+
+        With ``strict=False`` (the default used on resume) corrupt
+        entries are *skipped* -- counted in :attr:`corrupt_entries` and
+        re-executed by the caller -- so a damaged journal degrades to
+        re-running work, never to wrong results.  ``strict=True`` turns
+        any corruption into a :class:`JournalError`.  Header mismatches
+        raise either way.
+        """
+        self.corrupt_entries = 0
+        self.truncated_lines = 0
+        out: Dict[str, object] = {}
+        if not self.path.exists():
+            return out
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        if not lines:
+            return out
+        self._check_header(self._read_header())
+        for raw in lines[1:]:
+            if not raw.endswith("\n"):
+                # Crash mid-append: an unterminated tail is the one
+                # kind of damage the append-only discipline expects.
+                self.truncated_lines += 1
+                continue
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                payload = entry["payload"]
+                digest = entry["digest"]
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                self._reject(strict, f"malformed entry: {exc}")
+                continue
+            if _digest(payload) != digest:
+                self._reject(strict, f"digest mismatch for key {key!r}")
+                continue
+            try:
+                out[key] = pickle.loads(base64.b64decode(payload))
+            except Exception as exc:  # unpicklable payload = corrupt
+                self._reject(strict, f"unreadable payload for {key!r}: {exc}")
+        return out
+
+    def _reject(self, strict: bool, why: str) -> None:
+        if strict:
+            raise JournalError(f"journal {self.path}: {why}")
+        self.corrupt_entries += 1
+        logger.warning(
+            "journal %s: skipping corrupt entry (%s); the task will be "
+            "re-executed", self.path, why,
+        )
+
+    def entry_count(self) -> int:
+        """Number of valid (replayable) entries currently on disk."""
+        return len(self.load())
+
+
+def count_journal_entries(path: os.PathLike) -> int:
+    """Valid (latest-wins) entry count of a journal file on disk.
+
+    Unlike :meth:`Journal.load` this does not check the run identity --
+    it is the tool tests and the chaos harness use to ask "how much of
+    that run finished?" without reconstructing its key set.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    seen = set()
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for raw in lines[1:]:
+        if not raw.endswith("\n"):
+            continue
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+            key = entry["key"]
+            payload = entry["payload"]
+            digest = entry["digest"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            continue
+        if _digest(payload) == digest:
+            seen.add(key)
+    return len(seen)
+
+
+# ----------------------------------------------------------------------
+# The supervised map
+# ----------------------------------------------------------------------
+
+def _emit(obs, etype: EventType, **payload: object) -> None:
+    """Trace + count one supervision event through an ObsContext."""
+    if obs is None:
+        return
+    tracer = getattr(obs, "tracer", None)
+    if tracer:
+        tracer.emit(etype, cycle=time.monotonic(), **payload)
+    registry = getattr(obs, "registry", None)
+    if registry is not None:
+        registry.group("resilience").bump(etype.value)
+
+
+def _infrastructure_failure(exc: BaseException) -> bool:
+    """Pool/pickling plumbing failures, as opposed to task logic errors."""
+    if isinstance(exc, (BrokenProcessPool, OSError, pickle.PicklingError)):
+        return True
+    return isinstance(exc, TypeError) and "pickle" in str(exc).lower()
+
+
+def _chaos_invoke(fn, item, chaos, key: str, attempt: int):
+    """Worker body under chaos: consult the spec, then run the task.
+
+    Top-level (picklable) on purpose; ``chaos`` is any picklable object
+    with a ``decide(key, attempt) -> Optional[str]`` method (see
+    :class:`repro.faults.exec_chaos.ChaosSpec`).
+    """
+    action = chaos.decide(key, attempt)
+    if action == "crash":
+        os._exit(17)  # simulate a hard worker death (OOM-kill, segfault)
+    if action == "hang":
+        # Sleep long enough for the timeout to fire, but bounded so a
+        # chaos run without hang detection still terminates.
+        time.sleep(chaos.hang_seconds)
+    elif action == "lose":
+        raise LostResultError(f"chaos dropped the result of {key!r}")
+    return fn(item)
+
+
+def _submit(pool, fn, item, chaos, key: str, attempt: int) -> Future:
+    if chaos is not None and hasattr(chaos, "decide"):
+        return pool.submit(_chaos_invoke, fn, item, chaos, key, attempt)
+    return pool.submit(fn, item)
+
+
+def _terminate_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Tear a pool down hard, killing hung or runaway workers."""
+    if pool is None:
+        return
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        proc.terminate()
+    for proc in processes:
+        proc.join(timeout=5.0)
+
+
+def _wait_timeout(
+    policy: ResiliencePolicy, inflight: Dict[Future, Tuple[int, float]]
+) -> float:
+    if policy.timeout_seconds is None:
+        return _TICK_SECONDS
+    now = time.monotonic()
+    nearest = min(
+        started + policy.timeout_seconds - now
+        for _, started in inflight.values()
+    )
+    return max(0.01, min(_TICK_SECONDS, nearest))
+
+
+def supervised_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: Optional[int] = None,
+    *,
+    keys: Optional[Sequence[str]] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal: Optional[Journal] = None,
+    obs=None,
+    chaos=None,
+    report: Optional[SupervisionReport] = None,
+) -> List[R]:
+    """``[fn(x) for x in items]`` under full supervision.
+
+    Results come back in input order.  ``fn`` must be a module-level
+    pure function over picklable arguments; unlike
+    :func:`repro.sim.parallel.map_ordered` a deterministic task error
+    is retried once and then **raised** -- the whole map is never
+    silently replayed serially.
+
+    ``keys`` (stable, unique, one per item) name tasks in journal
+    entries and supervision events; ``journal`` enables
+    checkpoint/resume; ``chaos`` injects seeded failures (tests/CI);
+    ``obs`` receives trace events and ``resilience`` counters;
+    ``report`` accumulates counters across calls.
+    """
+    from repro.sim.parallel import resolve_jobs  # parallel imports us lazily
+
+    items = list(items)
+    policy = policy or ResiliencePolicy()
+    report = report if report is not None else SupervisionReport()
+    if keys is None:
+        keys = [f"task-{i:04d}" for i in range(len(items))]
+    keys = [str(key) for key in keys]
+    if len(keys) != len(items):
+        raise ValueError("keys must match items one-to-one")
+    if len(set(keys)) != len(keys):
+        raise ValueError("task keys must be unique")
+
+    results: Dict[int, R] = {}
+    if journal is not None:
+        recorded = journal.load()
+        report.journal_corrupt_entries += journal.corrupt_entries
+        report.journal_truncated_lines += journal.truncated_lines
+        for index, key in enumerate(keys):
+            if key in recorded:
+                results[index] = recorded[key]  # type: ignore[assignment]
+                report.resume_skips += 1
+                _emit(obs, EventType.EXEC_RESUME_SKIP, key=key)
+
+    pending = [index for index in range(len(items)) if index not in results]
+    abort_after = getattr(chaos, "abort_after", None)
+    live_done = 0
+
+    def finish(index: int, value: R) -> None:
+        nonlocal live_done
+        results[index] = value
+        report.completed += 1
+        if journal is not None:
+            journal.record(keys[index], value)
+        live_done += 1
+        if abort_after is not None and live_done >= abort_after:
+            raise ExecutionAborted(
+                f"aborted after {live_done} completed tasks (chaos)"
+            )
+
+    workers = min(resolve_jobs(jobs), max(1, len(pending)))
+    if pending and workers > 1:
+        _supervise(
+            fn, items, keys, pending, workers, policy, obs, chaos, report,
+            finish,
+        )
+    else:
+        for index in pending:
+            report.attempts += 1
+            finish(index, fn(items[index]))
+    return [results[index] for index in range(len(items))]
+
+
+def _supervise(
+    fn,
+    items: Sequence,
+    keys: Sequence[str],
+    pending: Sequence[int],
+    workers: int,
+    policy: ResiliencePolicy,
+    obs,
+    chaos,
+    report: SupervisionReport,
+    finish: Callable[[int, object], None],
+) -> None:
+    """The parallel supervision loop (see module docstring)."""
+    queue = deque(pending)
+    ready_at: Dict[int, float] = {}
+    transient: Dict[int, int] = {}
+    errors: Dict[int, int] = {}
+    inflight: Dict[Future, Tuple[int, float]] = {}
+    pool: Optional[ProcessPoolExecutor] = None
+    breaks_since_degrade = 0
+
+    def serial_fallback(index: int, why: str) -> None:
+        report.serial_fallbacks += 1
+        _emit(obs, EventType.EXEC_DEGRADE, scope="task", key=keys[index],
+              why=why)
+        logger.warning(
+            "task %s: %s; running it serially in the parent", keys[index], why
+        )
+        report.attempts += 1
+        finish(index, fn(items[index]))
+
+    def transient_failure(index: int, why: str) -> None:
+        transient[index] = transient.get(index, 0) + 1
+        if transient[index] > policy.max_retries:
+            serial_fallback(
+                index, f"exhausted {policy.max_retries} transient retries"
+            )
+            return
+        report.retries += 1
+        delay = policy.backoff(keys[index], transient[index])
+        ready_at[index] = time.monotonic() + delay
+        _emit(obs, EventType.EXEC_RETRY, key=keys[index],
+              attempt=transient[index], delay_seconds=round(delay, 4),
+              why=why)
+        queue.append(index)
+
+    def task_failure(index: int, exc: BaseException) -> None:
+        errors[index] = errors.get(index, 0) + 1
+        if errors[index] > policy.task_error_retries:
+            logger.error(
+                "task %s failed deterministically (%s: %s); raising",
+                keys[index], type(exc).__name__, exc,
+            )
+            raise exc
+        report.retries += 1
+        delay = policy.backoff(keys[index], errors[index])
+        ready_at[index] = time.monotonic() + delay
+        _emit(obs, EventType.EXEC_RETRY, key=keys[index],
+              attempt=errors[index], delay_seconds=round(delay, 4),
+              why=f"task error {type(exc).__name__}")
+        queue.append(index)
+
+    def recycle_pool() -> None:
+        nonlocal pool, breaks_since_degrade, workers
+        _terminate_pool(pool)
+        pool = None
+        report.pool_breaks += 1
+        breaks_since_degrade += 1
+        if (
+            breaks_since_degrade >= policy.degrade_after_breaks
+            and workers > policy.min_workers
+        ):
+            workers = max(policy.min_workers, workers // 2)
+            breaks_since_degrade = 0
+            report.degrades += 1
+            _emit(obs, EventType.EXEC_DEGRADE, scope="pool", workers=workers)
+            logger.warning(
+                "repeated worker loss: degrading the pool to %d workers",
+                workers,
+            )
+
+    def drain_inflight_uncharged() -> None:
+        # A broken/killed pool poisons every in-flight future; the
+        # innocents go back to the queue without a retry charge.
+        while inflight:
+            _future, (index, _started) = inflight.popitem()
+            queue.append(index)
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            for _ in range(len(queue)):
+                if len(inflight) >= workers:
+                    break
+                index = queue.popleft()
+                if ready_at.get(index, 0.0) > now:
+                    queue.append(index)  # still backing off
+                    continue
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                attempt = transient.get(index, 0) + errors.get(index, 0)
+                report.attempts += 1
+                try:
+                    future = _submit(
+                        pool, fn, items[index], chaos, keys[index], attempt
+                    )
+                except BrokenProcessPool:
+                    queue.append(index)
+                    drain_inflight_uncharged()
+                    recycle_pool()
+                    break
+                inflight[future] = (index, time.monotonic())
+
+            if not inflight:
+                # Everything queued is backing off; sleep until the
+                # soonest task becomes ready again.
+                wake = min(
+                    (ready_at.get(index, now) for index in queue),
+                    default=now,
+                )
+                time.sleep(max(0.005, min(wake - now, _TICK_SECONDS)))
+                continue
+
+            done, _ = wait(
+                set(inflight),
+                timeout=_wait_timeout(policy, inflight),
+                return_when=FIRST_COMPLETED,
+            )
+            broken = False
+            for future in done:
+                index, _started = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    transient_failure(index, "worker died")
+                except Exception as exc:
+                    if getattr(exc, "transient", False):
+                        transient_failure(index, type(exc).__name__)
+                    elif _infrastructure_failure(exc):
+                        # e.g. an unpicklable payload: not a task bug,
+                        # but retrying in a worker cannot help either.
+                        serial_fallback(
+                            index,
+                            f"infrastructure failure "
+                            f"({type(exc).__name__}: {exc})",
+                        )
+                    else:
+                        task_failure(index, exc)
+                else:
+                    finish(index, value)
+            if broken:
+                drain_inflight_uncharged()
+                recycle_pool()
+                continue
+
+            if policy.timeout_seconds is not None and inflight:
+                now = time.monotonic()
+                overdue = [
+                    (future, started_pair)
+                    for future, started_pair in inflight.items()
+                    if now - started_pair[1] > policy.timeout_seconds
+                ]
+                if overdue:
+                    for future, (index, started) in overdue:
+                        del inflight[future]
+                        report.timeouts += 1
+                        _emit(obs, EventType.EXEC_TIMEOUT, key=keys[index],
+                              seconds=round(now - started, 3))
+                        logger.warning(
+                            "task %s exceeded its %.1fs timeout; killing "
+                            "its worker pool", keys[index],
+                            policy.timeout_seconds,
+                        )
+                        transient_failure(index, "timeout")
+                    drain_inflight_uncharged()
+                    recycle_pool()
+    finally:
+        _terminate_pool(pool)
+
+
+# ----------------------------------------------------------------------
+# Supervisor: policy + journal + chaos bundled for the fan-out callers
+# ----------------------------------------------------------------------
+
+def default_runs_dir() -> Path:
+    return Path(os.environ.get("REPRO_RUNS_DIR") or "runs")
+
+
+def new_run_id() -> str:
+    """A fresh collision-resistant run identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+class Supervisor:
+    """One run's supervision state: policy, journal root, chaos, obs.
+
+    The scenario/scheme and campaign fan-outs call :meth:`map` instead
+    of a bare pool map; each call journals (when ``run_id`` is set)
+    into its own file ``runs/<run-id>/<kind>-<digest>.jsonl``, so a
+    multi-experiment report resumes per fan-out.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ResiliencePolicy] = None,
+        run_id: Optional[str] = None,
+        resume: bool = False,
+        runs_dir: Optional[os.PathLike] = None,
+        chaos=None,
+        obs=None,
+    ) -> None:
+        self.policy = policy or ResiliencePolicy()
+        self.run_id = run_id
+        self.resume = resume
+        self.runs_dir = Path(runs_dir) if runs_dir is not None else (
+            default_runs_dir()
+        )
+        self.chaos = chaos
+        self.obs = obs
+        self.report = SupervisionReport()
+        self._opened: set = set()
+        if obs is not None:
+            registry = getattr(obs, "registry", None)
+            if registry is not None:
+                registry.group("resilience").declare(*RESILIENCE_COUNTERS)
+
+    @property
+    def journaling(self) -> bool:
+        return self.run_id is not None
+
+    def run_dir(self) -> Path:
+        if self.run_id is None:
+            raise ValueError("supervisor has no run_id")
+        return self.runs_dir / self.run_id
+
+    def journal_path(self, kind: str, context: str) -> Path:
+        return self.run_dir() / f"{kind}-{_digest(f'{kind}:{context}')[:12]}.jsonl"
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        keys: Optional[Sequence[str]] = None,
+        kind: str = "map",
+        context: str = "",
+        jobs: Optional[int] = None,
+    ) -> List[R]:
+        """Supervised ordered map, journaled when ``run_id`` is set."""
+        journal = None
+        if self.journaling:
+            if keys is None:
+                raise ValueError("journaling requires stable task keys")
+            path = self.journal_path(kind, context)
+            # A repeated identical fan-out within the same process run
+            # (memo cleared, bench repetition) continues its own file.
+            resume = self.resume or str(path) in self._opened
+            journal = Journal.open(
+                path, kind, context, keys, run_id=self.run_id or "",
+                resume=resume,
+            )
+            self._opened.add(str(path))
+        try:
+            return supervised_map(
+                fn, items, jobs,
+                keys=keys, policy=self.policy, journal=journal,
+                obs=self.obs, chaos=self.chaos, report=self.report,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+
+
+# ----------------------------------------------------------------------
+# Ambient supervision: the fan-outs consult this instead of plumbing a
+# supervisor argument through every experiment signature.
+# ----------------------------------------------------------------------
+
+_ACTIVE: List[Supervisor] = []
+
+
+@contextmanager
+def supervision(supervisor: Optional[Supervisor]) -> Iterator[Optional[Supervisor]]:
+    """Make ``supervisor`` the ambient executor for the enclosed calls.
+
+    ``supervision(None)`` is a no-op context, so CLI plumbing can pass
+    through unconditionally.
+    """
+    if supervisor is None:
+        yield None
+        return
+    _ACTIVE.append(supervisor)
+    try:
+        yield supervisor
+    finally:
+        _ACTIVE.pop()
+
+
+def current_supervisor() -> Optional[Supervisor]:
+    """The supervisor the fan-outs should use right now.
+
+    An explicitly activated supervisor wins; otherwise the default
+    execution mode applies: supervised (a fresh stateless
+    :class:`Supervisor`) unless ``REPRO_EXEC=plain`` opts back into
+    the legacy bare ``pool.map`` path (the performance-overhead gate
+    in CI measures exactly this pair).
+    """
+    if _ACTIVE:
+        return _ACTIVE[-1]
+    if os.environ.get("REPRO_EXEC", "").strip().lower() == "plain":
+        return None
+    return Supervisor()

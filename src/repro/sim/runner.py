@@ -162,10 +162,17 @@ def run_scenario(
     duration = duration_cycles if duration_cycles is not None else sim_duration()
     traces, footprint = scenario.build_traces(duration, seed)
 
-    from repro.sim import parallel  # runner is imported by parallel
+    from repro.sim import parallel, resilient  # runner is imported by parallel
 
+    supervisor = resilient.current_supervisor()
+    journaling = supervisor is not None and supervisor.journaling
     workers = parallel.resolve_jobs(jobs)
-    if workers > 1 and obs_factory is None and len(scheme_names) > 1:
+    # A journaling supervisor routes even serial runs through the
+    # fan-out, so checkpoints exist at the same task granularity
+    # whatever the worker count.
+    if (workers > 1 or journaling) and obs_factory is None and len(
+        scheme_names
+    ) > 1:
         return parallel.run_schemes_parallel(
             traces, footprint, scheme_names, config, warmup, workers
         )
@@ -187,12 +194,16 @@ def run_many(
 
     ``jobs`` above 1 dispatches the whole cross-product to
     :func:`repro.sim.parallel.run_scenarios` (slim, picklable results);
-    ``None`` consults ``REPRO_JOBS`` and otherwise stays serial.
+    ``None`` consults ``REPRO_JOBS`` and otherwise stays serial.  A
+    journaling supervisor (``--run-id``/``--resume``) also routes the
+    serial case through the fan-out so checkpoints are written and
+    replayed at the same task granularity regardless of ``jobs``.
     """
-    from repro.sim import parallel  # runner is imported by parallel
+    from repro.sim import parallel, resilient  # runner is imported by parallel
 
+    supervisor = resilient.current_supervisor()
     workers = parallel.resolve_jobs(jobs)
-    if workers > 1:
+    if workers > 1 or (supervisor is not None and supervisor.journaling):
         return parallel.run_scenarios(
             scenarios, scheme_names, config, duration_cycles, seed, warmup,
             jobs=workers,

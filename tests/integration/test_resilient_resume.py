@@ -1,0 +1,149 @@
+"""Checkpoint/resume parity: an interrupted run, resumed, must be
+byte-identical to an uninterrupted one (satellite 3 of the resilient
+executor).
+
+Uses the chaos ``abort_after`` hook to kill a supervised sweep and a
+supervised campaign mid-flight, then resumes from the journal and
+asserts (a) only unfinished tasks re-execute (journal entry counts)
+and (b) the final payloads match clean serial and clean parallel runs
+exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import canonical_payloads
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.faults.exec_chaos import ChaosSpec
+from repro.secure_memory.failure import FAILURE_MODES
+from repro.sim.parallel import sweep_task_keys
+from repro.sim.resilient import (
+    ExecutionAborted,
+    ResiliencePolicy,
+    Supervisor,
+    count_journal_entries,
+    supervision,
+)
+from repro.sim.runner import clear_static_best_cache, run_many, sweep_scenarios
+from repro.sim.scenario import all_scenarios
+
+DURATION = 400.0
+SAMPLE = 3
+SCHEMES = ("conventional", "ours")
+JOBS = 2
+POLICY = ResiliencePolicy(timeout_seconds=60.0, seed=0)
+
+
+def _scenarios():
+    return sweep_scenarios(all_scenarios(), SAMPLE)
+
+
+def _sweep_payloads(jobs):
+    clear_static_best_cache()
+    results = run_many(
+        _scenarios(), SCHEMES, duration_cycles=DURATION, seed=0, jobs=jobs
+    )
+    return canonical_payloads(results, SCHEMES)
+
+
+def _journal_entries(run_dir):
+    return sum(
+        count_journal_entries(path) for path in sorted(run_dir.glob("*.jsonl"))
+    )
+
+
+class TestSweepResumeParity:
+    def test_interrupted_sweep_resumes_byte_identical(self, tmp_path):
+        clean_serial = _sweep_payloads(jobs=1)
+        clean_parallel = _sweep_payloads(jobs=4)
+        assert clean_parallel == clean_serial  # supervised-parallel parity
+
+        keys = sweep_task_keys(_scenarios(), SCHEMES, jobs=JOBS)
+        total = len(keys)
+        abort_after = max(1, total // 3)
+
+        killer = Supervisor(
+            policy=POLICY, run_id="resume-test", runs_dir=tmp_path,
+            chaos=ChaosSpec(seed=0, abort_after=abort_after),
+        )
+        with pytest.raises(ExecutionAborted):
+            with supervision(killer):
+                _sweep_payloads(jobs=JOBS)
+
+        run_dir = tmp_path / "resume-test"
+        done_before = _journal_entries(run_dir)
+        assert 0 < done_before < total  # genuinely interrupted mid-run
+
+        resumer = Supervisor(
+            policy=POLICY, run_id="resume-test", runs_dir=tmp_path,
+            resume=True,
+        )
+        with supervision(resumer):
+            resumed = _sweep_payloads(jobs=JOBS)
+
+        # Only unfinished tasks re-executed ...
+        assert resumer.report.resume_skips == done_before
+        assert resumer.report.completed == total - done_before
+        # ... and the journal now holds every task exactly once.
+        assert _journal_entries(run_dir) == total
+        # Byte-parity against both uninterrupted runs.
+        assert resumed == clean_serial
+        assert resumed == clean_parallel
+
+    def test_full_resume_executes_nothing(self, tmp_path):
+        clean = _sweep_payloads(jobs=1)
+        first = Supervisor(
+            policy=POLICY, run_id="full", runs_dir=tmp_path,
+        )
+        with supervision(first):
+            _sweep_payloads(jobs=JOBS)
+
+        again = Supervisor(
+            policy=POLICY, run_id="full", runs_dir=tmp_path, resume=True,
+        )
+        with supervision(again):
+            replayed = _sweep_payloads(jobs=JOBS)
+        assert replayed == clean
+        assert again.report.attempts == 0
+        assert again.report.resume_skips == len(
+            sweep_task_keys(_scenarios(), SCHEMES, jobs=JOBS)
+        )
+
+
+CAMPAIGN = CampaignConfig(
+    seed=0,
+    trials=1,
+    attacks=("data_bitflip", "counter_tamper"),
+    failure_modes=(FAILURE_MODES[0],),
+)
+
+
+class TestCampaignResumeParity:
+    def test_interrupted_campaign_resumes_byte_identical(self, tmp_path):
+        clean_serial = run_campaign(CAMPAIGN, jobs=1).to_json()
+        clean_parallel = run_campaign(CAMPAIGN, jobs=4).to_json()
+        assert clean_parallel == clean_serial
+
+        killer = Supervisor(
+            policy=POLICY, run_id="camp", runs_dir=tmp_path,
+            chaos=ChaosSpec(seed=0, abort_after=2),
+        )
+        with pytest.raises(ExecutionAborted):
+            with supervision(killer):
+                run_campaign(CAMPAIGN, jobs=JOBS)
+
+        run_dir = tmp_path / "camp"
+        done_before = _journal_entries(run_dir)
+        assert done_before >= 2
+
+        # Campaign keys name (attack, policy, mode, granularity) cells,
+        # independent of the worker count -- resuming at a *different*
+        # jobs value must work.
+        resumer = Supervisor(
+            policy=POLICY, run_id="camp", runs_dir=tmp_path, resume=True,
+        )
+        with supervision(resumer):
+            resumed = run_campaign(CAMPAIGN, jobs=4)
+        assert resumer.report.resume_skips == done_before
+        assert resumed.to_json() == clean_serial

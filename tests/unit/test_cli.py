@@ -90,6 +90,97 @@ class TestExperimentCommand:
         assert "correct_prediction" in capsys.readouterr().out
 
 
+class TestResilienceFlags:
+    def test_flags_parse_on_every_fanout_command(self):
+        for command in (["simulate"], ["experiment", "fig15"],
+                        ["report"], ["faults"]):
+            args = build_parser().parse_args(
+                command + [
+                    "--timeout", "30", "--retries", "2",
+                    "--run-id", "r1", "--runs-dir", "/tmp/runs",
+                ]
+            )
+            assert args.timeout == 30.0
+            assert args.retries == 2
+            assert args.run_id == "r1"
+            assert args.runs_dir == "/tmp/runs"
+            assert args.resume is None
+
+    def test_no_flags_means_no_explicit_supervisor(self):
+        from repro.cli import _supervisor
+
+        args = build_parser().parse_args(["simulate"])
+        assert _supervisor(args) is None
+
+    def test_run_id_builds_journaling_supervisor(self, tmp_path):
+        from repro.cli import _supervisor
+
+        args = build_parser().parse_args(
+            ["simulate", "--run-id", "r9", "--runs-dir", str(tmp_path)]
+        )
+        supervisor = _supervisor(args)
+        assert supervisor is not None
+        assert supervisor.journaling
+        assert supervisor.run_id == "r9"
+        assert not supervisor.resume
+
+    def test_resume_flag_sets_resume_mode(self, tmp_path):
+        from repro.cli import _supervisor
+
+        args = build_parser().parse_args(
+            ["simulate", "--resume", "r9", "--runs-dir", str(tmp_path)]
+        )
+        supervisor = _supervisor(args)
+        assert supervisor.run_id == "r9" and supervisor.resume
+
+    def test_timeout_alone_supervises_without_journal(self):
+        from repro.cli import _supervisor
+
+        args = build_parser().parse_args(["simulate", "--timeout", "5"])
+        supervisor = _supervisor(args)
+        assert supervisor is not None
+        assert not supervisor.journaling
+        assert supervisor.policy.timeout_seconds == 5.0
+
+    def test_supervised_simulate_runs(self, capsys, tmp_path):
+        code = main(
+            [
+                "simulate",
+                "--scenario", "cc3",
+                "--schemes", "conventional,ours",
+                "--duration", "1200",
+                "--run-id", "cli-test",
+                "--runs-dir", str(tmp_path),
+                "--jobs", "1",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "cli-test").is_dir()
+        journals = list((tmp_path / "cli-test").glob("*.jsonl"))
+        assert journals, "journal was not written"
+
+
+class TestChaosCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.sample == 6
+        assert args.duration == 800.0
+        assert args.crash_rate == 0.2
+        assert args.lost_rate == 0.0
+        assert args.timeout == 15.0
+        assert args.schemes == "conventional,ours"
+        assert not args.skip_sweep and not args.skip_campaign
+
+    def test_probe_only_run(self, capsys):
+        # Hang-detection probe only: proves the command wiring without
+        # paying for the full sweep/campaign chaos story.
+        code = main(["chaos", "--skip-sweep", "--skip-campaign"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[PASS] hang detection" in out
+        assert "chaos CLEAN" in out
+
+
 class TestPlotFlag:
     def test_fig17_plot_renders_cdf(self, capsys):
         code = main(

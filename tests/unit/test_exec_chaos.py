@@ -1,0 +1,136 @@
+"""Unit coverage of the execution-chaos harness (repro.faults.exec_chaos)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults.exec_chaos import (
+    ChaosReport,
+    ChaosSpec,
+    break_journal_schema,
+    corrupt_journal_entry,
+    truncate_journal,
+)
+from repro.sim.resilient import Journal, JournalError
+
+
+class TestChaosSpec:
+    def test_decisions_are_deterministic(self):
+        spec = ChaosSpec(seed=3, crash_rate=0.5, lost_rate=0.3)
+        keys = [f"task-{i}" for i in range(20)]
+        first = [spec.decide(key, 0) for key in keys]
+        second = [spec.decide(key, 0) for key in keys]
+        assert first == second
+        assert set(first) <= {"crash", "lose", None}
+
+    def test_seed_changes_story(self):
+        keys = [f"task-{i}" for i in range(50)]
+        a = [ChaosSpec(seed=0, crash_rate=0.5).decide(k, 0) for k in keys]
+        b = [ChaosSpec(seed=1, crash_rate=0.5).decide(k, 0) for k in keys]
+        assert a != b
+
+    def test_no_fault_at_or_beyond_fault_attempts(self):
+        """The convergence guarantee: retries eventually run clean."""
+        spec = ChaosSpec(
+            seed=0, crash_rate=1.0, hang_keys=("h",), fault_attempts=2
+        )
+        for key in ("h", "task-1", "task-2"):
+            assert spec.decide(key, 2) is None
+            assert spec.decide(key, 5) is None
+            assert spec.decide(key, 0) is not None
+
+    def test_hang_only_on_first_attempt(self):
+        spec = ChaosSpec(seed=0, hang_keys=("h",))
+        assert spec.decide("h", 0) == "hang"
+        assert spec.decide("h", 1) is None
+        assert spec.decide("other", 0) is None
+
+    def test_rates_partition_the_roll(self):
+        crash_only = ChaosSpec(seed=0, crash_rate=1.0)
+        lose_only = ChaosSpec(seed=0, lost_rate=1.0)
+        quiet = ChaosSpec(seed=0)
+        assert crash_only.decide("k", 0) == "crash"
+        assert lose_only.decide("k", 0) == "lose"
+        assert quiet.decide("k", 0) is None
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = ChaosSpec(seed=2, crash_rate=0.2, hang_keys=("a",))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    path = tmp_path / "j.jsonl"
+    journal = Journal.open(path, "sweep", "ctx", ["a", "b", "c"], resume=False)
+    journal.record("a", {"x": 1})
+    journal.record("b", {"x": 2})
+    journal.record("c", {"x": 3})
+    journal.close()
+    return path
+
+
+def _reload(path, strict=False):
+    journal = Journal.open(path, "sweep", "ctx", ["a", "b", "c"], resume=True)
+    loaded = journal.load(strict=strict)
+    return loaded, journal
+
+
+class TestJournalDamageHelpers:
+    def test_corrupt_entry_drops_only_that_key(self, journal_path):
+        key = corrupt_journal_entry(journal_path, entry_index=1)
+        assert key == "b"
+        loaded, journal = _reload(journal_path)
+        assert loaded == {"a": {"x": 1}, "c": {"x": 3}}
+        assert journal.corrupt_entries == 1
+
+    def test_corrupt_out_of_range(self, journal_path):
+        with pytest.raises(IndexError):
+            corrupt_journal_entry(journal_path, entry_index=9)
+
+    def test_truncate_keeps_prefix_with_partial_tail(self, journal_path):
+        truncate_journal(journal_path, keep_entries=1, partial=True)
+        text = journal_path.read_text()
+        assert not text.endswith("\n")  # crash residue: unterminated line
+        loaded, journal = _reload(journal_path)
+        assert loaded == {"a": {"x": 1}}
+        assert journal.truncated_lines == 1
+
+    def test_truncate_clean(self, journal_path):
+        truncate_journal(journal_path, keep_entries=2, partial=False)
+        loaded, journal = _reload(journal_path)
+        assert loaded == {"a": {"x": 1}, "b": {"x": 2}}
+        assert journal.truncated_lines == 0
+
+    def test_break_schema_rejected_on_reopen(self, journal_path):
+        break_journal_schema(journal_path)
+        header = json.loads(journal_path.read_text().splitlines()[0])
+        assert header["schema"] == "repro-journal/v0"
+        with pytest.raises(JournalError):
+            _reload(journal_path)
+
+
+class TestChaosReport:
+    def test_pass_fail_rollup(self):
+        report = ChaosReport()
+        report.add("one", True, "fine")
+        assert report.passed
+        report.add("two", False, "diverged")
+        assert not report.passed
+
+    def test_format(self):
+        report = ChaosReport()
+        report.add("sweep under chaos", True, "payloads identical")
+        text = report.format()
+        assert "[PASS] sweep under chaos: payloads identical" in text
+        assert "chaos CLEAN" in text
+
+    def test_format_failure(self):
+        report = ChaosReport()
+        report.add("sweep under chaos", False, "payloads DIVERGED")
+        text = report.format()
+        assert "[FAIL]" in text
+        assert "chaos FAILED" in text

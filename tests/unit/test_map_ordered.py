@@ -1,0 +1,83 @@
+"""Failure classification in the legacy parallel map (satellite of the
+resilient-executor work).
+
+``map_ordered`` used to catch *every* pool exception and silently rerun
+the whole map serially in the parent — so a deterministic bug in the
+task function re-executed every side effect in-process and surfaced as
+a slow pass (or a second, confusing traceback).  It must now fail fast
+on task errors and reserve the serial fallback for infrastructure
+failures only.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.sim.parallel import _infrastructure_failure, map_ordered
+
+_PID_DIR_ENV = "MAP_ORDERED_TEST_DIR"
+
+
+def _record_pid_and_fail(x):
+    """Touch a per-pid marker, then raise: proves where execution ran."""
+    marker_dir = os.environ[_PID_DIR_ENV]
+    with open(os.path.join(marker_dir, str(os.getpid())), "a") as fh:
+        fh.write(f"{x}\n")
+    raise RuntimeError(f"deterministic task bug on {x}")
+
+
+def _ok(x):
+    return x + 10
+
+
+class TestTaskErrorFailsFast:
+    def test_raising_fn_raises_under_jobs4(self, tmp_path, monkeypatch):
+        """Regression: a deterministic task error must NOT be replayed
+        serially in the parent."""
+        monkeypatch.setenv(_PID_DIR_ENV, str(tmp_path))
+        with pytest.raises(RuntimeError, match="deterministic task bug"):
+            map_ordered(_record_pid_and_fail, [1, 2, 3, 4], jobs=4)
+        executed_pids = {int(name) for name in os.listdir(tmp_path)}
+        assert executed_pids, "task never ran anywhere"
+        # The parent process must never have executed the task body —
+        # the old blanket-except fallback would rerun all four items
+        # here and leave the parent pid in the marker directory.
+        assert os.getpid() not in executed_pids
+
+    def test_raising_fn_raises_serially_too(self):
+        with pytest.raises(RuntimeError, match="deterministic task bug"):
+            map_ordered(_boom_no_markers, [1], jobs=1)
+
+
+def _boom_no_markers(x):
+    raise RuntimeError(f"deterministic task bug on {x}")
+
+
+class TestInfrastructureFallback:
+    def test_unpicklable_fn_falls_back_with_warning(self, caplog):
+        fn = lambda x: x * 3  # noqa: E731 -- lambdas cannot be pickled
+        with caplog.at_level("WARNING", logger="repro.parallel"):
+            assert map_ordered(fn, [1, 2], jobs=2) == [3, 6]
+        assert any(
+            "rerunning" in record.getMessage() for record in caplog.records
+        )
+
+    def test_classifier(self):
+        assert _infrastructure_failure(BrokenProcessPool("dead"))
+        assert _infrastructure_failure(OSError("fork refused"))
+        assert _infrastructure_failure(pickle.PicklingError("no"))
+        assert _infrastructure_failure(TypeError("cannot pickle '_thread.lock'"))
+        assert _infrastructure_failure(
+            AttributeError("Can't pickle local object 'f.<locals>.<lambda>'")
+        )
+        assert not _infrastructure_failure(TypeError("bad operand"))
+        assert not _infrastructure_failure(AttributeError("no such attr"))
+        assert not _infrastructure_failure(RuntimeError("task bug"))
+        assert not _infrastructure_failure(ValueError("task bug"))
+
+    def test_clean_parallel_path_untouched(self):
+        assert map_ordered(_ok, [1, 2, 3], jobs=2) == [11, 12, 13]

@@ -1,0 +1,296 @@
+"""Unit coverage of the supervised execution engine (repro.sim.resilient)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.sim.resilient import (
+    JOURNAL_SCHEMA,
+    ExecutionAborted,
+    Journal,
+    JournalError,
+    LostResultError,
+    ResiliencePolicy,
+    Supervisor,
+    SupervisionReport,
+    count_journal_entries,
+    current_supervisor,
+    supervised_map,
+    supervision,
+)
+
+
+def double(x):
+    return x * 2
+
+
+def boom(x):
+    raise ValueError(f"bad item {x}")
+
+
+class TestResiliencePolicy:
+    def test_backoff_is_deterministic(self):
+        policy = ResiliencePolicy(seed=7)
+        assert policy.backoff("k", 1) == policy.backoff("k", 1)
+        assert policy.backoff("k", 1) != policy.backoff("other", 1)
+
+    def test_backoff_grows_and_caps(self):
+        policy = ResiliencePolicy(
+            backoff_base_seconds=0.1, backoff_cap_seconds=0.4
+        )
+        delays = [policy.backoff("k", attempt) for attempt in (1, 2, 3, 9)]
+        assert all(d > 0 for d in delays)
+        # base * 1.5 jitter ceiling; the cap bounds late attempts.
+        assert max(delays) <= 0.4 * 1.5
+        assert delays[0] <= 0.1 * 1.5
+
+    def test_seed_changes_jitter(self):
+        a = ResiliencePolicy(seed=0).backoff("k", 1)
+        b = ResiliencePolicy(seed=1).backoff("k", 1)
+        assert a != b
+
+
+class TestJournal:
+    def _open(self, tmp_path, keys=("a", "b"), resume=False):
+        return Journal.open(
+            tmp_path / "j.jsonl", "sweep", "ctx", list(keys),
+            run_id="r1", resume=resume,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.record("a", {"value": 1})
+        journal.record("b", [1, 2, 3])
+        journal.close()
+        loaded = self._open(tmp_path, resume=True).load()
+        assert loaded == {"a": {"value": 1}, "b": [1, 2, 3]}
+
+    def test_latest_wins(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.record("a", 1)
+        journal.record("a", 2)
+        journal.close()
+        assert self._open(tmp_path, resume=True).load() == {"a": 2}
+
+    def test_existing_file_requires_resume(self, tmp_path):
+        self._open(tmp_path).close()
+        with pytest.raises(JournalError, match="--resume"):
+            self._open(tmp_path, resume=False)
+
+    def test_key_set_mismatch_rejected(self, tmp_path):
+        self._open(tmp_path).close()
+        with pytest.raises(JournalError, match="different run"):
+            self._open(tmp_path, keys=("a", "b", "c"), resume=True)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.record("a", 1)
+        journal.close()
+        path = tmp_path / "j.jsonl"
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        header["schema"] = "repro-journal/v99"
+        lines[0] = json.dumps(header) + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(JournalError, match=JOURNAL_SCHEMA):
+            self._open(tmp_path, resume=True).load()
+
+    def test_corrupt_entry_skipped_not_fatal(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.record("a", 1)
+        journal.record("b", 2)
+        journal.close()
+        path = tmp_path / "j.jsonl"
+        lines = path.read_text().splitlines(keepends=True)
+        entry = json.loads(lines[1])
+        entry["payload"] = entry["payload"][:-4] + "AAA="
+        lines[1] = json.dumps(entry) + "\n"
+        path.write_text("".join(lines))
+        reopened = self._open(tmp_path, resume=True)
+        assert reopened.load() == {"b": 2}
+        assert reopened.corrupt_entries == 1
+
+    def test_strict_mode_raises_on_corruption(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.record("a", 1)
+        journal.close()
+        path = tmp_path / "j.jsonl"
+        text = path.read_text().replace('"key": "a"', '"key": "a', 1)
+        path.write_text(text)
+        with pytest.raises(JournalError):
+            self._open(tmp_path, resume=True).load(strict=True)
+
+    def test_unterminated_tail_tolerated(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.record("a", 1)
+        journal.record("b", 2)
+        journal.close()
+        path = tmp_path / "j.jsonl"
+        text = path.read_text()
+        path.write_text(text[:-10])  # crash mid-append
+        reopened = self._open(tmp_path, resume=True)
+        assert reopened.load() == {"a": 1}
+        assert reopened.truncated_lines == 1
+
+    def test_count_journal_entries_ignores_identity(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.record("a", 1)
+        journal.record("a", 2)  # duplicate key counts once
+        journal.record("b", 3)
+        journal.close()
+        assert count_journal_entries(tmp_path / "j.jsonl") == 2
+        assert count_journal_entries(tmp_path / "missing.jsonl") == 0
+
+
+class TestSupervisedMapSerial:
+    def test_plain_map(self):
+        assert supervised_map(double, [1, 2, 3], jobs=1) == [2, 4, 6]
+
+    def test_key_count_must_match(self):
+        with pytest.raises(ValueError, match="one-to-one"):
+            supervised_map(double, [1, 2], jobs=1, keys=["only-one"])
+
+    def test_keys_must_be_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            supervised_map(double, [1, 2], jobs=1, keys=["k", "k"])
+
+    def test_journal_resume_skips_finished(self, tmp_path):
+        keys = ["a", "b", "c"]
+        journal = Journal.open(
+            tmp_path / "j.jsonl", "map", "ctx", keys, resume=False
+        )
+        report = SupervisionReport()
+        out = supervised_map(
+            double, [1, 2, 3], jobs=1, keys=keys, journal=journal,
+            report=report,
+        )
+        journal.close()
+        assert out == [2, 4, 6]
+        assert report.completed == 3
+
+        journal2 = Journal.open(
+            tmp_path / "j.jsonl", "map", "ctx", keys, resume=True
+        )
+        report2 = SupervisionReport()
+        out2 = supervised_map(
+            boom, [1, 2, 3], jobs=1, keys=keys, journal=journal2,
+            report=report2,
+        )
+        journal2.close()
+        # Every task was served from the journal: boom never ran.
+        assert out2 == [2, 4, 6]
+        assert report2.resume_skips == 3 and report2.attempts == 0
+
+    def test_task_error_raises_after_one_retry(self):
+        report = SupervisionReport()
+        with pytest.raises(ValueError, match="bad item"):
+            supervised_map(boom, [1], jobs=1, keys=["k"], report=report)
+        # Serial path fails on first execution (no worker to retry in).
+        assert report.completed == 0
+
+    def test_abort_after_chaos_hook(self, tmp_path):
+        class Abort:
+            abort_after = 2
+
+        keys = ["a", "b", "c", "d"]
+        journal = Journal.open(
+            tmp_path / "j.jsonl", "map", "ctx", keys, resume=False
+        )
+        with pytest.raises(ExecutionAborted):
+            supervised_map(
+                double, [1, 2, 3, 4], jobs=1, keys=keys, journal=journal,
+                chaos=Abort(),
+            )
+        journal.close()
+        assert count_journal_entries(tmp_path / "j.jsonl") == 2
+
+
+class TestAmbientSupervision:
+    def test_default_is_supervised(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXEC", raising=False)
+        supervisor = current_supervisor()
+        assert isinstance(supervisor, Supervisor)
+        assert not supervisor.journaling
+
+    def test_plain_env_opts_out(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC", "plain")
+        assert current_supervisor() is None
+
+    def test_explicit_supervisor_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC", "plain")
+        mine = Supervisor()
+        with supervision(mine):
+            assert current_supervisor() is mine
+        assert current_supervisor() is None
+
+    def test_none_context_is_noop(self):
+        with supervision(None) as active:
+            assert active is None
+
+    def test_nested_supervisors_stack(self):
+        outer, inner = Supervisor(), Supervisor()
+        with supervision(outer):
+            with supervision(inner):
+                assert current_supervisor() is inner
+            assert current_supervisor() is outer
+
+
+class TestSupervisor:
+    def test_journaling_requires_keys(self, tmp_path):
+        supervisor = Supervisor(run_id="r1", runs_dir=tmp_path)
+        with pytest.raises(ValueError, match="keys"):
+            supervisor.map(double, [1, 2])
+
+    def test_map_journals_and_same_process_reopen(self, tmp_path):
+        supervisor = Supervisor(run_id="r1", runs_dir=tmp_path)
+        keys = ["a", "b"]
+        out = supervisor.map(
+            double, [1, 2], keys=keys, kind="sweep", context="ctx", jobs=1
+        )
+        assert out == [2, 4]
+        # An identical fan-out later in the same process (bench repeat,
+        # cleared memo) reopens its own journal as a resume.
+        out2 = supervisor.map(
+            double, [1, 2], keys=keys, kind="sweep", context="ctx", jobs=1
+        )
+        assert out2 == [2, 4]
+        assert supervisor.report.resume_skips == 2
+
+    def test_journal_path_varies_with_context(self, tmp_path):
+        supervisor = Supervisor(run_id="r1", runs_dir=tmp_path)
+        a = supervisor.journal_path("sweep", "ctx-a")
+        b = supervisor.journal_path("sweep", "ctx-b")
+        assert a != b and a.parent == b.parent == tmp_path / "r1"
+
+    def test_lost_result_error_is_transient(self):
+        assert LostResultError("x").transient is True
+
+    def test_run_dir_requires_run_id(self):
+        with pytest.raises(ValueError):
+            Supervisor().run_dir()
+
+    def test_declares_resilience_counters(self):
+        from repro.obs import ObsContext
+
+        obs = ObsContext.enabled(capacity=64)
+        Supervisor(obs=obs)
+        snapshot = obs.registry.snapshot("resilience")
+        assert snapshot.get("resilience.exec_retry") == 0
+        assert snapshot.get("resilience.exec_resume_skip") == 0
+
+
+class TestRunsDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        from repro.sim.resilient import default_runs_dir
+
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "elsewhere"))
+        assert default_runs_dir() == tmp_path / "elsewhere"
+
+    def test_new_run_ids_are_unique(self):
+        from repro.sim.resilient import new_run_id
+
+        ids = {new_run_id() for _ in range(32)}
+        assert len(ids) == 32
