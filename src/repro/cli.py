@@ -20,11 +20,21 @@ Commands:
   diff every observable (``--quick`` for CI, ``--deep`` nightly);
 * ``chaos``       -- execution-chaos harness: inject worker crashes,
   hangs, lost results and journal damage into supervised sweeps and
-  campaigns, asserting payloads stay byte-identical to a clean run.
+  campaigns, asserting payloads stay byte-identical to a clean run
+  (``--mode fabric`` runs the multi-claimant lease-protocol story
+  instead);
+* ``fabric``      -- distributed campaign fabric plumbing: ``worker``
+  joins a spooled work-queue as an extra claimant, ``status`` shows
+  lease/commit progress, ``drain`` reclaims expired leases and
+  finishes the queue serially (see ``docs/fabric.md``);
+* ``gc``          -- prune old ``runs/<id>/`` directories and
+  orphaned result-store blobs.
 
 Fan-out commands (``simulate``, ``experiment``, ``report``, ``faults``)
 accept the resilience flags ``--timeout``, ``--retries``, ``--run-id``,
-``--resume`` and ``--runs-dir`` (see ``docs/resilience.md``).
+``--resume`` and ``--runs-dir`` (see ``docs/resilience.md``);
+``experiment`` and ``faults`` additionally take ``--workers N`` to
+execute their fan-out through N fabric worker processes.
 """
 
 from __future__ import annotations
@@ -58,10 +68,12 @@ def _supervisor(args: argparse.Namespace):
 
     ``None`` leaves the ambient default in force (supervised, no
     journal; ``REPRO_EXEC=plain`` opts out entirely).  Any explicit
-    flag -- ``--run-id``, ``--resume``, ``--timeout``, ``--retries`` --
-    pins an explicit supervisor for the whole command, and
+    flag -- ``--run-id``, ``--resume``, ``--timeout``, ``--retries``,
+    ``--workers`` -- pins an explicit supervisor for the whole command;
     ``--run-id``/``--resume`` turn on the checkpoint journal under
-    ``--runs-dir`` (see docs/resilience.md).
+    ``--runs-dir`` (see docs/resilience.md), and ``--workers N`` routes
+    every fan-out through the distributed fabric with N leased worker
+    processes (see docs/fabric.md).
     """
     from repro.sim.resilient import ResiliencePolicy, Supervisor
 
@@ -69,7 +81,11 @@ def _supervisor(args: argparse.Namespace):
     run_id = resume_id or getattr(args, "run_id", None)
     timeout = getattr(args, "timeout", None)
     retries = getattr(args, "retries", None)
-    if run_id is None and timeout is None and retries is None:
+    workers = getattr(args, "workers", None)
+    if (
+        run_id is None and timeout is None and retries is None
+        and workers is None
+    ):
         return None
     policy = ResiliencePolicy(
         timeout_seconds=timeout,
@@ -80,6 +96,8 @@ def _supervisor(args: argparse.Namespace):
         run_id=run_id,
         resume=resume_id is not None,
         runs_dir=getattr(args, "runs_dir", None),
+        fabric_workers=workers,
+        lease_ttl=getattr(args, "lease_ttl", None),
     )
 
 
@@ -88,7 +106,14 @@ def _supervised(args: argparse.Namespace):
     from repro.sim.resilient import supervision
 
     supervisor = _supervisor(args)
-    if supervisor is not None and supervisor.journaling:
+    if supervisor is not None and supervisor.fabric_workers is not None:
+        print(
+            f"[fabric] run {supervisor.run_id}: "
+            f"{supervisor.fabric_workers} workers, "
+            f"store {supervisor.store_dir()}",
+            file=sys.stderr,
+        )
+    elif supervisor is not None and supervisor.journaling:
         print(
             f"[resilient] run {supervisor.run_id} "
             f"(journal: {supervisor.run_dir()})",
@@ -289,7 +314,18 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Execution-chaos harness: fail unless payloads stay byte-identical."""
-    from repro.faults.exec_chaos import run_chaos
+    from repro.faults.exec_chaos import run_chaos, run_fabric_chaos
+
+    if args.mode == "fabric":
+        report = run_fabric_chaos(
+            seed=args.seed,
+            crash_rate=args.crash_rate,
+            workers=args.workers,
+            runs_dir=args.runs_dir,
+            echo=lambda line: print(line, file=sys.stderr),
+        )
+        print(report.format())
+        return 0 if report.passed else 1
 
     report = run_chaos(
         sample=args.sample,
@@ -307,6 +343,100 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(report.format())
     return 0 if report.passed else 1
+
+
+def _fabric_store(args: argparse.Namespace, queue_root) -> "object":
+    """Resolve the result store for a fabric verb.
+
+    Defaults to the ``store/`` sibling of the queue's runs dir (the
+    layout ``fabric_map`` spools: ``<runs-dir>/<run-id>/fabric/<q>``)
+    unless ``--store`` pins it.
+    """
+    from pathlib import Path
+
+    from repro.sim.fabric import ResultStore, default_store_dir
+
+    if args.store is not None:
+        return ResultStore(args.store)
+    queue_root = Path(queue_root)
+    if len(queue_root.resolve().parents) < 3:
+        raise SystemExit("cannot infer the store from --queue; pass --store")
+    return ResultStore(default_store_dir(queue_root.resolve().parents[2]))
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    """Fabric plumbing verbs: ``worker``, ``status``, ``drain``."""
+    from pathlib import Path
+
+    from repro.sim import fabric
+
+    if args.verb == "worker":
+        queue = fabric.LeaseQueue.attach(args.queue)
+        store = _fabric_store(args, args.queue)
+        import os
+        import uuid
+
+        worker_id = (
+            args.worker_id or f"cli-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        print(f"[fabric] worker {worker_id} joining {queue.root}",
+              file=sys.stderr)
+        committed = fabric.run_worker(queue, store, worker_id)
+        print(f"[fabric] worker {worker_id} done: {committed} committed",
+              file=sys.stderr)
+        return 0
+
+    if args.verb == "drain":
+        queue = fabric.LeaseQueue.attach(args.queue)
+        store = _fabric_store(args, args.queue)
+        freed = queue.drain_expired("drain")
+        committed = fabric.run_worker(queue, store, "drain")
+        print(
+            f"[fabric] drained {queue.root}: {len(freed)} expired leases "
+            f"reclaimed, {committed} tasks finished serially"
+        )
+        return 0
+
+    # status
+    from repro.sim.fabric import ResultStore, default_store_dir
+    from repro.sim.resilient import default_runs_dir
+
+    runs_dir = Path(args.runs_dir) if args.runs_dir else default_runs_dir()
+    store = ResultStore(
+        args.store if args.store is not None else default_store_dir(runs_dir)
+    )
+    run_dirs = (
+        [runs_dir / args.run_id]
+        if args.run_id
+        else sorted(
+            path for path in runs_dir.glob("*")
+            if path.is_dir() and path.name != "store"
+        )
+    )
+    statuses = []
+    for run_dir in run_dirs:
+        for queue in fabric.fabric_queues(run_dir):
+            status = fabric.queue_status(queue, store)
+            status["queue"] = f"{run_dir.name}/{status['queue']}"
+            statuses.append(status)
+    print(fabric.format_status(statuses))
+    return 0
+
+
+def cmd_gc(args: argparse.Namespace) -> int:
+    """Prune old run directories and orphaned result-store blobs."""
+    from repro.sim.resilient import default_runs_dir
+    from repro.sim.store_gc import collect_garbage
+
+    runs_dir = args.runs_dir if args.runs_dir else default_runs_dir()
+    report = collect_garbage(
+        runs_dir,
+        keep=args.keep,
+        store_max_age_seconds=args.store_max_age,
+        dry_run=args.dry_run,
+    )
+    print(report.format())
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -513,6 +643,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="journal root (default: REPRO_RUNS_DIR or ./runs)",
         )
 
+    def add_fabric_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group(
+            "fabric", "distributed leased execution (see docs/fabric.md)"
+        )
+        group.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="execute the fan-out through N fabric worker processes "
+            "claiming leases from a spooled work-queue; results land in "
+            "the content-addressed store under <runs-dir>/store and are "
+            "reused byte-identically on re-runs",
+        )
+        group.add_argument(
+            "--lease-ttl", type=float, default=None, metavar="SECONDS",
+            help="lease heartbeat TTL before a dead worker's task is "
+            "stolen (default 30)",
+        )
+
     p_list = sub.add_parser("list", help="enumerate library contents")
     p_list.add_argument(
         "what",
@@ -550,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_jobs_flag(p_exp)
     add_resilience_flags(p_exp)
+    add_fabric_flags(p_exp)
     p_exp.set_defaults(func=cmd_experiment)
 
     p_rep = sub.add_parser("report", help="regenerate all artifacts")
@@ -579,12 +727,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument("--json", default=None, help="also write JSON results")
     add_jobs_flag(p_flt)
     add_resilience_flags(p_flt)
+    add_fabric_flags(p_flt)
     p_flt.set_defaults(func=cmd_faults)
 
     p_cha = sub.add_parser(
         "chaos",
         help="execution-chaos harness: crash/hang/lose workers, damage "
         "journals, assert byte-identical payloads",
+    )
+    p_cha.add_argument(
+        "--mode", choices=["exec", "fabric"], default="exec",
+        help="exec: pool-executor chaos story (default); fabric: "
+        "multi-claimant lease-protocol races (worker deaths, stale "
+        "heartbeats, torn results) against the distributed fabric",
+    )
+    p_cha.add_argument(
+        "--workers", type=int, default=3, metavar="N",
+        help="fabric worker processes for --mode fabric (default 3)",
     )
     p_cha.add_argument(
         "--sample", type=int, default=6,
@@ -614,6 +773,65 @@ def build_parser() -> argparse.ArgumentParser:
     p_cha.add_argument("--skip-campaign", action="store_true")
     add_jobs_flag(p_cha)
     p_cha.set_defaults(func=cmd_chaos)
+
+    p_fab = sub.add_parser(
+        "fabric",
+        help="distributed campaign fabric: join, inspect or drain a "
+        "leased work-queue (see docs/fabric.md)",
+    )
+    fab_sub = p_fab.add_subparsers(dest="verb", required=True)
+    p_fw = fab_sub.add_parser(
+        "worker",
+        help="join a spooled queue as an extra claimant until it drains",
+    )
+    p_fw.add_argument(
+        "--queue", required=True, metavar="DIR",
+        help="queue root: <runs-dir>/<run-id>/fabric/<queue-id>",
+    )
+    p_fw.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result store (default: the queue's <runs-dir>/store)",
+    )
+    p_fw.add_argument("--worker-id", default=None, metavar="ID")
+    p_fw.set_defaults(func=cmd_fabric)
+    p_fs = fab_sub.add_parser(
+        "status", help="lease/commit progress of every queue under a run"
+    )
+    p_fs.add_argument("--runs-dir", default=None, metavar="DIR")
+    p_fs.add_argument(
+        "--run-id", default=None, metavar="ID",
+        help="limit to one run (default: every run under --runs-dir)",
+    )
+    p_fs.add_argument("--store", default=None, metavar="DIR")
+    p_fs.set_defaults(func=cmd_fabric)
+    p_fd = fab_sub.add_parser(
+        "drain",
+        help="reclaim expired leases and finish the queue serially",
+    )
+    p_fd.add_argument("--queue", required=True, metavar="DIR")
+    p_fd.add_argument("--store", default=None, metavar="DIR")
+    p_fd.set_defaults(func=cmd_fabric)
+
+    p_gc = sub.add_parser(
+        "gc",
+        help="prune old runs/<id>/ directories and orphaned "
+        "result-store blobs",
+    )
+    p_gc.add_argument("--runs-dir", default=None, metavar="DIR")
+    p_gc.add_argument(
+        "--keep", type=int, default=5, metavar="N",
+        help="newest run directories to keep (default 5)",
+    )
+    p_gc.add_argument(
+        "--store-max-age", type=float, default=None, metavar="SECONDS",
+        help="prune store blobs not reused for this long (default: "
+        "older than the oldest kept run)",
+    )
+    p_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting",
+    )
+    p_gc.set_defaults(func=cmd_gc)
 
     p_trc = sub.add_parser(
         "trace", help="record a structured event trace (JSONL)"

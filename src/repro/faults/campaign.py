@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
+import traceback
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -90,6 +91,13 @@ class CellResult:
     #: the campaign at the end with a summary.
     status: str = "ok"
     error: str = ""
+    #: Exception class and traceback digest of an error cell's failure.
+    #: Journaled with the payload so ``--resume`` (and the fabric's
+    #: warm store) can tell a *deterministic* task error -- same class,
+    #: same traceback digest: skip the cell -- from an infrastructure
+    #: death, which journals nothing and is simply re-leased.
+    error_class: str = ""
+    traceback_digest: str = ""
 
     @property
     def fatal(self) -> bool:
@@ -110,6 +118,8 @@ class CellResult:
             "details": self.details,
             "status": self.status,
             "error": self.error,
+            "error_class": self.error_class,
+            "traceback_digest": self.traceback_digest,
         }
 
 
@@ -451,6 +461,10 @@ def _run_cell(spec: _CellSpec) -> CellResult:
         except Exception as exc:  # harness bug: record, keep sweeping
             cell.status = "error"
             cell.error = f"trial {trial}: {type(exc).__name__}: {exc}"
+            cell.error_class = type(exc).__name__
+            cell.traceback_digest = hashlib.sha256(
+                traceback.format_exc().encode("utf-8")
+            ).hexdigest()
             cell.details.append(f"trial {trial}: error; {exc}")
             break
         cell.trials += 1

@@ -88,6 +88,61 @@ class ChaosSpec:
         return None
 
 
+@dataclass(frozen=True)
+class FabricChaosSpec:
+    """Seeded failure-injection plan for the distributed fabric.
+
+    The fabric's failure surface is different from the pool's, so this
+    spec speaks lease protocol, not executor protocol.
+    ``decide_fabric(key, attempt)`` is consulted by a worker *after* it
+    holds the lease and returns one of:
+
+    * ``"die_after_claim"`` -- ``os._exit(9)`` with the lease held (a
+      SIGKILL between claim and commit; the lease goes stale and must
+      be reclaimed);
+    * ``"stall"`` -- sleep past the lease TTL without heartbeating
+      (the stale-heartbeat resurrection race: someone steals the lease
+      and our late commit must lose the store race gracefully);
+    * ``"tear_result"`` -- write a half blob at the *final* store path
+      (a torn result the next claimant must detect and heal);
+    * ``None`` -- run the task honestly.
+
+    Fabric attempts are 1-based (attempt ``n`` means the ``n``-th claim
+    of that lease), so no fault fires once ``attempt > fault_attempts``
+    -- every task converges within the attempt budget and byte-parity
+    stays assertable.  ``kill_worker_after`` is coordinator-side chaos:
+    after that many observed claim events the coordinator SIGKILLs a
+    live worker outright (see ``_run_workers``).  The spec is pickled
+    into the queue manifest so detached ``repro fabric worker``
+    processes replay the same story.
+    """
+
+    seed: int = 0
+    die_rate: float = 0.0
+    stall_rate: float = 0.0
+    tear_rate: float = 0.0
+    fault_attempts: int = 2
+    kill_worker_after: Optional[int] = None
+
+    def _uniform(self, key: str, attempt: int) -> float:
+        digest = hashlib.blake2b(
+            f"fabric:{self.seed}:{key}:{attempt}".encode(), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little") / 2**64
+
+    def decide_fabric(self, key: str, attempt: int) -> Optional[str]:
+        if attempt > self.fault_attempts:
+            return None
+        roll = self._uniform(key, attempt)
+        if roll < self.die_rate:
+            return "die_after_claim"
+        if roll < self.die_rate + self.stall_rate:
+            return "stall"
+        if roll < self.die_rate + self.stall_rate + self.tear_rate:
+            return "tear_result"
+        return None
+
+
 # ----------------------------------------------------------------------
 # Journal damage helpers (tests + the harness's own sections)
 # ----------------------------------------------------------------------
@@ -475,3 +530,152 @@ def _chaos_campaign_section(
         f"payloads {'identical' if chaotic == clean else 'DIVERGED'} after "
         f"{stats.retries} retries, {stats.pool_breaks} pool breaks",
     )
+
+
+# ----------------------------------------------------------------------
+# Fabric chaos: multi-claimant races against the lease protocol
+# ----------------------------------------------------------------------
+
+#: Lease TTL for chaos stories: short enough that a "stall" (sleeps
+#: ``1.6 * ttl``) resolves in seconds, long enough that honest workers
+#: never expire under load.
+FABRIC_CHAOS_TTL = 6.0
+
+
+def _campaign_config(seed: int):
+    from repro.faults.campaign import CampaignConfig
+
+    return CampaignConfig(
+        seed=seed, trials=1,
+        attacks=("data_bitflip", "counter_tamper", "mac_delete"),
+    )
+
+
+def _fabric_campaign(
+    config,
+    runs_dir: Path,
+    workers: int,
+    seed: int,
+    chaos: Optional[FabricChaosSpec] = None,
+    wall_timeout: float = 240.0,
+) -> Tuple[str, "Supervisor"]:
+    """One fabric-backed campaign; returns ``(json, supervisor)``."""
+    supervisor = Supervisor(
+        runs_dir=runs_dir,
+        fabric_workers=workers,
+        lease_ttl=FABRIC_CHAOS_TTL,
+        fabric_wall_timeout=wall_timeout,
+        chaos=chaos,
+    )
+    with supervision(supervisor):
+        payload = _campaign_json(config, jobs=workers)
+    return payload, supervisor
+
+
+def run_fabric_chaos(
+    seed: int = 0,
+    crash_rate: float = 0.2,
+    workers: int = 3,
+    runs_dir: Optional[Path] = None,
+    echo: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """The fabric chaos story: multi-claimant races, asserted byte-equal.
+
+    Sections (all against the same shared store under ``runs_dir``):
+
+    1. **fabric parity** -- an N-worker leased campaign must be
+       byte-identical to the clean serial run, with every cell executed
+       through a claimed lease.
+    2. **multi-claimant races** -- seeded ``die_after_claim`` /
+       ``stall`` / ``tear_result`` sabotage plus a coordinator-side
+       SIGKILL of a live worker; parity must hold and at least one
+       expired lease must be stolen by a surviving claimant.
+    3. **stale-heartbeat resurrection** -- implied by the ``stall``
+       faults of section 2: a stalled worker's late commit must lose
+       the content-addressed store race without corrupting the blob
+       (checked via torn-result and parity accounting).
+    4. **warm-store reuse** -- an identical re-run (fresh run id, same
+       store) must reuse >= 90% of cells without claiming leases.
+    """
+    report = ChaosReport()
+    say = echo or (lambda _line: None)
+    cleanup = runs_dir is None
+    runs_root = Path(
+        runs_dir if runs_dir is not None
+        else tempfile.mkdtemp(prefix="repro-fabric-chaos-")
+    )
+    config = _campaign_config(seed)
+    try:
+        say("[chaos] clean serial campaign baseline ...")
+        clean = _campaign_json(config, jobs=1)
+
+        # 1. honest N-worker fabric run: byte parity, leased end to end.
+        say(f"[chaos] fabric campaign: {workers} workers, no faults ...")
+        payload, sup = _fabric_campaign(
+            config, runs_root / "calm", workers, seed
+        )
+        stats = sup.report
+        report.add(
+            "fabric parity",
+            payload == clean and stats.lease_claims > 0
+            and stats.result_reuses == 0,
+            f"payloads {'identical' if payload == clean else 'DIVERGED'}; "
+            f"{stats.lease_claims} leases claimed across {workers} workers",
+        )
+
+        # 2. multi-claimant races: worker deaths, stalls past TTL, torn
+        # blobs, plus one coordinator-side SIGKILL mid-run.
+        say(
+            f"[chaos] fabric races: die_rate={crash_rate} "
+            f"stall/tear={crash_rate / 2:.2f} + 1 SIGKILL ..."
+        )
+        chaos = FabricChaosSpec(
+            seed=seed,
+            die_rate=crash_rate,
+            stall_rate=crash_rate / 2,
+            tear_rate=crash_rate / 2,
+            kill_worker_after=2,
+        )
+        raced, rsup = _fabric_campaign(
+            config, runs_root / "races", workers, seed, chaos=chaos
+        )
+        rstats = rsup.report
+        turbulence = (
+            rstats.lease_steals + rstats.worker_deaths + rstats.torn_results
+        )
+        report.add(
+            "fabric multi-claimant races",
+            raced == clean and rstats.lease_steals >= 1,
+            f"payloads {'identical' if raced == clean else 'DIVERGED'} after "
+            f"{rstats.lease_steals} lease steals, "
+            f"{rstats.worker_deaths} worker deaths "
+            f"({rstats.worker_respawns} respawns), "
+            f"{rstats.torn_results} torn results healed",
+        )
+        report.add(
+            "fabric turbulence observed",
+            turbulence >= 2,
+            f"{turbulence} injected faults survived "
+            f"(steals+deaths+torn >= 2 expected at "
+            f"crash_rate={crash_rate})",
+        )
+
+        # 4. warm store: identical re-run reuses instead of re-executing.
+        say("[chaos] warm-store re-run (fresh run id, same store) ...")
+        warm, wsup = _fabric_campaign(
+            config, runs_root / "races", workers, seed
+        )
+        wstats = wsup.report
+        total = wstats.result_reuses + wstats.completed
+        reuse_frac = wstats.result_reuses / total if total else 0.0
+        report.add(
+            "fabric warm-store reuse",
+            warm == clean and reuse_frac >= 0.9,
+            f"reused {wstats.result_reuses}/{total} cells "
+            f"({reuse_frac:.0%}); payloads "
+            f"{'identical' if warm == clean else 'DIVERGED'}",
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(runs_root, ignore_errors=True)
+    return report

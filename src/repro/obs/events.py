@@ -69,6 +69,18 @@ class EventType(enum.Enum):
     EXEC_DEGRADE = "exec_degrade"
     #: Supervised executor: a journaled result was reused on resume.
     EXEC_RESUME_SKIP = "exec_resume_skip"
+    #: Checkpoint journal: corrupt/truncated entries were dropped on
+    #: replay (the damaged tasks re-execute).
+    JOURNAL_DROPPED = "journal_dropped"
+    #: Fabric: a worker claimed a task lease.
+    LEASE_CLAIM = "lease_claim"
+    #: Fabric: an expired lease was removed (its holder presumed dead).
+    LEASE_EXPIRE = "lease_expire"
+    #: Fabric: a worker stole an expired lease from a dead claimant.
+    LEASE_STEAL = "lease_steal"
+    #: Fabric: a content-addressed result was reused from a warm store
+    #: instead of recomputing the cell.
+    RESULT_REUSE = "result_reuse"
 
 
 @dataclass(frozen=True)

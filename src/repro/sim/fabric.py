@@ -1,0 +1,1115 @@
+"""Distributed campaign fabric: leased work-queue + result store.
+
+:mod:`repro.sim.resilient` supervises a fan-out from *one* parent over
+*one* process pool -- a single point of failure and a single host's
+worth of throughput.  This module generalizes that executor into a
+small fabric suitable for million-cell campaigns:
+
+* **Task spool** -- every task of a fan-out is serialized once into
+  ``<run-dir>/fabric/<queue-id>/queue/`` as a self-describing
+  ``repro-task/v1`` file, so any Python process with this tree on its
+  path (``python -m repro fabric worker``) can execute it.
+* **Lease protocol** (``repro-lease/v1``) -- workers claim a task by
+  atomically creating ``leases/<digest>.json`` (``O_CREAT|O_EXCL``),
+  heartbeat it while executing, and release it on commit.  A lease
+  whose deadline passed is *expired*: any worker may steal it with an
+  atomic replace-and-verify, so a worker SIGKILLed mid-lease costs one
+  lease TTL, never the run.
+* **Content-addressed result store** -- results commit by atomic
+  ``link`` into ``<runs-dir>/store/<digest[:2]>/<digest>.json`` keyed
+  by the *task payload digest* (kind, context, key, function), so the
+  first committed result wins (at-most-once commit), duplicate
+  executions after a steal are harmless, torn files fail their
+  embedded digest and self-heal, and an identical re-run -- even under
+  a different run id -- reuses finished cells instead of recomputing
+  them.
+* **Idempotent replay** -- the coordinator's reduce loads blobs in
+  task order, so a fabric run is byte-identical to a clean serial run
+  no matter which worker finished which cell, how many died, or how
+  many runs warmed the store first.
+
+Every lease transition is appended to the queue's shared journal
+(single ``O_APPEND`` line writes) and surfaces through
+:mod:`repro.obs` as ``LEASE_CLAIM`` / ``LEASE_EXPIRE`` /
+``LEASE_STEAL`` / ``RESULT_REUSE`` events and ``resilience`` counters.
+``docs/fabric.md`` documents the lease lifecycle, the store layout and
+the failure matrix; ``repro.faults.exec_chaos`` drives the
+multi-claimant races (double claim, kill between claim and commit,
+stale-heartbeat resurrection, torn results) that prove the
+byte-parity contract.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import os
+import pickle
+import signal
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.obs import EventType
+
+logger = logging.getLogger("repro.fabric")
+
+#: Lease-protocol schema; bump on any incompatible change.
+LEASE_SCHEMA = "repro-lease/v1"
+#: Spooled-task schema.
+TASK_SCHEMA = "repro-task/v1"
+#: Committed-result schema.
+RESULT_SCHEMA = "repro-result/v1"
+
+#: Seconds a claimed lease stays valid without a heartbeat.
+DEFAULT_LEASE_TTL = 30.0
+#: Idle-poll interval of a worker waiting for claimable work.
+_POLL_SECONDS = 0.05
+#: Fabric counters pre-declared at zero in the ``resilience`` group.
+FABRIC_COUNTERS = (
+    "lease_claim",
+    "lease_expire",
+    "lease_steal",
+    "result_reuse",
+)
+
+
+class FabricError(RuntimeError):
+    """The fabric run cannot proceed (bad queue, unfinishable tasks)."""
+
+
+class TaskFailed(FabricError):
+    """A task failed deterministically on every claimant."""
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _fn_ref(fn: Callable) -> str:
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+def task_digest(kind: str, context: str, key: str, fn: Callable) -> str:
+    """Content address of one task: what it runs, on what, under what.
+
+    Deliberately independent of the run id and the worker count for
+    kinds whose keys are (campaign cells), so a warm store serves any
+    later run of the same cells.
+    """
+    return _digest(
+        "|".join([TASK_SCHEMA, kind, _digest(context), key, _fn_ref(fn)])
+    )
+
+
+def _atomic_write(path: Path, data: str) -> None:
+    """Write-then-rename so readers never observe a partial file."""
+    tmp = path.with_name(f".{path.name}.{uuid.uuid4().hex[:8]}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed result store
+# ----------------------------------------------------------------------
+
+class ResultStore:
+    """Immutable blobs keyed by task digest, committed at-most-once.
+
+    A blob is one JSON envelope::
+
+        {"schema": "repro-result/v1", "task": <digest>, "key": ...,
+         "payload": <b64 pickle>, "digest": <sha256 of payload>,
+         "worker": ..., "error": null | {...}}
+
+    Commit writes a private temp file, fsyncs it, then ``os.link``\\ s
+    it to the final path -- an atomic create-if-absent, so exactly one
+    claimant's bytes land no matter how many raced.  A blob that fails
+    validation (torn write, flipped bytes) reads as *absent*; the next
+    committer unlinks it and retries the link once, so damage heals on
+    the next execution instead of wedging the queue.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _envelope(
+        self,
+        digest: str,
+        key: str,
+        value: object,
+        worker: str,
+        error: Optional[Dict[str, str]],
+    ) -> str:
+        payload = base64.b64encode(
+            pickle.dumps(value, protocol=4)
+        ).decode("ascii")
+        return json.dumps(
+            {
+                "schema": RESULT_SCHEMA,
+                "task": digest,
+                "key": key,
+                "payload": payload,
+                "digest": _digest(payload),
+                "worker": worker,
+                "error": error,
+            },
+            sort_keys=True,
+        )
+
+    def commit(
+        self,
+        digest: str,
+        key: str,
+        value: object,
+        worker: str = "",
+        error: Optional[Dict[str, str]] = None,
+    ) -> bool:
+        """Durably publish one result; ``True`` iff this call won.
+
+        Losing the race (the blob already exists and validates) is the
+        expected fate of a duplicate execution after a lease steal --
+        the loser's bytes are discarded unread.
+        """
+        final = self.path(digest)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        tmp = final.with_name(f".{digest}.{uuid.uuid4().hex[:8]}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self._envelope(digest, key, value, worker, error))
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            for _attempt in (0, 1):
+                try:
+                    os.link(tmp, final)
+                    return True
+                except FileExistsError:
+                    if self.read_envelope(digest) is not None:
+                        return False  # a valid result beat us; defer to it
+                    # Torn/corrupt occupant: heal by unlinking and
+                    # retrying the link exactly once.
+                    try:
+                        final.unlink()
+                    except FileNotFoundError:
+                        pass
+            return self.read_envelope(digest) is not None
+        finally:
+            try:
+                tmp.unlink()
+            except FileNotFoundError:
+                pass
+
+    def read_envelope(self, digest: str) -> Optional[Dict[str, object]]:
+        """The validated envelope of ``digest``, or ``None`` if absent,
+        torn, or corrupt (an invalid blob is *never* returned)."""
+        path = self.path(digest)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            env = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(env, dict) or env.get("schema") != RESULT_SCHEMA:
+            return None
+        if env.get("task") != digest:
+            return None
+        payload = env.get("payload")
+        if not isinstance(payload, str) or _digest(payload) != env.get("digest"):
+            return None
+        return env
+
+    def has(self, digest: str) -> bool:
+        return self.read_envelope(digest) is not None
+
+    def load(self, digest: str) -> Tuple[object, Optional[Dict[str, str]]]:
+        """``(value, error)`` of a committed blob (raises if absent)."""
+        env = self.read_envelope(digest)
+        if env is None:
+            raise FabricError(f"store has no valid blob for {digest}")
+        value = pickle.loads(base64.b64decode(str(env["payload"])))
+        error = env.get("error")
+        return value, error if isinstance(error, dict) else None
+
+    def discard_invalid(self, digest: str) -> bool:
+        """Delete a present-but-invalid blob; ``True`` if one was removed."""
+        path = self.path(digest)
+        if path.exists() and self.read_envelope(digest) is None:
+            try:
+                path.unlink()
+                return True
+            except FileNotFoundError:
+                pass
+        return False
+
+    def blobs(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return iter(())
+        return iter(sorted(self.root.glob("*/*.json")))
+
+
+def default_store_dir(runs_dir: os.PathLike) -> Path:
+    """The store shared by every run under one runs directory."""
+    return Path(runs_dir) / "store"
+
+
+# ----------------------------------------------------------------------
+# Task spool and lease queue
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SpooledTask:
+    """One executable unit as read back from the spool."""
+
+    key: str
+    digest: str
+    fn: Callable
+    item: object
+
+
+@dataclass
+class LeaseView:
+    """Decoded state of one lease file (for status/steal decisions)."""
+
+    worker: str
+    token: str
+    attempt: int
+    deadline: float
+
+    @property
+    def expired(self) -> bool:
+        return time.time() > self.deadline
+
+
+class LeaseQueue:
+    """One fan-out's spooled tasks plus their lease files and journal.
+
+    Directory layout (all under ``<run-dir>/fabric/<queue-id>/``)::
+
+        manifest.json      repro-lease/v1 header: kind, context digest,
+                           task count, lease TTL, chaos spec
+        queue/<digest>.task   spooled repro-task/v1 payloads
+        leases/<digest>.json  live leases (absent = unclaimed/released)
+        journal.jsonl      append-only lease-event log (O_APPEND lines)
+
+    Claim is ``open(..., 'x')`` -- atomic on a local filesystem.  Steal
+    replaces the lease file and *re-reads* it to confirm ownership, so
+    two simultaneous stealers resolve to exactly one believing winner;
+    the loser's eventual commit is defused by the store's at-most-once
+    link.
+    """
+
+    def __init__(self, root: os.PathLike, ttl: float = DEFAULT_LEASE_TTL) -> None:
+        self.root = Path(root)
+        self.ttl = ttl
+        self.queue_dir = self.root / "queue"
+        self.lease_dir = self.root / "leases"
+        self.journal_path = self.root / "journal.jsonl"
+
+    # -- spooling ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: os.PathLike,
+        kind: str,
+        context: str,
+        tasks: Sequence[Tuple[str, str, Callable, object]],
+        ttl: float = DEFAULT_LEASE_TTL,
+        chaos=None,
+    ) -> "LeaseQueue":
+        """Spool ``(key, digest, fn, item)`` tasks under ``root``.
+
+        Re-creating an existing queue is idempotent: already-spooled
+        tasks are left in place (their content is digest-addressed), so
+        a coordinator restarted after a crash attaches to its own
+        spool.
+        """
+        queue = cls(root, ttl=ttl)
+        queue.queue_dir.mkdir(parents=True, exist_ok=True)
+        queue.lease_dir.mkdir(parents=True, exist_ok=True)
+        for key, digest, fn, item in tasks:
+            path = queue.queue_dir / f"{digest}.task"
+            if path.exists():
+                continue
+            body = base64.b64encode(
+                pickle.dumps((fn, item), protocol=4)
+            ).decode("ascii")
+            _atomic_write(
+                path,
+                json.dumps(
+                    {
+                        "schema": TASK_SCHEMA,
+                        "key": key,
+                        "digest": digest,
+                        "fn": _fn_ref(fn),
+                        "body": body,
+                    },
+                    sort_keys=True,
+                ),
+            )
+        manifest = {
+            "schema": LEASE_SCHEMA,
+            "kind": kind,
+            "context": _digest(context),
+            "total": len(tasks),
+            "ttl": ttl,
+            "chaos": (
+                base64.b64encode(pickle.dumps(chaos, protocol=4)).decode("ascii")
+                if chaos is not None
+                else None
+            ),
+        }
+        _atomic_write(
+            queue.root / "manifest.json", json.dumps(manifest, sort_keys=True)
+        )
+        return queue
+
+    @classmethod
+    def attach(cls, root: os.PathLike) -> "LeaseQueue":
+        """Open an existing queue (CLI workers joining a live run)."""
+        root = Path(root)
+        manifest_path = root / "manifest.json"
+        if not manifest_path.exists():
+            raise FabricError(f"no fabric queue at {root}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("schema") != LEASE_SCHEMA:
+            raise FabricError(
+                f"queue {root} has schema {manifest.get('schema')!r}, "
+                f"expected {LEASE_SCHEMA!r}"
+            )
+        return cls(root, ttl=float(manifest.get("ttl", DEFAULT_LEASE_TTL)))
+
+    def manifest(self) -> Dict[str, object]:
+        return json.loads(
+            (self.root / "manifest.json").read_text(encoding="utf-8")
+        )
+
+    def chaos_spec(self):
+        raw = self.manifest().get("chaos")
+        if not raw:
+            return None
+        return pickle.loads(base64.b64decode(str(raw)))
+
+    def tasks(self) -> List[SpooledTask]:
+        """Decode every spooled task (deterministic digest order)."""
+        out: List[SpooledTask] = []
+        for path in sorted(self.queue_dir.glob("*.task")):
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            fn, item = pickle.loads(base64.b64decode(entry["body"]))
+            out.append(
+                SpooledTask(
+                    key=str(entry["key"]),
+                    digest=str(entry["digest"]),
+                    fn=fn,
+                    item=item,
+                )
+            )
+        return out
+
+    # -- the journal ---------------------------------------------------
+
+    def journal(self, worker: str, event: str, **detail: object) -> None:
+        """Append one lease event (atomic single-line O_APPEND write)."""
+        line = json.dumps(
+            {"ts": time.time(), "worker": worker, "event": event, **detail},
+            sort_keys=True,
+        )
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def journal_events(self) -> List[Dict[str, object]]:
+        if not self.journal_path.exists():
+            return []
+        events = []
+        with open(self.journal_path, encoding="utf-8") as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    events.append(json.loads(raw))
+                except json.JSONDecodeError:
+                    continue  # torn tail of a killed writer
+        return events
+
+    # -- leases --------------------------------------------------------
+
+    def _lease_path(self, digest: str) -> Path:
+        return self.lease_dir / f"{digest}.json"
+
+    def _write_lease(
+        self, path: Path, worker: str, token: str, attempt: int
+    ) -> None:
+        _atomic_write(
+            path,
+            json.dumps(
+                {
+                    "schema": LEASE_SCHEMA,
+                    "worker": worker,
+                    "token": token,
+                    "attempt": attempt,
+                    "deadline": time.time() + self.ttl,
+                },
+                sort_keys=True,
+            ),
+        )
+
+    def read_lease(self, digest: str) -> Optional[LeaseView]:
+        try:
+            raw = self._lease_path(digest).read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            entry = json.loads(raw)
+            return LeaseView(
+                worker=str(entry["worker"]),
+                token=str(entry["token"]),
+                attempt=int(entry["attempt"]),
+                deadline=float(entry["deadline"]),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # A torn lease (killed mid-replace) counts as expired: it
+            # can never be heartbeated again.
+            return LeaseView(worker="?", token="?", attempt=0, deadline=0.0)
+
+    def claim(
+        self, digest: str, worker: str
+    ) -> Optional[Tuple[str, int, bool]]:
+        """Try to lease ``digest``; ``(token, attempt, stolen)`` on win.
+
+        Fresh claims create the lease file exclusively; an *expired*
+        lease is stolen by atomic replace followed by a read-back check
+        so racing stealers converge on one winner.
+        """
+        path = self._lease_path(digest)
+        token = uuid.uuid4().hex
+        try:
+            with open(path, "x", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(
+                        {
+                            "schema": LEASE_SCHEMA,
+                            "worker": worker,
+                            "token": token,
+                            "attempt": 1,
+                            "deadline": time.time() + self.ttl,
+                        },
+                        sort_keys=True,
+                    )
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            return token, 1, False
+        except FileExistsError:
+            pass
+        current = self.read_lease(digest)
+        if current is None:
+            # Released between our create attempt and the read: retry
+            # next poll rather than looping here.
+            return None
+        if not current.expired:
+            return None
+        attempt = current.attempt + 1
+        self._write_lease(path, worker, token, attempt)
+        confirmed = self.read_lease(digest)
+        if confirmed is None or confirmed.token != token:
+            return None  # another stealer overwrote us; they own it
+        return token, attempt, True
+
+    def heartbeat(self, digest: str, worker: str, token: str, attempt: int) -> bool:
+        """Extend a held lease; ``False`` if it was stolen meanwhile."""
+        current = self.read_lease(digest)
+        if current is None or current.token != token:
+            return False
+        self._write_lease(self._lease_path(digest), worker, token, attempt)
+        confirmed = self.read_lease(digest)
+        return confirmed is not None and confirmed.worker == worker
+
+    def release(self, digest: str, token: str) -> None:
+        """Drop a lease we hold (the task committed; claim state resets)."""
+        current = self.read_lease(digest)
+        if current is not None and current.token == token:
+            try:
+                self._lease_path(digest).unlink()
+            except FileNotFoundError:
+                pass
+
+    def requeue(self, digest: str, token: str, attempt: int) -> None:
+        """Give a held lease back *preserving its attempt count*.
+
+        Used on failure paths (task error, chaos sabotage): the lease
+        is rewritten already-expired, so the next claimant steals it
+        immediately at ``attempt + 1`` instead of restarting the
+        attempt history -- which is what lets seeded chaos guarantee
+        convergence within ``fault_attempts``.
+        """
+        current = self.read_lease(digest)
+        if current is None or current.token != token:
+            return  # stolen meanwhile; the thief owns the history now
+        path = self._lease_path(digest)
+        _atomic_write(
+            path,
+            json.dumps(
+                {
+                    "schema": LEASE_SCHEMA,
+                    "worker": "requeued",
+                    "token": token,
+                    "attempt": attempt,
+                    "deadline": 0.0,
+                },
+                sort_keys=True,
+            ),
+        )
+
+    def drain_expired(self, worker: str = "drain") -> List[str]:
+        """Remove every expired lease; returns the freed task digests."""
+        freed: List[str] = []
+        for path in sorted(self.lease_dir.glob("*.json")):
+            digest = path.stem
+            lease = self.read_lease(digest)
+            if lease is not None and lease.expired:
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                self.journal(
+                    worker, "lease_expire", digest=digest,
+                    stale_worker=lease.worker,
+                )
+                freed.append(digest)
+        return freed
+
+
+# ----------------------------------------------------------------------
+# Worker loop
+# ----------------------------------------------------------------------
+
+def _heartbeat_loop(
+    queue: LeaseQueue,
+    digest: str,
+    worker: str,
+    token: str,
+    attempt: int,
+    stop: threading.Event,
+) -> None:
+    interval = max(0.05, queue.ttl / 3.0)
+    while not stop.wait(interval):
+        if not queue.heartbeat(digest, worker, token, attempt):
+            return  # lease stolen; commit will be defused by the store
+
+
+def _error_info(exc: BaseException) -> Dict[str, str]:
+    """Exception class + traceback digest, journaled and committed so
+    a resumed run can tell a deterministic task error (skip it) from
+    an infrastructure death (re-lease it)."""
+    tb = traceback.format_exc()
+    return {
+        "class": type(exc).__name__,
+        "message": str(exc)[:500],
+        "traceback_digest": _digest(tb),
+    }
+
+
+def run_worker(
+    queue: LeaseQueue,
+    store: ResultStore,
+    worker_id: str,
+    chaos=None,
+    task_error_retries: int = 1,
+    poll_seconds: float = _POLL_SECONDS,
+    max_passes: Optional[int] = None,
+) -> int:
+    """Claim-execute-commit until every spooled task has a valid blob.
+
+    Returns the number of results this worker committed.  ``chaos``
+    (see :class:`repro.faults.exec_chaos.FabricChaosSpec`) may direct
+    the worker to die between claim and commit, stall past its lease
+    TTL, or tear its committed blob -- the protocol must absorb all
+    three.
+    """
+    if chaos is None:
+        chaos = queue.chaos_spec()
+    tasks = queue.tasks()
+    committed = 0
+    passes = 0
+    queue.journal(worker_id, "worker_start", tasks=len(tasks))
+    while True:
+        passes += 1
+        open_tasks = [task for task in tasks if not store.has(task.digest)]
+        if not open_tasks:
+            break
+        if max_passes is not None and passes > max_passes:
+            break
+        progressed = False
+        for task in open_tasks:
+            if store.has(task.digest):
+                continue
+            # Self-heal: a torn blob occupying the slot must be removed
+            # before the commit link can succeed.
+            store.discard_invalid(task.digest)
+            won = queue.claim(task.digest, worker_id)
+            if won is None:
+                continue
+            token, attempt, stolen = won
+            progressed = True
+            queue.journal(
+                worker_id,
+                "lease_steal" if stolen else "lease_claim",
+                digest=task.digest, key=task.key, attempt=attempt,
+            )
+            committed += _execute_leased(
+                queue, store, task, worker_id, token, attempt,
+                chaos=chaos, task_error_retries=task_error_retries,
+            )
+        if not progressed:
+            time.sleep(poll_seconds)
+    queue.journal(worker_id, "worker_exit", committed=committed)
+    return committed
+
+
+def _execute_leased(
+    queue: LeaseQueue,
+    store: ResultStore,
+    task: SpooledTask,
+    worker_id: str,
+    token: str,
+    attempt: int,
+    chaos,
+    task_error_retries: int,
+) -> int:
+    """Run one held lease to commit (or journaled failure); 1 if committed."""
+    action = None
+    if chaos is not None and hasattr(chaos, "decide_fabric"):
+        action = chaos.decide_fabric(task.key, attempt)
+    if action == "die_after_claim":
+        # A SIGKILL between claim and commit: no cleanup, no release --
+        # the lease goes stale and must be reclaimed by a survivor.
+        queue.journal(worker_id, "chaos_die", digest=task.digest, key=task.key)
+        os._exit(9)
+    if action == "stall":
+        # Sleep past our own TTL *without heartbeating*: the lease
+        # expires under us, someone steals it, and our late commit
+        # must lose the store race gracefully (resurrection test).
+        queue.journal(worker_id, "chaos_stall", digest=task.digest, key=task.key)
+        time.sleep(queue.ttl * 1.6)
+
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(queue, task.digest, worker_id, token, attempt, stop),
+        daemon=True,
+    )
+    beat.start()
+    try:
+        try:
+            value = task.fn(task.item)
+        except Exception as exc:
+            info = _error_info(exc)
+            queue.journal(
+                worker_id, "task_error", digest=task.digest, key=task.key,
+                attempt=attempt, **info,
+            )
+            if attempt > task_error_retries:
+                # Deterministic failure: commit the error envelope so
+                # the coordinator raises it and a resume skips the cell
+                # instead of re-leasing it forever.
+                store.commit(
+                    task.digest, task.key, None, worker=worker_id, error=info
+                )
+                queue.release(task.digest, token)
+            else:
+                queue.requeue(task.digest, token, attempt)
+            return 0
+        if action == "tear_result":
+            # Byte-level sabotage: a non-atomic half-written blob at
+            # the final path.  Validation must treat it as absent and
+            # the next committer must heal it.
+            final = store.path(task.digest)
+            final.parent.mkdir(parents=True, exist_ok=True)
+            envelope = store._envelope(
+                task.digest, task.key, value, worker_id, None
+            )
+            final.write_text(envelope[: len(envelope) // 2], encoding="utf-8")
+            queue.journal(
+                worker_id, "chaos_tear", digest=task.digest, key=task.key
+            )
+            queue.requeue(task.digest, token, attempt)
+            return 0
+        won_commit = store.commit(task.digest, task.key, value, worker=worker_id)
+        queue.journal(
+            worker_id,
+            "result_commit" if won_commit else "result_duplicate",
+            digest=task.digest, key=task.key, attempt=attempt,
+        )
+        queue.release(task.digest, token)
+        return 1 if won_commit else 0
+    finally:
+        stop.set()
+        beat.join(timeout=1.0)
+
+
+def _worker_main(
+    queue_root: str, store_root: str, worker_id: str, ttl: float
+) -> None:
+    """Entry point of a spawned fabric worker process."""
+    queue = LeaseQueue(queue_root, ttl=ttl)
+    store = ResultStore(store_root)
+    # A worker killed by the coordinator's chaos assassin must die
+    # without cleanup, exactly like an OOM kill.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    run_worker(queue, store, worker_id)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+def _emit(obs, etype: EventType, **payload: object) -> None:
+    if obs is None:
+        return
+    tracer = getattr(obs, "tracer", None)
+    if tracer:
+        tracer.emit(etype, cycle=time.monotonic(), **payload)
+    registry = getattr(obs, "registry", None)
+    if registry is not None:
+        registry.group("resilience").bump(etype.value)
+
+
+_JOURNAL_EVENTS = {
+    "lease_claim": EventType.LEASE_CLAIM,
+    "lease_expire": EventType.LEASE_EXPIRE,
+    "lease_steal": EventType.LEASE_STEAL,
+}
+
+
+@dataclass
+class FabricReport:
+    """Counters of one fabric fan-out (folded into SupervisionReport)."""
+
+    tasks: int = 0
+    reused: int = 0
+    committed: int = 0
+    lease_claims: int = 0
+    lease_steals: int = 0
+    lease_expires: int = 0
+    torn_results: int = 0
+    worker_deaths: int = 0
+    respawns: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "tasks": self.tasks,
+            "reused": self.reused,
+            "committed": self.committed,
+            "lease_claims": self.lease_claims,
+            "lease_steals": self.lease_steals,
+            "lease_expires": self.lease_expires,
+            "torn_results": self.torn_results,
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"fabric: {self.tasks} tasks, {self.reused} reused, "
+            f"{self.committed} committed, {self.lease_claims} claims, "
+            f"{self.lease_steals} steals, {self.worker_deaths} worker "
+            f"deaths, {self.respawns} respawns"
+        )
+
+
+def queue_id(kind: str, context: str) -> str:
+    return f"{kind}-{_digest(f'{kind}:{context}')[:12]}"
+
+
+def fabric_map(
+    fn: Callable,
+    items: Sequence,
+    *,
+    keys: Sequence[str],
+    kind: str,
+    context: str,
+    run_dir: os.PathLike,
+    store_dir: os.PathLike,
+    workers: int = 2,
+    ttl: float = DEFAULT_LEASE_TTL,
+    chaos=None,
+    obs=None,
+    report: Optional[FabricReport] = None,
+    wall_timeout: Optional[float] = None,
+    task_error_retries: int = 1,
+) -> List[object]:
+    """``[fn(x) for x in items]`` executed by N leased worker processes.
+
+    The coordinator spools the tasks, launches ``workers`` independent
+    worker processes (the same loop ``python -m repro fabric worker``
+    runs), respawns dead ones while claimable work remains, and reduces
+    committed blobs back in input order -- byte-identical to a serial
+    run.  Tasks already present in the content-addressed store are
+    reused without executing anything (``RESULT_REUSE``).
+    """
+    import multiprocessing as mp
+
+    items = list(items)
+    keys = [str(key) for key in keys]
+    if len(keys) != len(items):
+        raise ValueError("keys must match items one-to-one")
+    if len(set(keys)) != len(keys):
+        raise ValueError("task keys must be unique")
+    report = report if report is not None else FabricReport()
+    store = ResultStore(store_dir)
+    digests = [task_digest(kind, context, key, fn) for key in keys]
+    report.tasks += len(digests)
+
+    # Warm-store pass: valid blobs are reused, invalid ones healed.
+    open_indices: List[int] = []
+    for index, digest in enumerate(digests):
+        if store.discard_invalid(digest):
+            report.torn_results += 1
+        if store.has(digest):
+            report.reused += 1
+            try:
+                # LRU signal for `repro gc`: a reused blob is live.
+                os.utime(store.path(digest))
+            except OSError:
+                pass
+            _emit(obs, EventType.RESULT_REUSE, key=keys[index])
+        else:
+            open_indices.append(index)
+
+    queue_root = Path(run_dir) / "fabric" / queue_id(kind, context)
+    if open_indices:
+        queue = LeaseQueue.create(
+            queue_root,
+            kind,
+            context,
+            [
+                (keys[i], digests[i], fn, items[i])
+                for i in open_indices
+            ],
+            ttl=ttl,
+            chaos=chaos,
+        )
+        _run_workers(
+            queue, store, [digests[i] for i in open_indices], workers,
+            report, chaos=chaos, wall_timeout=wall_timeout,
+            task_error_retries=task_error_retries, mp=mp,
+        )
+        _fold_journal(queue, report, obs)
+
+    out: List[object] = []
+    for index, digest in enumerate(digests):
+        value, error = store.load(digest)
+        if error is not None:
+            raise TaskFailed(
+                f"task {keys[index]!r} failed deterministically on every "
+                f"claimant ({error.get('class')}: {error.get('message')}; "
+                f"traceback digest {error.get('traceback_digest')})"
+            )
+        out.append(value)
+    report.committed += len(digests) - report.reused
+    return out
+
+
+def _run_workers(
+    queue: LeaseQueue,
+    store: ResultStore,
+    open_digests: Sequence[str],
+    workers: int,
+    report: FabricReport,
+    chaos,
+    wall_timeout: Optional[float],
+    task_error_retries: int,
+    mp,
+) -> None:
+    """Launch, babysit, respawn, and join the worker fleet."""
+    workers = max(1, workers)
+    kill_after = getattr(chaos, "kill_worker_after", None)
+    assassin_done = kill_after is None
+    # Each (re)spawned worker gets a fresh id; a generous respawn budget
+    # bounds a pathological chaos story without ever biting a real run.
+    respawn_budget = max(4, 2 * len(open_digests)) + workers
+    serial = 0
+    procs: List = []
+
+    def spawn() -> None:
+        nonlocal serial
+        serial += 1
+        worker_id = f"w{serial:02d}-{os.getpid()}"
+        proc = mp.Process(
+            target=_worker_main,
+            args=(str(queue.root), str(store.root), worker_id, queue.ttl),
+            daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+
+    for _ in range(workers):
+        spawn()
+
+    deadline = (
+        time.monotonic() + wall_timeout if wall_timeout is not None else None
+    )
+    try:
+        while True:
+            remaining = [d for d in open_digests if not store.has(d)]
+            if not remaining:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise FabricError(
+                    f"fabric wall timeout: {len(remaining)} tasks "
+                    f"unfinished after {wall_timeout}s"
+                )
+            if not assassin_done:
+                claims = sum(
+                    1
+                    for event in queue.journal_events()
+                    if event.get("event") in ("lease_claim", "lease_steal")
+                )
+                if claims >= kill_after:
+                    victim = next((p for p in procs if p.is_alive()), None)
+                    if victim is not None:
+                        os.kill(victim.pid, signal.SIGKILL)
+                        queue.journal(
+                            "coordinator", "chaos_sigkill", pid=victim.pid
+                        )
+                    assassin_done = True
+            dead = [proc for proc in procs if not proc.is_alive()]
+            for proc in dead:
+                procs.remove(proc)
+                if proc.exitcode not in (0, None):
+                    report.worker_deaths += 1
+            alive = len(procs)
+            if alive < workers and respawn_budget > 0:
+                # Keep the fleet at strength while work remains; stale
+                # leases of the dead expire and are stolen by the new.
+                for _ in range(workers - alive):
+                    if respawn_budget <= 0:
+                        break
+                    respawn_budget -= 1
+                    report.respawns += 1
+                    spawn()
+            elif alive == 0:
+                # Budget exhausted and everyone is dead: last resort,
+                # the coordinator drains the queue itself.
+                queue.drain_expired("coordinator")
+                run_worker(
+                    queue, store, "coordinator-serial", chaos=None,
+                    task_error_retries=task_error_retries,
+                )
+                break
+            time.sleep(_POLL_SECONDS)
+    finally:
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+def _fold_journal(queue: LeaseQueue, report: FabricReport, obs) -> None:
+    """Roll the queue's lease journal into the report and obs layer."""
+    for event in queue.journal_events():
+        name = str(event.get("event"))
+        if name == "lease_claim":
+            report.lease_claims += 1
+        elif name == "lease_steal":
+            report.lease_steals += 1
+            report.lease_claims += 1
+        elif name == "lease_expire":
+            report.lease_expires += 1
+        elif name == "chaos_tear":
+            report.torn_results += 1
+        etype = _JOURNAL_EVENTS.get(name)
+        if etype is not None:
+            _emit(
+                obs, etype,
+                key=event.get("key"), worker=event.get("worker"),
+            )
+
+
+# ----------------------------------------------------------------------
+# Status / drain (CLI support)
+# ----------------------------------------------------------------------
+
+def fabric_queues(run_dir: os.PathLike) -> List[LeaseQueue]:
+    """Every fabric queue spooled under one run directory."""
+    fabric_root = Path(run_dir) / "fabric"
+    if not fabric_root.exists():
+        return []
+    queues = []
+    for manifest in sorted(fabric_root.glob("*/manifest.json")):
+        queues.append(LeaseQueue.attach(manifest.parent))
+    return queues
+
+
+def queue_status(
+    queue: LeaseQueue, store: ResultStore
+) -> Dict[str, object]:
+    """Machine-readable snapshot of one queue's progress."""
+    tasks = queue.tasks()
+    done = sum(1 for task in tasks if store.has(task.digest))
+    leases = []
+    for path in sorted(queue.lease_dir.glob("*.json")):
+        lease = queue.read_lease(path.stem)
+        if lease is not None:
+            leases.append(
+                {
+                    "digest": path.stem,
+                    "worker": lease.worker,
+                    "attempt": lease.attempt,
+                    "expired": lease.expired,
+                }
+            )
+    manifest = queue.manifest()
+    return {
+        "queue": queue.root.name,
+        "kind": manifest.get("kind"),
+        "total": len(tasks),
+        "done": done,
+        "open": len(tasks) - done,
+        "leases": leases,
+        "journal_events": len(queue.journal_events()),
+    }
+
+
+def format_status(statuses: Sequence[Dict[str, object]]) -> str:
+    lines = ["# fabric status"]
+    if not statuses:
+        lines.append("(no fabric queues)")
+    for status in statuses:
+        lines.append(
+            f"{status['queue']}: {status['done']}/{status['total']} done, "
+            f"{status['open']} open, {len(status['leases'])} leased "  # type: ignore[arg-type]
+            f"({sum(1 for l in status['leases'] if l['expired'])} expired), "  # type: ignore[union-attr]
+            f"{status['journal_events']} journal events"
+        )
+        for lease in status["leases"]:  # type: ignore[union-attr]
+            mark = "EXPIRED" if lease["expired"] else "live"
+            lines.append(
+                f"  lease {lease['digest'][:12]} worker={lease['worker']} "
+                f"attempt={lease['attempt']} [{mark}]"
+            )
+    return "\n".join(lines)

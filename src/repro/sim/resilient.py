@@ -81,6 +81,11 @@ RESILIENCE_COUNTERS = (
     "exec_timeout",
     "exec_degrade",
     "exec_resume_skip",
+    "journal_dropped",
+    "lease_claim",
+    "lease_expire",
+    "lease_steal",
+    "result_reuse",
 )
 
 
@@ -161,6 +166,14 @@ class SupervisionReport:
     resume_skips: int = 0
     journal_corrupt_entries: int = 0
     journal_truncated_lines: int = 0
+    # Fabric (leased work-queue) counters; zero outside fabric runs.
+    result_reuses: int = 0
+    lease_claims: int = 0
+    lease_steals: int = 0
+    lease_expires: int = 0
+    torn_results: int = 0
+    worker_deaths: int = 0
+    worker_respawns: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -174,16 +187,42 @@ class SupervisionReport:
             "resume_skips": self.resume_skips,
             "journal_corrupt_entries": self.journal_corrupt_entries,
             "journal_truncated_lines": self.journal_truncated_lines,
+            "result_reuses": self.result_reuses,
+            "lease_claims": self.lease_claims,
+            "lease_steals": self.lease_steals,
+            "lease_expires": self.lease_expires,
+            "torn_results": self.torn_results,
+            "worker_deaths": self.worker_deaths,
+            "worker_respawns": self.worker_respawns,
         }
 
+    def fold_fabric(self, fabric: "object") -> None:
+        """Merge one fabric fan-out's counters into this run report."""
+        self.completed += getattr(fabric, "committed", 0)
+        self.attempts += getattr(fabric, "lease_claims", 0)
+        self.result_reuses += getattr(fabric, "reused", 0)
+        self.lease_claims += getattr(fabric, "lease_claims", 0)
+        self.lease_steals += getattr(fabric, "lease_steals", 0)
+        self.lease_expires += getattr(fabric, "lease_expires", 0)
+        self.torn_results += getattr(fabric, "torn_results", 0)
+        self.worker_deaths += getattr(fabric, "worker_deaths", 0)
+        self.worker_respawns += getattr(fabric, "respawns", 0)
+
     def summary(self) -> str:
-        return (
+        line = (
             f"supervision: {self.completed} completed "
             f"({self.resume_skips} resumed), {self.attempts} attempts, "
             f"{self.retries} retries, {self.timeouts} timeouts, "
             f"{self.pool_breaks} pool breaks, {self.degrades} degrades, "
             f"{self.serial_fallbacks} serial fallbacks"
         )
+        if self.lease_claims or self.result_reuses:
+            line += (
+                f"; fabric: {self.lease_claims} leases "
+                f"({self.lease_steals} stolen), {self.result_reuses} store "
+                f"reuses, {self.worker_deaths} worker deaths"
+            )
+        return line
 
 
 # ----------------------------------------------------------------------
@@ -433,7 +472,7 @@ def count_journal_entries(path: os.PathLike) -> int:
 # The supervised map
 # ----------------------------------------------------------------------
 
-def _emit(obs, etype: EventType, **payload: object) -> None:
+def _emit(obs, etype: EventType, count: int = 1, **payload: object) -> None:
     """Trace + count one supervision event through an ObsContext."""
     if obs is None:
         return
@@ -442,7 +481,7 @@ def _emit(obs, etype: EventType, **payload: object) -> None:
         tracer.emit(etype, cycle=time.monotonic(), **payload)
     registry = getattr(obs, "registry", None)
     if registry is not None:
-        registry.group("resilience").bump(etype.value)
+        registry.group("resilience").bump(etype.value, count)
 
 
 def _infrastructure_failure(exc: BaseException) -> bool:
@@ -546,6 +585,22 @@ def supervised_map(
         recorded = journal.load()
         report.journal_corrupt_entries += journal.corrupt_entries
         report.journal_truncated_lines += journal.truncated_lines
+        dropped = journal.corrupt_entries + journal.truncated_lines
+        if dropped:
+            # Damage tolerance must be observable, not invisible: every
+            # dropped entry is a task silently re-executed on resume.
+            _emit(
+                obs, EventType.JOURNAL_DROPPED, count=dropped,
+                journal=str(journal.path),
+                corrupt=journal.corrupt_entries,
+                truncated=journal.truncated_lines,
+            )
+            logger.warning(
+                "journal %s: dropped %d damaged entries (%d corrupt, %d "
+                "truncated); those tasks will re-execute",
+                journal.path, dropped, journal.corrupt_entries,
+                journal.truncated_lines,
+            )
         for index, key in enumerate(keys):
             if key in recorded:
                 results[index] = recorded[key]  # type: ignore[assignment]
@@ -782,6 +837,12 @@ class Supervisor:
     of a bare pool map; each call journals (when ``run_id`` is set)
     into its own file ``runs/<run-id>/<kind>-<digest>.jsonl``, so a
     multi-experiment report resumes per fan-out.
+
+    With ``fabric_workers`` set the map is executed by the distributed
+    campaign fabric instead (:mod:`repro.sim.fabric`): ``N``
+    independent worker processes claim task leases from a spooled
+    work-queue and commit results into the content-addressed store
+    shared by every run under ``runs_dir`` -- see ``docs/fabric.md``.
     """
 
     def __init__(
@@ -792,13 +853,21 @@ class Supervisor:
         runs_dir: Optional[os.PathLike] = None,
         chaos=None,
         obs=None,
+        fabric_workers: Optional[int] = None,
+        lease_ttl: Optional[float] = None,
+        fabric_wall_timeout: Optional[float] = None,
     ) -> None:
         self.policy = policy or ResiliencePolicy()
+        self.fabric_workers = fabric_workers
+        if run_id is None and fabric_workers is not None:
+            run_id = new_run_id()  # the fabric spool needs a run dir
         self.run_id = run_id
         self.resume = resume
         self.runs_dir = Path(runs_dir) if runs_dir is not None else (
             default_runs_dir()
         )
+        self.lease_ttl = lease_ttl
+        self.fabric_wall_timeout = fabric_wall_timeout
         self.chaos = chaos
         self.obs = obs
         self.report = SupervisionReport()
@@ -820,6 +889,50 @@ class Supervisor:
     def journal_path(self, kind: str, context: str) -> Path:
         return self.run_dir() / f"{kind}-{_digest(f'{kind}:{context}')[:12]}.jsonl"
 
+    def store_dir(self) -> Path:
+        """The content-addressed result store shared across runs."""
+        from repro.sim.fabric import default_store_dir
+
+        return default_store_dir(self.runs_dir)
+
+    def _fabric_map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        keys: Optional[Sequence[str]],
+        kind: str,
+        context: str,
+    ) -> List[R]:
+        from repro.sim import fabric
+
+        if keys is None:
+            raise ValueError("the fabric requires stable task keys")
+        freport = fabric.FabricReport()
+        ttl = (
+            self.lease_ttl
+            if self.lease_ttl is not None
+            else fabric.DEFAULT_LEASE_TTL
+        )
+        try:
+            return fabric.fabric_map(
+                fn,
+                items,
+                keys=keys,
+                kind=kind,
+                context=context,
+                run_dir=self.run_dir(),
+                store_dir=self.store_dir(),
+                workers=self.fabric_workers or 2,
+                ttl=ttl,
+                chaos=self.chaos,
+                obs=self.obs,
+                report=freport,
+                wall_timeout=self.fabric_wall_timeout,
+                task_error_retries=self.policy.task_error_retries,
+            )
+        finally:
+            self.report.fold_fabric(freport)
+
     def map(
         self,
         fn: Callable[[T], R],
@@ -831,6 +944,8 @@ class Supervisor:
         jobs: Optional[int] = None,
     ) -> List[R]:
         """Supervised ordered map, journaled when ``run_id`` is set."""
+        if self.fabric_workers is not None:
+            return self._fabric_map(fn, items, keys, kind, context)
         journal = None
         if self.journaling:
             if keys is None:

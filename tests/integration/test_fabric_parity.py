@@ -1,0 +1,122 @@
+"""Distributed-fabric acceptance: byte-parity, SIGKILL survival, and
+warm-store reuse (the tentpole's three contract points).
+
+A 3-worker leased campaign must produce the byte-identical JSON a
+serial run produces; a run whose workers are killed mid-lease (both
+``os._exit`` inside the worker and a real coordinator-side SIGKILL)
+must reclaim the stale leases and still match; and an identical re-run
+against the warm content-addressed store must reuse >= 90% of its
+cells without executing anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import canonical_payloads
+from repro.faults.campaign import CampaignConfig, run_campaign
+from repro.faults.exec_chaos import FabricChaosSpec
+from repro.sim.resilient import Supervisor, supervision
+from repro.sim.runner import clear_static_best_cache, run_many, sweep_scenarios
+from repro.sim.scenario import all_scenarios
+
+WORKERS = 3
+TTL = 6.0
+WALL_TIMEOUT = 240.0
+CONFIG = CampaignConfig(
+    seed=0, trials=1, attacks=("data_bitflip", "counter_tamper")
+)
+
+
+def _fabric_supervisor(runs_dir, chaos=None):
+    return Supervisor(
+        runs_dir=runs_dir,
+        fabric_workers=WORKERS,
+        lease_ttl=TTL,
+        fabric_wall_timeout=WALL_TIMEOUT,
+        chaos=chaos,
+    )
+
+
+def _campaign_json(jobs=1):
+    return run_campaign(CONFIG, jobs=jobs).to_json()
+
+
+@pytest.fixture(scope="module")
+def clean_serial():
+    return _campaign_json(jobs=1)
+
+
+class TestFabricCampaignParity:
+    def test_three_worker_campaign_byte_identical(
+        self, tmp_path, clean_serial
+    ):
+        supervisor = _fabric_supervisor(tmp_path)
+        with supervision(supervisor):
+            fabric_json = _campaign_json(jobs=WORKERS)
+        assert fabric_json == clean_serial
+        stats = supervisor.report
+        assert stats.lease_claims > 0  # every cell went through a lease
+        assert stats.result_reuses == 0  # cold store: nothing was warm
+
+    def test_sigkill_mid_lease_reclaims_and_matches(
+        self, tmp_path, clean_serial
+    ):
+        # Workers die holding leases two ways: seeded os._exit(9)
+        # between claim and commit, and one real coordinator-side
+        # SIGKILL of a live worker.  Survivors must steal the stale
+        # leases and converge on identical bytes.
+        chaos = FabricChaosSpec(
+            seed=0, die_rate=0.3, fault_attempts=2, kill_worker_after=2
+        )
+        supervisor = _fabric_supervisor(tmp_path, chaos=chaos)
+        with supervision(supervisor):
+            survived_json = _campaign_json(jobs=WORKERS)
+        assert survived_json == clean_serial
+        stats = supervisor.report
+        assert stats.worker_deaths >= 1
+        assert stats.lease_steals >= 1  # automatic lease reclamation
+        assert stats.worker_respawns >= 1
+
+    def test_warm_store_rerun_reuses_90_percent(self, tmp_path, clean_serial):
+        first = _fabric_supervisor(tmp_path)
+        with supervision(first):
+            _campaign_json(jobs=WORKERS)
+        # Fresh supervisor, fresh run id -- only the store is shared.
+        second = _fabric_supervisor(tmp_path)
+        assert second.run_id != first.run_id
+        with supervision(second):
+            warm_json = _campaign_json(jobs=WORKERS)
+        assert warm_json == clean_serial
+        stats = second.report
+        total = stats.result_reuses + stats.completed
+        assert total > 0
+        assert stats.result_reuses / total >= 0.9
+        assert stats.lease_claims == 0  # nothing needed a lease at all
+
+
+class TestFabricSweepParity:
+    def test_sweep_through_fabric_matches_serial(self, tmp_path):
+        schemes = ("conventional", "ours")
+
+        def payloads(jobs, supervisor=None):
+            clear_static_best_cache()
+            scenarios = sweep_scenarios(all_scenarios(), 3)
+            if supervisor is None:
+                results = run_many(
+                    scenarios, schemes, duration_cycles=400.0, seed=0,
+                    jobs=jobs,
+                )
+            else:
+                with supervision(supervisor):
+                    results = run_many(
+                        scenarios, schemes, duration_cycles=400.0, seed=0,
+                        jobs=jobs,
+                    )
+            return canonical_payloads(results, schemes)
+
+        clean = payloads(jobs=1)
+        supervisor = _fabric_supervisor(tmp_path)
+        fabric = payloads(jobs=WORKERS, supervisor=supervisor)
+        assert fabric == clean
+        assert supervisor.report.lease_claims > 0

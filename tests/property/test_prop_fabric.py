@@ -1,0 +1,151 @@
+"""Property test of the fabric's exactly-once commit guarantee.
+
+Hypothesis scripts K claimants against a real on-disk
+:class:`LeaseQueue` and :class:`ResultStore`, crashing them at every
+interesting protocol boundary -- straight after the claim, after
+executing but before the commit, mid-commit (a torn blob at the final
+path), and after the commit but before the release.  A crashed
+claimant simply abandons its lease, exactly like a SIGKILLed worker
+process; the filesystem is the only shared state, so the serialized
+script explores the same interleavings real processes race through.
+
+After the scripted mayhem an honest finisher drains the queue.  The
+property: **every task ends with exactly one valid committed blob,
+holding the task's true value** -- executions may repeat (at-least-once
+execution is the design), but the committed store is exactly-once.
+"""
+
+import time
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.fabric import (
+    LeaseQueue,
+    ResultStore,
+    run_worker,
+    task_digest,
+)
+
+#: Short enough that abandoned leases expire within one test sleep.
+TTL = 0.05
+
+EXECUTIONS = Counter()
+
+
+def effectful(item):
+    """The task body: its side effect is observable via EXECUTIONS."""
+    EXECUTIONS[item] += 1
+    return item * 7
+
+
+CRASH_POINTS = st.sampled_from(
+    ["at_claim", "pre_commit", "torn_commit", "post_commit", "clean"]
+)
+SCRIPTS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2), CRASH_POINTS),
+    min_size=0,
+    max_size=10,
+)
+
+
+def _spool(tmp_path, n_tasks):
+    tasks = [
+        (
+            f"k{i}",
+            task_digest("prop", "ctx", f"k{i}", effectful),
+            effectful,
+            i,
+        )
+        for i in range(n_tasks)
+    ]
+    queue = LeaseQueue.create(
+        tmp_path / "q", "prop", "ctx", tasks, ttl=TTL
+    )
+    store = ResultStore(tmp_path / "store")
+    return queue, store, tasks
+
+
+def _claimable(queue, store, tasks):
+    for task in queue.tasks():
+        if store.has(task.digest):
+            continue
+        claim = queue.claim(task.digest, "scripted")
+        if claim is not None:
+            return task, claim
+    return None, None
+
+
+def _play(queue, store, tasks, crash_point):
+    """One scripted claimant turn ending at ``crash_point``."""
+    task, claim = _claimable(queue, store, tasks)
+    if task is None:
+        return
+    token, attempt, _stolen = claim
+    if crash_point == "at_claim":
+        return  # died holding an untouched lease
+    value = task.fn(task.item)
+    if crash_point == "pre_commit":
+        return  # died after the work, before publishing it
+    if crash_point == "torn_commit":
+        # Died mid-write *at the final path*: the classic torn blob.
+        final = store.path(task.digest)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        envelope = store._envelope(task.digest, task.key, value, "torn", None)
+        final.write_text(envelope[: len(envelope) // 2], encoding="utf-8")
+        return
+    store.commit(task.digest, task.key, value, worker="scripted")
+    if crash_point == "post_commit":
+        return  # died between commit and release: stale lease, warm blob
+    queue.release(task.digest, token)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_tasks=st.integers(min_value=1, max_value=3), script=SCRIPTS)
+def test_committed_store_is_exactly_once(tmp_path_factory, n_tasks, script):
+    tmp_path = tmp_path_factory.mktemp("fabric-prop")
+    EXECUTIONS.clear()
+    queue, store, tasks = _spool(tmp_path, n_tasks)
+
+    for _claimant, crash_point in script:
+        _play(queue, store, tasks, crash_point)
+
+    # Let every abandoned lease expire, then drain honestly.
+    time.sleep(TTL * 1.6)
+    queue.drain_expired("finisher")
+    run_worker(queue, store, "finisher")
+
+    for task in tasks:
+        digest = task[1]
+        env = store.read_envelope(digest)
+        assert env is not None, f"task {task[0]} has no committed blob"
+        value, error = store.load(digest)
+        assert error is None
+        assert value == task[3] * 7, f"task {task[0]} committed wrong value"
+        assert EXECUTIONS[task[3]] >= 1
+    # Exactly one blob per task -- no duplicates, no strays.
+    assert len(list(store.blobs())) == len(tasks)
+
+
+@settings(max_examples=10, deadline=None)
+@given(script=st.lists(CRASH_POINTS, min_size=2, max_size=6))
+def test_single_task_single_winner(tmp_path_factory, script):
+    """Many claimants on ONE task: one committed envelope survives."""
+    tmp_path = tmp_path_factory.mktemp("fabric-prop-one")
+    EXECUTIONS.clear()
+    queue, store, tasks = _spool(tmp_path, 1)
+    digest = tasks[0][1]
+
+    for crash_point in script:
+        _play(queue, store, tasks, crash_point)
+        # Abandoned leases must expire before the next claimant bites.
+        time.sleep(TTL * 1.2)
+
+    queue.drain_expired("finisher")
+    run_worker(queue, store, "finisher")
+
+    env = store.read_envelope(digest)
+    assert env is not None
+    assert store.load(digest)[0] == 0
+    assert len(list(store.blobs())) == 1

@@ -1,0 +1,327 @@
+"""Unit tests of the distributed fabric's building blocks.
+
+Covers the content-addressed :class:`ResultStore` (at-most-once
+commit, torn-blob healing), the :class:`LeaseQueue` protocol (claim /
+steal / requeue / heartbeat), the status helpers, the fabric chaos
+spec, and the ``repro gc`` collector.  The multi-process stories live
+in ``tests/integration/test_fabric_parity.py``.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.faults.exec_chaos import FabricChaosSpec
+from repro.sim.fabric import (
+    FabricError,
+    LeaseQueue,
+    ResultStore,
+    default_store_dir,
+    fabric_map,
+    fabric_queues,
+    format_status,
+    queue_status,
+    task_digest,
+)
+from repro.sim.store_gc import collect_garbage
+
+
+def probe(x):
+    return x * 10
+
+
+def digest_for(key="k0"):
+    return task_digest("unit", "ctx", key, probe)
+
+
+class TestResultStore:
+    def test_commit_and_load_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = digest_for()
+        assert store.commit(digest, "k0", {"v": 1}, worker="w1")
+        value, error = store.load(digest)
+        assert value == {"v": 1} and error is None
+        assert store.has(digest)
+
+    def test_second_commit_loses_and_preserves_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = digest_for()
+        assert store.commit(digest, "k0", "first", worker="w1")
+        assert not store.commit(digest, "k0", "second", worker="w2")
+        value, _ = store.load(digest)
+        assert value == "first"
+        assert store.read_envelope(digest)["worker"] == "w1"
+
+    def test_torn_blob_reads_as_absent_and_heals(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = digest_for()
+        store.commit(digest, "k0", "good")
+        path = store.path(digest)
+        raw = path.read_text(encoding="utf-8")
+        path.write_text(raw[: len(raw) // 2], encoding="utf-8")
+        assert not store.has(digest)
+        with pytest.raises(FabricError):
+            store.load(digest)
+        # A later committer heals the torn occupant and wins.
+        assert store.commit(digest, "k0", "healed")
+        assert store.load(digest)[0] == "healed"
+
+    def test_wrong_task_or_payload_digest_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = digest_for()
+        store.commit(digest, "k0", "v")
+        env = json.loads(store.path(digest).read_text(encoding="utf-8"))
+        env["payload"] = env["payload"][:-4] + "AAA="
+        store.path(digest).write_text(
+            json.dumps(env, sort_keys=True), encoding="utf-8"
+        )
+        assert store.read_envelope(digest) is None
+        assert store.discard_invalid(digest)
+        assert not store.path(digest).exists()
+
+    def test_error_envelope_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = digest_for()
+        info = {"class": "ValueError", "message": "boom",
+                "traceback_digest": "ab" * 32}
+        store.commit(digest, "k0", None, error=info)
+        value, error = store.load(digest)
+        assert value is None and error == info
+
+
+def spool(tmp_path, keys=("k0", "k1"), ttl=30.0, chaos=None):
+    tasks = [
+        (key, task_digest("unit", "ctx", key, probe), probe, i)
+        for i, key in enumerate(keys)
+    ]
+    return LeaseQueue.create(
+        tmp_path / "q", "unit", "ctx", tasks, ttl=ttl, chaos=chaos
+    )
+
+
+class TestLeaseQueue:
+    def test_claim_is_exclusive(self, tmp_path):
+        queue = spool(tmp_path)
+        digest = queue.tasks()[0].digest
+        token, attempt, stolen = queue.claim(digest, "w1")
+        assert attempt == 1 and not stolen
+        assert queue.claim(digest, "w2") is None  # live lease blocks
+
+    def test_expired_lease_is_stolen_with_attempt_bump(self, tmp_path):
+        queue = spool(tmp_path, ttl=0.05)
+        digest = queue.tasks()[0].digest
+        queue.claim(digest, "w1")
+        time.sleep(0.1)
+        claim = queue.claim(digest, "w2")
+        assert claim is not None
+        token, attempt, stolen = claim
+        assert stolen and attempt == 2
+        assert queue.read_lease(digest).worker == "w2"
+
+    def test_requeue_preserves_attempt_history(self, tmp_path):
+        queue = spool(tmp_path)
+        digest = queue.tasks()[0].digest
+        token, attempt, _ = queue.claim(digest, "w1")
+        queue.requeue(digest, token, attempt)
+        lease = queue.read_lease(digest)
+        assert lease.expired and lease.attempt == 1
+        # Immediately claimable, at attempt 2 -- chaos decisions seeded
+        # on (key, attempt) therefore never replay attempt 1.
+        token2, attempt2, stolen = queue.claim(digest, "w2")
+        assert stolen and attempt2 == 2
+
+    def test_release_resets_claim_state(self, tmp_path):
+        queue = spool(tmp_path)
+        digest = queue.tasks()[0].digest
+        token, _, _ = queue.claim(digest, "w1")
+        queue.release(digest, token)
+        token2, attempt2, stolen = queue.claim(digest, "w2")
+        assert not stolen and attempt2 == 1
+
+    def test_heartbeat_extends_and_detects_steal(self, tmp_path):
+        queue = spool(tmp_path, ttl=0.2)
+        digest = queue.tasks()[0].digest
+        token, attempt, _ = queue.claim(digest, "w1")
+        assert queue.heartbeat(digest, "w1", token, attempt)
+        time.sleep(0.3)
+        queue.claim(digest, "w2")  # steal the expired lease
+        assert not queue.heartbeat(digest, "w1", token, attempt)
+
+    def test_torn_lease_counts_as_expired(self, tmp_path):
+        queue = spool(tmp_path)
+        digest = queue.tasks()[0].digest
+        queue.claim(digest, "w1")
+        queue._lease_path(digest).write_text('{"worker": "w1', encoding="utf-8")
+        claim = queue.claim(digest, "w2")
+        assert claim is not None and claim[2]  # stolen
+
+    def test_drain_expired_frees_and_journals(self, tmp_path):
+        queue = spool(tmp_path, ttl=0.05)
+        digest = queue.tasks()[0].digest
+        queue.claim(digest, "w1")
+        time.sleep(0.1)
+        assert queue.drain_expired() == [digest]
+        events = [e["event"] for e in queue.journal_events()]
+        assert "lease_expire" in events
+
+    def test_attach_rejects_wrong_schema(self, tmp_path):
+        queue = spool(tmp_path)
+        manifest = json.loads(
+            (queue.root / "manifest.json").read_text(encoding="utf-8")
+        )
+        manifest["schema"] = "repro-lease/v0"
+        (queue.root / "manifest.json").write_text(
+            json.dumps(manifest), encoding="utf-8"
+        )
+        with pytest.raises(FabricError):
+            LeaseQueue.attach(queue.root)
+
+    def test_chaos_spec_roundtrips_through_manifest(self, tmp_path):
+        chaos = FabricChaosSpec(seed=7, die_rate=0.5)
+        queue = spool(tmp_path, chaos=chaos)
+        assert LeaseQueue.attach(queue.root).chaos_spec() == chaos
+
+
+class TestStatus:
+    def test_queue_status_counts(self, tmp_path):
+        queue = spool(tmp_path, keys=("k0", "k1", "k2"))
+        store = ResultStore(tmp_path / "store")
+        tasks = queue.tasks()
+        store.commit(tasks[0].digest, tasks[0].key, 1)
+        queue.claim(tasks[1].digest, "w1")
+        status = queue_status(queue, store)
+        assert status["done"] == 1 and status["total"] == 3
+        assert len(status["leases"]) == 1
+        text = format_status([status])
+        assert "1/3 done" in text and "worker=w1" in text
+
+    def test_fabric_queues_discovery(self, tmp_path):
+        run_dir = tmp_path / "runs" / "r1"
+        out = fabric_map(
+            probe, [1, 2], keys=["a", "b"], kind="disc", context="ctx",
+            run_dir=run_dir, store_dir=tmp_path / "runs" / "store",
+            workers=1,
+        )
+        assert out == [10, 20]
+        queues = fabric_queues(run_dir)
+        assert len(queues) == 1
+        assert queues[0].manifest()["kind"] == "disc"
+
+
+class TestFabricChaosSpec:
+    def test_deterministic_and_bounded(self):
+        chaos = FabricChaosSpec(seed=3, die_rate=0.5, stall_rate=0.3,
+                                tear_rate=0.2, fault_attempts=2)
+        first = [chaos.decide_fabric("key", a) for a in (1, 2, 3, 4)]
+        second = [chaos.decide_fabric("key", a) for a in (1, 2, 3, 4)]
+        assert first == second
+        # Beyond the fault budget every decision is honest -- the
+        # convergence guarantee behind byte-parity assertions.
+        assert first[2] is None and first[3] is None
+
+    def test_rates_partition_the_roll(self):
+        everything = FabricChaosSpec(seed=0, die_rate=1.0)
+        assert everything.decide_fabric("any", 1) == "die_after_claim"
+        stall = FabricChaosSpec(seed=0, stall_rate=1.0)
+        assert stall.decide_fabric("any", 1) == "stall"
+        tear = FabricChaosSpec(seed=0, tear_rate=1.0)
+        assert tear.decide_fabric("any", 1) == "tear_result"
+        honest = FabricChaosSpec(seed=0)
+        assert honest.decide_fabric("any", 1) is None
+
+
+class TestGc:
+    def _run(self, runs, name, age=0.0):
+        path = runs / name
+        path.mkdir(parents=True)
+        (path / "journal.jsonl").write_text("x\n", encoding="utf-8")
+        if age:
+            stamp = time.time() - age
+            os.utime(path, (stamp, stamp))
+        return path
+
+    def test_keeps_newest_and_prunes_rest(self, tmp_path):
+        runs = tmp_path / "runs"
+        self._run(runs, "old", age=3600)
+        self._run(runs, "mid", age=1800)
+        new = self._run(runs, "new")
+        report = collect_garbage(runs, keep=1)
+        assert report.runs_kept == ["new"]
+        assert sorted(report.runs_removed) == ["mid", "old"]
+        assert new.exists()
+        assert not (runs / "old").exists()
+
+    def test_store_pruning_classes(self, tmp_path):
+        runs = tmp_path / "runs"
+        self._run(runs, "live")
+        store = ResultStore(default_store_dir(runs))
+        fresh, stale, torn = digest_for("a"), digest_for("b"), digest_for("c")
+        store.commit(fresh, "a", 1)
+        store.commit(stale, "b", 2)
+        old = time.time() - 7200
+        os.utime(store.path(stale), (old, old))
+        store.commit(torn, "c", 3)
+        raw = store.path(torn).read_text(encoding="utf-8")
+        store.path(torn).write_text(raw[:20], encoding="utf-8")
+        (store.path(fresh).parent / ".litter.tmp").write_text("x")
+        report = collect_garbage(runs, keep=5)
+        assert report.blobs_removed == 1      # stale: older than kept runs
+        assert report.invalid_blobs_removed == 1
+        assert report.tmp_removed == 1
+        assert store.has(fresh)
+        assert not store.path(stale).exists()
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        runs = tmp_path / "runs"
+        self._run(runs, "old", age=3600)
+        self._run(runs, "new")
+        report = collect_garbage(runs, keep=1, dry_run=True)
+        assert report.runs_removed == ["old"]
+        assert (runs / "old").exists()
+
+    def test_missing_runs_dir_is_a_noop(self, tmp_path):
+        report = collect_garbage(tmp_path / "absent", keep=1)
+        assert report.runs_kept == [] and report.runs_removed == []
+
+    def test_store_max_age_overrides_run_anchor(self, tmp_path):
+        runs = tmp_path / "runs"
+        self._run(runs, "live", age=7200)
+        store = ResultStore(default_store_dir(runs))
+        digest = digest_for("x")
+        store.commit(digest, "x", 1)
+        old = time.time() - 3600
+        os.utime(store.path(digest), (old, old))
+        # Anchored on the (older) run dir the blob survives ...
+        assert collect_garbage(runs, keep=5, dry_run=True).blobs_removed == 0
+        # ... but an explicit max age prunes it.
+        report = collect_garbage(runs, keep=5, store_max_age_seconds=60.0)
+        assert report.blobs_removed == 1
+
+
+class TestFabricMapSerial:
+    def test_map_orders_and_reuses(self, tmp_path):
+        store_dir = tmp_path / "store"
+        kwargs = dict(
+            keys=["a", "b", "c"], kind="map", context="ctx",
+            store_dir=store_dir, workers=1,
+        )
+        out = fabric_map(probe, [3, 1, 2], run_dir=tmp_path / "r1", **kwargs)
+        assert out == [30, 10, 20]
+        from repro.sim.fabric import FabricReport
+
+        report = FabricReport()
+        again = fabric_map(
+            probe, [3, 1, 2], run_dir=tmp_path / "r2", report=report, **kwargs
+        )
+        assert again == [30, 10, 20]
+        assert report.reused == 3 and report.lease_claims == 0
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            fabric_map(
+                probe, [1, 2], keys=["a", "a"], kind="map", context="ctx",
+                run_dir=tmp_path / "r", store_dir=tmp_path / "store",
+                workers=1,
+            )
