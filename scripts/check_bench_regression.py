@@ -35,11 +35,21 @@ times the plain sweep (the resilient layer promises <3% on a clean
 run -- see docs/resilience.md).  Both snapshots must have measured the
 same sweep shape; a mismatch is a usage error.
 
+With ``--min-speedup`` the script instead acts as the *fast-engine*
+gate: baseline is a ``--engine scalar`` snapshot and current a
+``--engine fast`` snapshot measured back to back on the same runner;
+the fast sweep must be at least ``FLOOR`` times faster than the scalar
+sweep (baseline_min / current_min >= FLOOR).  Per-scheme speedups are
+reported, and gated too when ``--min-scheme-speedup`` is given (they
+are noisier: short single-scenario timings).  Both snapshots must have
+measured the same sweep shape (the ``engine`` field is expected to
+differ).
+
 Usage:
     PYTHONPATH=src python scripts/check_bench_regression.py \
         BASELINE.json CURRENT.json [--sweep-tolerance 0.25] \
         [--scheme-tolerance 0.50] [--allow-missing-sweep] \
-        [--max-overhead 0.03]
+        [--max-overhead 0.03] [--min-speedup 2.0]
 
 Exit status: 0 clean, 1 regression, 2 usage/schema error.
 """
@@ -106,6 +116,79 @@ def check_overhead(baseline: dict, current: dict, max_overhead: float) -> int:
     return 0
 
 
+def check_min_speedup(
+    baseline: dict,
+    current: dict,
+    floor: float,
+    scheme_floor=None,
+) -> int:
+    """Fast-engine gate (``--min-speedup``).
+
+    ``baseline`` is a scalar-engine snapshot and ``current`` a
+    fast-engine snapshot from the same runner with the same sweep
+    shape; the sweep speedup (scalar min / fast min) must reach
+    ``floor``.
+    """
+    base_sweep = baseline.get("sweep") or {}
+    cur_sweep = current.get("sweep") or {}
+    if not base_sweep or not cur_sweep:
+        print(
+            "error: --min-speedup needs a sweep section in both snapshots",
+            file=sys.stderr,
+        )
+        return 2
+    mismatched = [
+        field
+        for field in _SWEEP_SHAPE_FIELDS
+        if base_sweep.get(field) != cur_sweep.get(field)
+    ]
+    if mismatched:
+        print(
+            "error: sweep shapes differ between snapshots "
+            f"({', '.join(mismatched)}); measure both with identical "
+            "--sweep-sample/--sweep-duration/--jobs",
+            file=sys.stderr,
+        )
+        return 2
+    base_min = base_sweep.get("wall_seconds", {}).get("min")
+    cur_min = cur_sweep.get("wall_seconds", {}).get("min")
+    if not base_min or not cur_min:
+        print("error: sweep wall_seconds.min missing", file=sys.stderr)
+        return 2
+    status = 0
+    speedup = base_min / cur_min
+    print(
+        f"sweep speedup: scalar {base_min:.4f}s / fast {cur_min:.4f}s "
+        f"= {speedup:.2f}x (floor {floor:.2f}x)"
+    )
+    if speedup < floor:
+        print(
+            f"REGRESSION: fast sweep is only {speedup:.2f}x the scalar "
+            f"sweep (floor {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        status = 1
+    base_wall = baseline.get("wall_seconds", {})
+    for scheme, timing in current.get("wall_seconds", {}).items():
+        if scheme not in base_wall:
+            continue
+        old = float(base_wall[scheme]["min"])
+        new = float(timing["min"])
+        if new <= 0:
+            continue
+        scheme_speedup = old / new
+        gated = f" (floor {scheme_floor:.2f}x)" if scheme_floor else ""
+        print(f"scheme {scheme}: {scheme_speedup:.2f}x{gated}")
+        if scheme_floor and scheme_speedup < scheme_floor:
+            print(
+                f"REGRESSION: scheme {scheme} fast speedup "
+                f"{scheme_speedup:.2f}x under floor {scheme_floor:.2f}x",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="baseline repro-bench/v1 snapshot")
@@ -129,7 +212,25 @@ def main(argv=None) -> int:
         "cost at most baseline (REPRO_EXEC=plain) * (1 + FRACTION); "
         "replaces the regression comparison",
     )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="FLOOR",
+        help="fast-engine gate: current (--engine fast) sweep must be at "
+        "least FLOOR times faster than baseline (--engine scalar); "
+        "replaces the regression comparison",
+    )
+    parser.add_argument(
+        "--min-scheme-speedup", type=float, default=None, metavar="FLOOR",
+        help="with --min-speedup: also gate every per-scheme timing at "
+        "FLOOR (off by default; short timings are noisy)",
+    )
     args = parser.parse_args(argv)
+    if args.max_overhead is not None and args.min_speedup is not None:
+        print(
+            "error: --max-overhead and --min-speedup are mutually "
+            "exclusive gates",
+            file=sys.stderr,
+        )
+        return 2
 
     snapshots = {}
     for label, path in (("baseline", args.baseline), ("current", args.current)):
@@ -179,6 +280,11 @@ def main(argv=None) -> int:
 
     if args.max_overhead is not None:
         return check_overhead(baseline, current, args.max_overhead)
+
+    if args.min_speedup is not None:
+        return check_min_speedup(
+            baseline, current, args.min_speedup, args.min_scheme_speedup
+        )
 
     regressions = bench.compare_snapshots(
         baseline,

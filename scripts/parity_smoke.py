@@ -1,0 +1,78 @@
+"""Dev harness: scalar-vs-fast byte parity + speedup on one scenario.
+
+Not part of the test suite (tests/integration/test_engine_parity.py is
+the durable version); this is the quick inner-loop check used while
+working on the fast engine.
+
+    PYTHONPATH=src python scripts/parity_smoke.py [scheme ...]
+"""
+
+import dataclasses
+import json
+import sys
+import time
+
+from repro.common.config import SoCConfig
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import selected_scenario
+
+SCHEMES = sys.argv[1:] or [
+    "unsecure", "mac_only", "conventional", "static_device", "ours",
+    "multi_ctr_only",
+]
+
+scenario = selected_scenario("cc1")
+base = SoCConfig()
+
+t0 = time.perf_counter()
+scalar = run_scenario(
+    scenario, SCHEMES, config=base, duration_cycles=1500.0, jobs=1
+)
+t_scalar = time.perf_counter() - t0
+
+t0 = time.perf_counter()
+fast = run_scenario(
+    scenario,
+    SCHEMES,
+    config=dataclasses.replace(base, sim_engine="fast"),
+    duration_cycles=1500.0,
+    jobs=1,
+)
+t_fast = time.perf_counter() - t0
+
+ok = True
+for name in SCHEMES:
+    s = json.dumps(scalar[name].to_dict(), sort_keys=False, default=str)
+    f = json.dumps(fast[name].to_dict(), sort_keys=False, default=str)
+    engine = getattr(fast[name], "engine", "?")
+    status = "OK " if s == f else "DIFF"
+    if s != f:
+        ok = False
+    print(f"{status} {name:16s} engine={engine}")
+    if s != f:
+        sd = scalar[name].to_dict()
+        fd = fast[name].to_dict()
+        for key in sd:
+            if json.dumps(sd[key], default=str) != json.dumps(
+                fd[key], default=str
+            ):
+                print(f"  field {key} differs")
+                if key == "metrics":
+                    for mk in sd[key]:
+                        if sd[key][mk] != fd[key].get(mk):
+                            print(
+                                f"    {mk}: scalar={sd[key][mk]!r} "
+                                f"fast={fd[key].get(mk)!r}"
+                            )
+                elif key == "devices":
+                    for ds, df in zip(sd[key], fd[key]):
+                        if ds != df:
+                            print(f"    scalar={ds}")
+                            print(f"    fast  ={df}")
+                else:
+                    print(f"    scalar={sd[key]!r}")
+                    print(f"    fast  ={fd[key]!r}")
+
+print(f"scalar {t_scalar:.3f}s  fast {t_fast:.3f}s  "
+      f"speedup {t_scalar / t_fast:.2f}x")
+sys.exit(0 if ok else 1)

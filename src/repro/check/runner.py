@@ -302,8 +302,25 @@ def run_check(
     seed: int = 0,
     golden_dir: Optional[str] = golden_mod.DEFAULT_GOLDEN_DIR,
     echo: Optional[Callable[[str], None]] = None,
+    engine: str = "scalar",
 ) -> CheckReport:
-    """Run one check tier; never raises, inspect ``report.passed``."""
+    """Run one check tier; never raises, inspect ``report.passed``.
+
+    ``engine="fast"`` runs the differential section with windowed numpy
+    verification of the layout observables (byte-identical digests --
+    records always store oracle values); when numpy is missing it
+    degrades to scalar with a notice.
+    """
+    if engine not in ("scalar", "fast"):
+        raise ValueError(f"unknown check engine {engine!r}")
+    if engine == "fast":
+        from repro.engine_fast import numpy_or_none, warn_scalar_fallback
+
+        if numpy_or_none() is None:
+            warn_scalar_fallback("numpy not importable")
+            if echo is not None:
+                echo("note: numpy unavailable; check runs on the scalar engine")
+            engine = "scalar"
     specs = specs_for_tier(tier)
     report = CheckReport(tier=tier)
     harnesses: dict = {}
@@ -319,11 +336,16 @@ def run_check(
     def differential() -> str:
         total = 0
         for spec in specs:
-            harness = DifferentialHarness(spec.region_bytes, seed=spec.seed + seed)
+            harness = DifferentialHarness(
+                spec.region_bytes, seed=spec.seed + seed, engine_mode=engine
+            )
             harness.replay(generate_stream(spec))
             harnesses[spec.name] = harness
             total += len(harness.records)
-        return f"{len(specs)} streams, {total} requests, all observables equal"
+        return (
+            f"{len(specs)} streams, {total} requests, all observables "
+            f"equal (engine={engine})"
+        )
 
     if not _run_section(report, "differential", differential, echo):
         return report

@@ -122,6 +122,16 @@ def _supervised(args: argparse.Namespace):
     return supervision(supervisor)
 
 
+def _engine_config(args: argparse.Namespace):
+    """SoCConfig honoring the command's ``--engine`` flag (None = default)."""
+    engine = getattr(args, "engine", "scalar")
+    if engine == "scalar":
+        return None
+    from repro.common.config import SoCConfig
+
+    return SoCConfig(sim_engine=engine)
+
+
 def _find_scenario(name: str):
     for scenario in list(SELECTED_SCENARIOS) + list(REALWORLD_SCENARIOS):
         if scenario.name == name:
@@ -177,7 +187,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     ]
     with _supervised(args):
         runs = run_scenario(
-            scenario, schemes, duration_cycles=args.duration, seed=args.seed,
+            scenario, schemes, config=_engine_config(args),
+            duration_cycles=args.duration, seed=args.seed,
             jobs=_jobs(args),
         )
     base = runs["unsecure"]
@@ -499,14 +510,15 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     scenario = _find_scenario(args.scenario)
     schemes = args.schemes.split(",")
+    config = _engine_config(args)
     if args.no_cprofile:
         _, registry = profile_scenario(
-            scenario, schemes, args.duration, args.seed
+            scenario, schemes, args.duration, args.seed, config
         )
         table = None
     else:
         _, registry, table = profile_with_cprofile(
-            scenario, schemes, args.duration, args.seed, top=args.top
+            scenario, schemes, args.duration, args.seed, config, top=args.top
         )
     print(f"# stage wall time: {scenario.name} ({', '.join(schemes)})")
     print(format_stage_report(registry))
@@ -522,38 +534,68 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     scenario = _find_scenario(args.scenario)
     schemes = args.schemes.split(",")
-    runs, wall = bench.measure(
-        scenario,
-        schemes,
-        duration_cycles=args.duration,
-        seed=args.seed,
-        repeat=args.repeat,
-    )
-    sim = bench.sim_payload(scenario, runs, args.duration, args.seed)
-    sweep = None
-    if not args.no_sweep:
-        sweep = bench.measure_sweep(
-            sample=args.sweep_sample or bench.SWEEP_SAMPLE,
-            duration_cycles=args.sweep_duration or bench.SWEEP_DURATION,
+    tiers = ("scalar", "fast") if args.engine == "both" else (args.engine,)
+    wall_by_engine: dict = {}
+    sweep_by_engine: dict = {}
+    runs = None
+    for tier in tiers:
+        tier_runs, wall_by_engine[tier] = bench.measure(
+            scenario,
+            schemes,
+            duration_cycles=args.duration,
             seed=args.seed,
-            jobs=_jobs(args),
-            repeat=args.sweep_repeat,
+            repeat=args.repeat,
+            engine=tier,
         )
-    snapshot = bench.make_snapshot(sim, wall, args.repeat, sweep=sweep)
-    path = bench.snapshot_path(args.output)
+        if runs is None:
+            runs = tier_runs  # both tiers are bit-identical
+        if not args.no_sweep:
+            sweep_by_engine[tier] = bench.measure_sweep(
+                sample=args.sweep_sample or bench.SWEEP_SAMPLE,
+                duration_cycles=args.sweep_duration or bench.SWEEP_DURATION,
+                seed=args.seed,
+                jobs=_jobs(args),
+                repeat=args.sweep_repeat,
+                engine=tier,
+            )
+    sim = bench.sim_payload(scenario, runs, args.duration, args.seed)
+    wall = wall_by_engine[tiers[0]]
+    sweep = sweep_by_engine.get(tiers[0])
+    engines = (
+        bench.engines_comparison(wall_by_engine, sweep_by_engine or None)
+        if args.engine == "both"
+        else None
+    )
+    snapshot = bench.make_snapshot(
+        sim, wall, args.repeat, sweep=sweep, engine=args.engine,
+        engines=engines,
+    )
+    path = bench.snapshot_path(
+        args.output, engine=args.engine if args.engine != "both" else None
+    )
     bench.write_snapshot(snapshot, path)
-    for scheme in schemes:
-        timing = wall[scheme]
-        print(
-            f"{scheme:28s} min {timing['min']:.4f}s "
-            f"mean {timing['mean']:.4f}s over {args.repeat} runs"
+    for tier in tiers:
+        tier_wall = wall_by_engine[tier]
+        for scheme in schemes:
+            timing = tier_wall[scheme]
+            print(
+                f"{scheme:22s} [{tier}] min {timing['min']:.4f}s "
+                f"mean {timing['mean']:.4f}s over {args.repeat} runs"
+            )
+        tier_sweep = sweep_by_engine.get(tier)
+        if tier_sweep is not None:
+            print(
+                f"{'sweep':22s} [{tier}] min "
+                f"{tier_sweep['wall_seconds']['min']:.4f}s "
+                f"({tier_sweep['scenarios']} scenarios x "
+                f"{len(tier_sweep['schemes'])} schemes, "
+                f"jobs={tier_sweep['jobs']})"
+            )
+    if engines is not None and "speedup" in engines:
+        pairs = ", ".join(
+            f"{k} {v:.2f}x" for k, v in engines["speedup"].items()
         )
-    if sweep is not None:
-        print(
-            f"{'sweep':28s} min {sweep['wall_seconds']['min']:.4f}s "
-            f"({sweep['scenarios']} scenarios x {len(sweep['schemes'])} "
-            f"schemes, jobs={sweep['jobs']})"
-        )
+        print(f"{'speedup (scalar/fast)':22s} {pairs}")
     print(f"wrote {path}")
     if args.check:
         baseline = bench.load_snapshot(args.check)
@@ -589,6 +631,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             seed=args.seed,
             golden_dir=args.golden,
             echo=print,
+            engine=args.engine,
         )
     print("PASS" if report.passed else "FAIL")
     return 0 if report.passed else 1
@@ -604,6 +647,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_engine_flag(
+        p: argparse.ArgumentParser, both: bool = False
+    ) -> None:
+        choices = ["scalar", "fast"] + (["both"] if both else [])
+        p.add_argument(
+            "--engine", choices=choices, default="scalar",
+            help="simulation tier: scalar (pure stdlib, default) or fast "
+            "(vectorized batch engine, needs numpy; bit-identical results)"
+            + (", or both (side-by-side timing)" if both else ""),
+        )
 
     def add_jobs_flag(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -679,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sim.add_argument("--duration", type=float, default=20_000.0)
     p_sim.add_argument("--seed", type=int, default=0)
+    add_engine_flag(p_sim)
     p_sim.add_argument(
         "--json",
         action="store_true",
@@ -868,6 +923,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stage timers only (cProfile skews absolute times)",
     )
+    add_engine_flag(p_prf)
     p_prf.set_defaults(func=cmd_profile)
 
     p_bch = sub.add_parser(
@@ -898,6 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep timing repetitions (min-of-N; the supervision "
         "overhead gate uses 5 to beat runner noise)",
     )
+    add_engine_flag(p_bch, both=True)
     add_jobs_flag(p_bch)
     p_bch.set_defaults(func=cmd_bench)
 
@@ -930,6 +987,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="deliberately off-by-one the compacted-MAC offset; the "
         "check must FAIL (CI uses this to prove the harness bites)",
     )
+    add_engine_flag(p_chk)
     p_chk.set_defaults(func=cmd_check)
 
     return parser

@@ -179,8 +179,19 @@ class SoCConfig:
     )
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Simulation execution tier: ``"scalar"`` (pure-stdlib reference
+    #: loop) or ``"fast"`` (numpy-accelerated batch engine, falls back
+    #: to scalar when numpy or the scheme's fast path is unavailable).
+    #: Either tier produces byte-identical results; see
+    #: docs/performance.md "Engine tiers".
+    sim_engine: str = "scalar"
 
     def __post_init__(self) -> None:
         names = [dev.name for dev in self.devices]
         if len(names) != len(set(names)):
             raise ConfigError(f"duplicate device names: {names}")
+        if self.sim_engine not in ("scalar", "fast"):
+            raise ConfigError(
+                f"unknown sim_engine {self.sim_engine!r}; "
+                "expected 'scalar' or 'fast'"
+            )

@@ -11,9 +11,9 @@ in-chunk indices depend on the bitmap (Sec. 4.3).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.common.address import line_in_partition, partition_in_chunk
 from repro.common.constants import (
@@ -81,11 +81,20 @@ def locate_counter(
     )
 
 
-@lru_cache(maxsize=8192)
-def _chunk_mac_layout(
-    bits: int, max_granularity: int
-) -> Tuple[Tuple[int, ...], Tuple[bool, ...], int]:
-    """Precomputed compaction layout of one (bitmap, cap) signature.
+#: Capacity of the per-process chunk MAC layout memo.  8192 signatures
+#: is far above what any sweep touches (a few dozen distinct bitmaps);
+#: the explicit bound plus eviction counter exists so pathological
+#: bitmap churn degrades visibly instead of silently.
+LAYOUT_CACHE_CAPACITY = 8192
+
+_LayoutEntry = Tuple[Tuple[int, ...], Tuple[bool, ...], int]
+
+_layout_cache: "OrderedDict[Tuple[int, int], _LayoutEntry]" = OrderedDict()
+_layout_counters: Dict[str, int] = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _chunk_mac_layout(bits: int, max_granularity: int) -> _LayoutEntry:
+    """Memoized compaction layout of one (bitmap, cap) signature.
 
     Returns ``(part_index, part_merged, total)`` where
     ``part_index[p]`` is the compacted index of the first MAC of
@@ -97,8 +106,27 @@ def _chunk_mac_layout(
     The address-order walk of Fig. 9 is O(partitions) per lookup; the
     timing layer resolves a MAC address for *every* request, and the
     sweep revisits the same few bitmaps millions of times, so the walk
-    is done once per signature and reduced to two tuple reads.
+    is done once per signature and reduced to two tuple reads.  The
+    memo is a bounded LRU (:data:`LAYOUT_CACHE_CAPACITY`) with
+    hit/miss/eviction counters exposed via :func:`layout_cache_stats`.
     """
+    key = (bits, max_granularity)
+    cached = _layout_cache.get(key)
+    if cached is not None:
+        _layout_counters["hits"] += 1
+        _layout_cache.move_to_end(key)
+        return cached
+    _layout_counters["misses"] += 1
+    value = _compute_chunk_mac_layout(bits, max_granularity)
+    _layout_cache[key] = value
+    if len(_layout_cache) > LAYOUT_CACHE_CAPACITY:
+        _layout_cache.popitem(last=False)
+        _layout_counters["evictions"] += 1
+    return value
+
+
+def _compute_chunk_mac_layout(bits: int, max_granularity: int) -> _LayoutEntry:
+    """The uncached Fig. 9 address-order walk behind the layout memo."""
     part_index: List[int] = []
     part_merged: List[bool] = []
     index = 0
@@ -122,24 +150,30 @@ def _chunk_mac_layout(
 
 
 def clear_layout_cache() -> None:
-    """Drop memoized chunk MAC layouts (tests)."""
-    _chunk_mac_layout.cache_clear()
+    """Drop memoized chunk MAC layouts and reset counters (tests)."""
+    _layout_cache.clear()
+    for key in _layout_counters:
+        _layout_counters[key] = 0
 
 
 def layout_cache_stats() -> dict:
-    """Hit/miss/size counters of the memoized chunk MAC layout.
+    """Hit/miss/eviction/size counters of the chunk MAC layout memo.
 
     The cache is a pure memo over (bits, max_granularity) signatures:
     it can change speed but never results.  ``repro check`` pins that
     claim by diffing every cached answer against the uncached reference
-    walk in :mod:`repro.check.oracle`.
+    walk in :mod:`repro.check.oracle`.  Tracing-enabled runs surface
+    this dict through the metrics registry as ``engine.layout_cache.*``
+    (the binding is tracer-gated because the cache is process-global,
+    so an unconditional binding would leak state across the serial vs
+    parallel and scalar vs fast byte-parity comparisons).
     """
-    info = _chunk_mac_layout.cache_info()
     return {
-        "hits": info.hits,
-        "misses": info.misses,
-        "entries": info.currsize,
-        "capacity": info.maxsize,
+        "hits": _layout_counters["hits"],
+        "misses": _layout_counters["misses"],
+        "evictions": _layout_counters["evictions"],
+        "entries": len(_layout_cache),
+        "capacity": LAYOUT_CACHE_CAPACITY,
     }
 
 

@@ -77,20 +77,27 @@ def measure(
     seed: int = 0,
     repeat: int = 3,
     config=None,
+    engine: str = "scalar",
 ) -> Tuple[Dict[str, object], Dict[str, Dict[str, object]]]:
     """Time each scheme's full (warmup + measure) simulation.
 
     Traces are generated once; every scheme is then built and simulated
     ``repeat`` times.  Returns ``(runs, wall_seconds)`` where ``runs``
     holds the last repetition's results (for the ``sim`` section) and
-    ``wall_seconds`` the per-scheme timing summary.
+    ``wall_seconds`` the per-scheme timing summary.  ``engine`` selects
+    the simulation tier; results are bit-identical either way, only the
+    wall times differ.
     """
+    import dataclasses
+
     from repro.common.config import SoCConfig
     from repro.schemes.registry import build_scheme
     from repro.sim.runner import best_static_granularities
     from repro.sim.soc import simulate
 
     config = config or SoCConfig()
+    if config.sim_engine != engine:
+        config = dataclasses.replace(config, sim_engine=engine)
     traces, footprint = scenario.build_traces(duration_cycles, seed)
 
     runs: Dict[str, object] = {}
@@ -133,6 +140,7 @@ def measure_sweep(
     scheme_names: Sequence[str] = SWEEP_SCHEMES,
     jobs: Optional[int] = None,
     repeat: int = 1,
+    engine: str = "scalar",
 ) -> Dict[str, object]:
     """Time a scenario-sweep slice end to end (the ``sweep`` section).
 
@@ -142,17 +150,19 @@ def measure_sweep(
     figure regeneration.  The memoized static-best search is cleared
     before every repetition so each sample pays the full cost.
     """
+    from repro.common.config import SoCConfig
     from repro.sim import parallel
     from repro.sim.runner import clear_static_best_cache, run_many, sweep_scenarios
     from repro.sim.scenario import all_scenarios
 
+    config = SoCConfig(sim_engine=engine)
     scenarios = sweep_scenarios(all_scenarios(), sample)
     samples: List[float] = []
     for _ in range(max(1, repeat)):
         clear_static_best_cache()
         start = time.perf_counter()
         run_many(
-            scenarios, scheme_names, None, duration_cycles, seed, jobs=jobs
+            scenarios, scheme_names, config, duration_cycles, seed, jobs=jobs
         )
         samples.append(time.perf_counter() - start)
     return {
@@ -166,6 +176,7 @@ def measure_sweep(
         "duration_cycles": duration_cycles,
         "jobs": parallel.resolve_jobs(jobs),
         "cpu_count": os.cpu_count(),
+        "engine": engine,
     }
 
 
@@ -175,8 +186,18 @@ def make_snapshot(
     repeat: int,
     generated: Optional[str] = None,
     sweep: Optional[Dict[str, object]] = None,
+    engine: str = "scalar",
+    engines: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Assemble a ``repro-bench/v1`` snapshot from its parts."""
+    """Assemble a ``repro-bench/v1`` snapshot from its parts.
+
+    ``engine`` names the tier that produced the top-level timings
+    (``"both"`` for a side-by-side run, whose top-level timings are the
+    scalar ones); ``engines`` is the optional side-by-side section
+    built by :func:`engines_comparison`.
+    """
+    from repro import engine_fast
+
     if sim.get("schema") != SIM_SCHEMA:
         raise ValueError(
             f"sim section must be a {SIM_SCHEMA} payload, "
@@ -189,6 +210,9 @@ def make_snapshot(
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "cpu_count": os.cpu_count(),
+            "engine": engine,
+            "numpy": engine_fast.numpy_version(),
+            "fast_available": engine_fast.fast_engine_available(),
         },
         "repeat": repeat,
         "wall_seconds": wall_seconds,
@@ -196,7 +220,48 @@ def make_snapshot(
     }
     if sweep is not None:
         snapshot["sweep"] = sweep
+    if engines is not None:
+        snapshot["engines"] = engines
     return snapshot
+
+
+def engines_comparison(
+    wall_by_engine: Dict[str, Dict[str, Dict[str, object]]],
+    sweep_by_engine: Optional[Dict[str, Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """The ``engines`` side-by-side section of an ``--engine both`` run.
+
+    ``wall_by_engine`` maps engine name -> per-scheme wall summary (the
+    second element :func:`measure` returns); ``sweep_by_engine``
+    optionally maps engine name -> :func:`measure_sweep` section.
+    Speedups are scalar-min / fast-min (>1 means fast is faster).
+    """
+    section: Dict[str, object] = {}
+    for name, wall in wall_by_engine.items():
+        entry: Dict[str, object] = {"wall_seconds": wall}
+        if sweep_by_engine and name in sweep_by_engine:
+            entry["sweep"] = sweep_by_engine[name]
+        section[name] = entry
+    scalar = wall_by_engine.get("scalar")
+    fast = wall_by_engine.get("fast")
+    if scalar and fast:
+        speedup: Dict[str, object] = {}
+        for scheme, timing in scalar.items():
+            if scheme in fast and float(fast[scheme]["min"]) > 0:
+                speedup[scheme] = round(
+                    float(timing["min"]) / float(fast[scheme]["min"]), 3
+                )
+        if sweep_by_engine:
+            s_sweep = sweep_by_engine.get("scalar")
+            f_sweep = sweep_by_engine.get("fast")
+            if s_sweep and f_sweep:
+                f_min = float(f_sweep["wall_seconds"]["min"])
+                if f_min > 0:
+                    speedup["sweep"] = round(
+                        float(s_sweep["wall_seconds"]["min"]) / f_min, 3
+                    )
+        section["speedup"] = speedup
+    return section
 
 
 def validate_snapshot(snapshot: Dict[str, object]) -> None:
@@ -233,12 +298,32 @@ def validate_snapshot(snapshot: Dict[str, object]) -> None:
         timing = sweep.get("wall_seconds")
         if not isinstance(timing, dict) or "min" not in timing:
             raise ValueError("sweep section missing wall_seconds.min")
+    engines = snapshot.get("engines")
+    if engines is not None:
+        if not isinstance(engines, dict):
+            raise ValueError("engines section is not an object")
+        for name, entry in engines.items():
+            if name == "speedup":
+                if not isinstance(entry, dict):
+                    raise ValueError("engines.speedup is not an object")
+                continue
+            if not isinstance(entry, dict) or "wall_seconds" not in entry:
+                raise ValueError(f"engines[{name!r}] missing wall_seconds")
 
 
-def snapshot_path(out: Optional[str] = None, generated: Optional[str] = None) -> str:
-    """Resolve the output path: ``BENCH_<date>.json`` unless overridden."""
+def snapshot_path(
+    out: Optional[str] = None,
+    generated: Optional[str] = None,
+    engine: Optional[str] = None,
+) -> str:
+    """Resolve the output path: ``BENCH_<date>[_<engine>].json`` unless overridden.
+
+    A single-engine run gets an engine-suffixed default name so the
+    ``_scalar`` / ``_fast`` snapshot pair can live side by side.
+    """
     date = generated or datetime.date.today().isoformat()
-    default_name = f"BENCH_{date}.json"
+    suffix = f"_{engine}" if engine in ("scalar", "fast") else ""
+    default_name = f"BENCH_{date}{suffix}.json"
     if out is None:
         return default_name
     if os.path.isdir(out):

@@ -314,6 +314,18 @@ class ProtectionScheme(abc.ABC):
             "engine.cache.security_misses",
             lambda: self.stats.security_cache_misses(self),
         )
+        if self.tracer:
+            # Layout-memo diagnostics are process-global (shared across
+            # schemes and engines), so they only enter the snapshot on
+            # traced runs -- the fast engine requires tracing off, which
+            # keeps scalar/fast metrics payloads byte-identical.
+            from repro.core import addressing
+
+            for key in ("hits", "misses", "evictions", "entries", "capacity"):
+                registry.bind(
+                    f"engine.layout_cache.{key}",
+                    lambda key=key: addressing.layout_cache_stats()[key],
+                )
 
     # ------------------------------------------------------------------
     # Main entry point

@@ -105,6 +105,8 @@ class SlimRunResult(ResultView):
     total_traffic_bytes: int
     security_cache_misses: int
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Execution tier that produced the run ("scalar" or "fast").
+    engine: str = "scalar"
 
 
 def slim_result(result: AnyRunResult) -> "SlimRunResult":
@@ -118,6 +120,7 @@ def slim_result(result: AnyRunResult) -> "SlimRunResult":
         total_traffic_bytes=result.total_traffic_bytes,
         security_cache_misses=result.security_cache_misses,
         metrics=dict(result.metrics),
+        engine=getattr(result, "engine", "scalar"),
     )
 
 

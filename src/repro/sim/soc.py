@@ -127,6 +127,10 @@ class RunResult(ResultView):
     metrics: Dict[str, object] = field(default_factory=dict)
     #: Recorded trace events (empty unless tracing was enabled).
     trace: List[TraceEvent] = field(default_factory=list)
+    #: Execution tier that actually ran ("scalar" or "fast").  Not part
+    #: of :meth:`ResultView.to_dict` -- both tiers are bit-identical,
+    #: so the payload must not depend on which one produced it.
+    engine: str = "scalar"
 
     @property
     def total_traffic_bytes(self) -> int:
@@ -161,6 +165,18 @@ def simulate(
     if len(device_configs) != len(traces):
         raise ValueError("one device config per trace required")
 
+    # Engine dispatch: the fast tier returns a drop-in for _run_loop
+    # (or None, falling back to the scalar loop -- results are
+    # bit-identical either way, see docs/performance.md).
+    fast_run = None
+    if getattr(soc_config, "sim_engine", "scalar") == "fast":
+        from repro.engine_fast import core as fast_core
+
+        fast_run = fast_core.prepare(
+            traces, scheme, soc_config, device_configs
+        )
+    run_loop = fast_run if fast_run is not None else _run_loop
+
     if warmup:
         # Warmup replays untraced: its events would only pollute the
         # steady-state trace reset_stats() is about to clear anyway.
@@ -169,7 +185,7 @@ def simulate(
             DeviceIssueState(i, trace, cfg)
             for i, (trace, cfg) in enumerate(zip(traces, device_configs))
         ]
-        _run_loop(warm_states, scheme, warm_channel)
+        run_loop(warm_states, scheme, warm_channel)
         scheme.reset_stats()
 
     channel = make_channel(soc_config.memory, tracer=scheme.tracer)
@@ -179,7 +195,7 @@ def simulate(
         DeviceIssueState(i, trace, cfg)
         for i, (trace, cfg) in enumerate(zip(traces, device_configs))
     ]
-    _run_loop(states, scheme, channel)
+    run_loop(states, scheme, channel)
     scheme.finish(channel)
 
     devices = [
@@ -215,6 +231,7 @@ def simulate(
         scheme=scheme,
         metrics=registry.snapshot(),
         trace=list(scheme.tracer.events()),
+        engine="fast" if fast_run is not None else "scalar",
     )
 
 

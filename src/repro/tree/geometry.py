@@ -138,6 +138,19 @@ class TreeGeometry:
             for offset in self.level_offsets
         )
 
+    def level_tables(self) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+        """Flat per-level tables ``(spans, counter_spans, base_addrs)``.
+
+        The export API of the batch engine (:mod:`repro.engine_fast`):
+        tree-level/span/base resolution vectorizes over whole request
+        windows by broadcasting these tuples into numpy arrays instead
+        of calling :meth:`span_of_level`/:meth:`node_addr` per request.
+        Index ``l`` gives the data span of one level-``l`` node, the
+        data span of one level-``l`` *counter*, and the simulated
+        address of node 0 of level ``l``.
+        """
+        return self._level_spans, self._counter_spans, self._level_base_addrs
+
     def span_of_level(self, level: int) -> int:
         """Bytes of data covered by one node at ``level``."""
         self._check_level(level)
