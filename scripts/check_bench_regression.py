@@ -286,6 +286,23 @@ def main(argv=None) -> int:
             baseline, current, args.min_speedup, args.min_scheme_speedup
         )
 
+    # Engine tiers time differently by construction (the fast sweep is
+    # gated to be >=2x the scalar one), so a plain regression compare
+    # across tiers -- e.g. a bench_*_scalar.json baseline against a
+    # bench_*_fast.json head -- is always apples-to-oranges.
+    base_engine = baseline.get("platform", {}).get("engine", "scalar")
+    cur_engine = current.get("platform", {}).get("engine", "scalar")
+    if base_engine != cur_engine:
+        print(
+            "error: snapshots were measured on different engines "
+            f"(baseline {base_engine!r}, current {cur_engine!r}); the "
+            "regression tolerances only apply within one tier.  Compare "
+            "tiers with --min-speedup instead, or re-measure both "
+            "snapshots with the same --engine.",
+            file=sys.stderr,
+        )
+        return 2
+
     regressions = bench.compare_snapshots(
         baseline,
         current,

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Daemon load driver: spawn, flood, verify parity, shut down cleanly.
+
+The CI ``daemon`` job's workhorse (and a developer tool for bigger
+scales):
+
+1. spawn ``python -m repro serve --socket PATH`` as a subprocess;
+2. drive ``--tenants`` concurrent tenant sessions (mixed scalar/fast
+   shards by default) over ``--connections`` multiplexed connections;
+3. re-run every tenant's exact trace in-process and assert the
+   daemon-served observable digests are byte-identical;
+4. SIGTERM the daemon and assert a clean exit: status 0, socket
+   unlinked, no orphan process.
+
+Exit status: 0 all green, 1 parity/load failure, 2 daemon lifecycle
+failure.  The ``repro-load/v1`` report lands at ``--output`` either
+way (CI uploads it as an artifact).
+
+Usage:
+    PYTHONPATH=src python scripts/load_daemon.py \
+        --tenants 64 --connections 8 --engines mixed \
+        --duration 400 --output load_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket as socketlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+sys.path.insert(0, REPO_SRC)
+
+from repro.service.load import run_load  # noqa: E402
+
+
+def wait_for_socket(path: str, proc, timeout: float = 30.0) -> None:
+    """Block until the daemon accepts connections (or died trying)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited with {proc.returncode} before listening"
+            )
+        if os.path.exists(path):
+            probe = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+            try:
+                probe.connect(path)
+                return
+            except OSError:
+                pass
+            finally:
+                probe.close()
+        time.sleep(0.05)
+    raise RuntimeError(f"daemon did not listen on {path} within {timeout}s")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=64)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument(
+        "--engines", choices=["scalar", "fast", "mixed"], default="mixed"
+    )
+    parser.add_argument("--duration", type=float, default=400.0)
+    parser.add_argument("--output", default="load_report.json")
+    parser.add_argument(
+        "--shutdown-timeout", type=float, default=30.0,
+        help="seconds the daemon gets to exit after SIGTERM",
+    )
+    args = parser.parse_args(argv)
+
+    # Unix socket paths are limited to ~104 bytes: keep it short.
+    rundir = tempfile.mkdtemp(prefix="repro-load-", dir="/tmp")
+    sock = os.path.join(rundir, "d.sock")
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    status = 0
+    report = {}
+    try:
+        wait_for_socket(sock, proc)
+        print(
+            f"daemon up (pid {proc.pid}); driving {args.tenants} tenants "
+            f"over {args.connections} connections ({args.engines} engines)"
+        )
+        report = asyncio.run(
+            run_load(
+                tenants=args.tenants,
+                connections=args.connections,
+                engines=args.engines,
+                duration=args.duration,
+                socket_path=sock,
+                progress=lambda line: print(f"  {line}", flush=True),
+            )
+        )
+        print(
+            f"sessions {report['sessions_completed']}/{report['tenants']}, "
+            f"requests {report['requests_served']}, engines "
+            f"{report['engines']}, parity {report['parity_checked']} "
+            f"checked, drive {report['drive_seconds']:.2f}s"
+        )
+        for line in report["failures"][:20]:
+            print(f"FAIL {line}", file=sys.stderr)
+        if not report["ok"]:
+            status = 1
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        status = 2
+    finally:
+        # ---- clean-shutdown gate ----
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=args.shutdown_timeout)
+            except subprocess.TimeoutExpired:
+                print(
+                    "error: daemon ignored SIGTERM (orphan process)",
+                    file=sys.stderr,
+                )
+                proc.kill()
+                proc.wait()
+                status = max(status, 2)
+        out = proc.stdout.read() if proc.stdout else ""
+        if proc.returncode != 0:
+            print(
+                f"error: daemon exited {proc.returncode}; output:\n{out}",
+                file=sys.stderr,
+            )
+            status = max(status, 2)
+        elif "shut down cleanly" not in out:
+            print(
+                "error: daemon exited 0 without the clean-shutdown line",
+                file=sys.stderr,
+            )
+            status = max(status, 2)
+        if os.path.exists(sock):
+            print(
+                f"error: socket {sock} still exists after shutdown",
+                file=sys.stderr,
+            )
+            status = max(status, 2)
+        else:
+            try:
+                os.rmdir(rundir)
+            except OSError:
+                pass
+
+    report.setdefault("schema", "repro-load/v1")
+    report["daemon_exit"] = proc.returncode
+    report["clean_shutdown"] = status < 2
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+    print(f"load report -> {args.output}")
+    print("PASS" if status == 0 else "FAIL")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -637,6 +637,124 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant daemon, or its in-process load selftest."""
+    import asyncio
+    import json
+    import signal
+
+    from repro.service.daemon import ServiceDaemon
+    from repro.service.load import run_selftest
+
+    secret = bytes.fromhex(args.service_secret) if args.service_secret else None
+
+    if args.selftest:
+        report = run_selftest(
+            tenants=args.tenants,
+            connections=args.connections,
+            engines=args.engines,
+            duration=args.duration,
+            socket_path=args.socket,
+            progress=lambda line: print(f"  {line}", flush=True),
+        )
+        if args.output:
+            with open(args.output, "w") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+            print(f"load report -> {args.output}")
+        print(
+            f"selftest: {report['sessions_completed']}/{report['tenants']} "
+            f"sessions, {report['requests_served']} requests, engines "
+            f"{report['engines']}, parity {report['parity_checked']} "
+            f"checked in {report['drive_seconds']:.2f}s"
+        )
+        for line in report["failures"][:20]:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 0 if report["ok"] else 1
+
+    if (args.socket is None) == (args.port is None):
+        print("error: exactly one of --socket / --port", file=sys.stderr)
+        return 2
+
+    async def serve() -> None:
+        daemon = ServiceDaemon(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            service_secret=secret,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await daemon.start()
+        where = args.socket or f"{args.host}:{daemon.port}"
+        print(f"repro daemon listening on {where}", flush=True)
+        try:
+            await stop.wait()
+        finally:
+            await daemon.close()
+            print("repro daemon shut down cleanly", flush=True)
+
+    asyncio.run(serve())
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """One-shot client verbs against a running daemon."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    secret = args.secret.encode() if args.secret else b""
+    try:
+        with ServiceClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        ) as client:
+            if args.verb == "ping":
+                body = client.ping()
+            elif args.verb == "stats":
+                body = client.stats()
+            elif args.verb == "open":
+                body = client.open(
+                    args.tenant,
+                    secret,
+                    scenario=args.scenario,
+                    scheme=args.scheme,
+                    engine=args.engine,
+                    duration=args.duration,
+                    seed=args.seed,
+                    data_bytes=args.data_bytes,
+                )
+            elif args.verb == "step":
+                body = client.step(args.tenant, secret, requests=args.count)
+            elif args.verb == "put":
+                body = client.put(
+                    args.tenant, secret, args.addr,
+                    bytes.fromhex(args.data),
+                )
+            elif args.verb == "get":
+                data = client.get(
+                    args.tenant, secret, args.addr, args.size
+                )
+                body = {"addr": args.addr, "data_hex": data.hex()}
+            elif args.verb == "snapshot":
+                body = client.snapshot(args.tenant, secret)
+            elif args.verb == "report":
+                body = client.report(args.tenant, secret)
+            else:  # close
+                body = client.close(args.tenant, secret)
+    except ServiceError as exc:
+        print(
+            json.dumps({"error": {"code": exc.code, "message": exc.message}})
+        )
+        return 1
+    except (ConnectionError, FileNotFoundError, OSError) as exc:
+        print(f"error: cannot reach daemon: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(body, indent=None if args.compact else 1))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -989,6 +1107,107 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_engine_flag(p_chk)
     p_chk.set_defaults(func=cmd_check)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="multi-tenant secure-memory daemon (repro-wire/v1; see "
+        "docs/daemon.md)",
+    )
+    p_srv.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a Unix socket at PATH",
+    )
+    p_srv.add_argument(
+        "--port", type=int, default=None,
+        help="listen on a TCP port (0 picks a free one)",
+    )
+    p_srv.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1)",
+    )
+    p_srv.add_argument(
+        "--service-secret", default=None, metavar="HEX",
+        help="hex seed of the report-signing key (default: ephemeral "
+        "random key)",
+    )
+    p_srv.add_argument(
+        "--selftest", action="store_true",
+        help="in-process load driver: boot a daemon, drive --tenants "
+        "concurrent sessions, assert per-session byte-parity vs "
+        "in-process runs, exit non-zero on any divergence",
+    )
+    p_srv.add_argument(
+        "--tenants", type=int, default=64,
+        help="selftest: concurrent tenant sessions (default 64)",
+    )
+    p_srv.add_argument(
+        "--connections", type=int, default=8,
+        help="selftest: multiplexed client connections (default 8)",
+    )
+    p_srv.add_argument(
+        "--engines", choices=["scalar", "fast", "mixed"], default="mixed",
+        help="selftest: engine tier per tenant (mixed alternates; "
+        "degrades to scalar without numpy)",
+    )
+    p_srv.add_argument(
+        "--duration", type=float, default=400.0,
+        help="selftest: per-tenant trace duration in cycles (default 400)",
+    )
+    p_srv.add_argument(
+        "-o", "--output", default=None,
+        help="selftest: write the repro-load/v1 report JSON here",
+    )
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_cli = sub.add_parser(
+        "client",
+        help="one-shot client verbs against a running daemon",
+    )
+    p_cli.add_argument(
+        "verb",
+        choices=["ping", "stats", "open", "step", "put", "get", "snapshot",
+                 "report", "close"],
+    )
+    p_cli.add_argument("--socket", default=None, metavar="PATH")
+    p_cli.add_argument("--port", type=int, default=None)
+    p_cli.add_argument("--host", default="127.0.0.1")
+    p_cli.add_argument(
+        "--tenant", default="cli", help="tenant name (default cli)"
+    )
+    p_cli.add_argument(
+        "--secret", default="", help="tenant secret (authenticates verbs)"
+    )
+    p_cli.add_argument(
+        "--scenario", default="cc1", help="open: scenario name"
+    )
+    p_cli.add_argument("--scheme", default="ours", help="open: scheme name")
+    add_engine_flag(p_cli)
+    p_cli.add_argument(
+        "--duration", type=float, default=2000.0,
+        help="open: trace duration in cycles",
+    )
+    p_cli.add_argument("--seed", type=int, default=0, help="open: trace seed")
+    p_cli.add_argument(
+        "--data-bytes", type=int, default=0,
+        help="open: size of the functional data shard (0 = none)",
+    )
+    p_cli.add_argument(
+        "--count", type=int, default=None,
+        help="step: request window size (default: drain the session)",
+    )
+    p_cli.add_argument(
+        "--addr", type=int, default=0, help="put/get: byte address"
+    )
+    p_cli.add_argument(
+        "--data", default="", help="put: payload as hex (64B-line multiple)"
+    )
+    p_cli.add_argument(
+        "--size", type=int, default=64, help="get: bytes to read"
+    )
+    p_cli.add_argument(
+        "--compact", action="store_true", help="single-line JSON output"
+    )
+    p_cli.set_defaults(func=cmd_client)
 
     return parser
 

@@ -59,11 +59,11 @@ def numpy_or_none():
         return None
     if not _numpy_import_attempted:
         _numpy_import_attempted = True
-        try:
+        try:  # pragma: no cover - depends on the installed extras
             import numpy  # noqa: PLC0415 - optional dependency probe
 
             _numpy = numpy
-        except ImportError:
+        except ImportError:  # pragma: no cover - numpy-less installs
             _numpy = None
     return _numpy
 

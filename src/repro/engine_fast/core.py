@@ -118,13 +118,13 @@ def prepare(
             )
         )
 
-    def run(states, scheme, channel):
-        _run_fast(states, scheme, channel, arenas, mode)
+    def run(states, scheme, channel, sink=None):
+        _run_fast(states, scheme, channel, arenas, mode, sink)
 
     return run
 
 
-def _run_fast(states, scheme, channel, arenas, mode) -> None:
+def _run_fast(states, scheme, channel, arenas, mode, sink=None) -> None:
     """One full replay of every arena through the fused loop."""
     heappush = heapq.heappush
     heappop = heapq.heappop
@@ -585,6 +585,13 @@ def _run_fast(states, scheme, channel, arenas, mode) -> None:
                 completion = (
                     plaintext if plaintext > mac_ready else mac_ready
                 ) + mac_latency
+
+        if sink is not None:
+            # Same semantic point as SessionCore.step()'s sink: after
+            # the completion is known, before the issue bookkeeping.
+            # Arena columns are numpy scalars -- normalize here so both
+            # engines feed identical Python types to observables.
+            sink.append((at, i, int(addr), bool(is_write), completion))
 
         # -- DeviceIssueState.issue() inline --
         computes[i] += a.gaps[cursor]

@@ -8,9 +8,11 @@ from repro.secure_memory.failure import (
     IntegrityLog,
 )
 from repro.secure_memory.protected_table import ProtectedTableStore
+from repro.secure_memory.session import EngineSession
 
 __all__ = [
     "SecureMemory",
+    "EngineSession",
     "ProtectedTableStore",
     "FailurePolicy",
     "FAILURE_MODES",

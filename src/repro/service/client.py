@@ -1,0 +1,344 @@
+"""Client library for the ``repro-wire/v1`` daemon.
+
+Two clients share the envelope logic:
+
+* :class:`ServiceClient` -- blocking, one connection, for the CLI verbs
+  (``repro client open/step/report/close``) and for tests.
+* :class:`AsyncServiceClient` -- asyncio, multiplexes many tenants over
+  ONE connection with response dispatch by request id.  The load driver
+  runs thousands of tenant sessions over a handful of connections, so
+  tenant-count scaling never collides with file-descriptor limits.
+
+Both keep a per-tenant ``seq`` watermark; after a reconnect,
+``open`` (re-attach) returns the daemon's watermark so the client can
+resume above it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Dict, Optional
+
+from repro.service import protocol
+from repro.service.protocol import HEADER_BYTES, WireError
+
+
+class ServiceError(WireError):
+    """An error response from the daemon, raised client-side."""
+
+    code = "service-error"
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _raise_on_error(response: Dict[str, object]) -> Dict[str, object]:
+    if not response.get("ok"):
+        err = response.get("error", {})
+        raise ServiceError(
+            err.get("code", "unknown"), err.get("message", "unknown error")
+        )
+    return response["body"]  # type: ignore[return-value]
+
+
+class _SeqBook:
+    """Per-tenant monotonic sequence numbers."""
+
+    def __init__(self) -> None:
+        self._seqs: Dict[str, int] = {}
+
+    def next(self, tenant: str) -> int:
+        seq = self._seqs.get(tenant, 0) + 1
+        self._seqs[tenant] = seq
+        return seq
+
+    def known(self, tenant: str) -> bool:
+        return tenant in self._seqs
+
+    def resume(self, tenant: str, watermark: int) -> None:
+        self._seqs[tenant] = max(self._seqs.get(tenant, 0), int(watermark))
+
+
+class ServiceClient:
+    """Blocking single-connection client."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path / port required")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._ids = itertools.count(1)
+        self._seqs = _SeqBook()
+
+    # -- connection -----------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        return self
+
+    def close_connection(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close_connection()
+
+    # -- framing --------------------------------------------------------
+
+    def _recv_exactly(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        while n:
+            chunk = self._sock.recv(n)
+            if not chunk:
+                raise protocol.FrameError("connection closed mid-frame")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def request(
+        self,
+        op: str,
+        body: Optional[Dict[str, object]] = None,
+        tenant: str = "",
+        secret: bytes = b"",
+    ) -> Dict[str, object]:
+        """Send one envelope and return the (unwrapped) response body."""
+        if self._sock is None:
+            self.connect()
+        if (
+            op in protocol.TENANT_OPS
+            and op != "open"
+            and not self._seqs.known(tenant)
+        ):
+            # Fresh process, existing daemon session: re-attach first to
+            # learn the daemon's seq watermark (open is the resync
+            # point of the protocol -- see docs/daemon.md).
+            self.open(tenant, secret)
+        seq = self._seqs.next(tenant) if op in protocol.TENANT_OPS else 0
+        env = protocol.make_request(
+            next(self._ids), op, body, tenant=tenant, seq=seq, secret=secret
+        )
+        assert self._sock is not None
+        self._sock.sendall(protocol.encode_frame(env))
+        length = protocol.decode_length(self._recv_exactly(HEADER_BYTES))
+        response = protocol.decode_body(self._recv_exactly(length))
+        out = _raise_on_error(response)
+        if op == "open":
+            self._seqs.resume(tenant, out.get("seq", seq))
+        return out
+
+    # -- verbs ----------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self.request("ping")
+
+    def stats(self) -> Dict[str, object]:
+        return self.request("stats")
+
+    def open(
+        self, tenant: str, secret: bytes, **params
+    ) -> Dict[str, object]:
+        body = dict(params)
+        body["secret_hex"] = secret.hex()
+        return self.request("open", body, tenant=tenant, secret=secret)
+
+    def step(
+        self,
+        tenant: str,
+        secret: bytes,
+        requests: Optional[int] = None,
+    ) -> Dict[str, object]:
+        body = {} if requests is None else {"requests": requests}
+        return self.request("step", body, tenant=tenant, secret=secret)
+
+    def put(
+        self, tenant: str, secret: bytes, addr: int, data: bytes
+    ) -> Dict[str, object]:
+        body = {"addr": addr, "data_hex": data.hex()}
+        return self.request("put", body, tenant=tenant, secret=secret)
+
+    def get(
+        self, tenant: str, secret: bytes, addr: int, size: int = 64
+    ) -> bytes:
+        body = {"addr": addr, "size": size}
+        out = self.request("get", body, tenant=tenant, secret=secret)
+        return bytes.fromhex(out["data_hex"])
+
+    def report(self, tenant: str, secret: bytes) -> Dict[str, object]:
+        return self.request("report", tenant=tenant, secret=secret)
+
+    def snapshot(self, tenant: str, secret: bytes) -> Dict[str, object]:
+        return self.request("snapshot", tenant=tenant, secret=secret)
+
+    def close(self, tenant: str, secret: bytes) -> Dict[str, object]:
+        return self.request("close", tenant=tenant, secret=secret)
+
+
+class AsyncServiceClient:
+    """Asyncio client multiplexing many tenants over one connection.
+
+    Requests may be issued concurrently from many tasks; a single
+    reader task dispatches responses to waiters by request id, so in-
+    flight windows from different tenants interleave freely on the one
+    stream.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path / port required")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count(1)
+        self._seqs = _SeqBook()
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._pump: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncServiceClient":
+        if self.socket_path is not None:
+            self._reader, self._writer = await asyncio.open_unix_connection(
+                self.socket_path
+            )
+        else:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        self._pump = asyncio.ensure_future(self._pump_responses())
+        return self
+
+    async def close_connection(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+            try:
+                await self._pump
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._pump = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        for future in self._waiters.values():
+            if not future.done():
+                future.set_exception(
+                    protocol.FrameError("connection closed")
+                )
+        self._waiters.clear()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close_connection()
+
+    async def _pump_responses(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None:
+                    break
+                _, response = frame
+                future = self._waiters.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (protocol.FrameError, ConnectionError) as exc:
+            for future in self._waiters.values():
+                if not future.done():
+                    future.set_exception(exc)
+            self._waiters.clear()
+
+    async def request(
+        self,
+        op: str,
+        body: Optional[Dict[str, object]] = None,
+        tenant: str = "",
+        secret: bytes = b"",
+    ) -> Dict[str, object]:
+        assert self._writer is not None
+        request_id = next(self._ids)
+        seq = self._seqs.next(tenant) if op in protocol.TENANT_OPS else 0
+        env = protocol.make_request(
+            request_id, op, body, tenant=tenant, seq=seq, secret=secret
+        )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        async with self._write_lock:
+            self._writer.write(protocol.encode_frame(env))
+            await self._writer.drain()
+        response = await future
+        out = _raise_on_error(response)
+        if op == "open":
+            self._seqs.resume(tenant, out.get("seq", seq))
+        return out
+
+    async def open(
+        self, tenant: str, secret: bytes, **params
+    ) -> Dict[str, object]:
+        body = dict(params)
+        body["secret_hex"] = secret.hex()
+        return await self.request("open", body, tenant=tenant, secret=secret)
+
+    async def step(
+        self,
+        tenant: str,
+        secret: bytes,
+        requests: Optional[int] = None,
+    ) -> Dict[str, object]:
+        body = {} if requests is None else {"requests": requests}
+        return await self.request("step", body, tenant=tenant, secret=secret)
+
+    async def put(
+        self, tenant: str, secret: bytes, addr: int, data: bytes
+    ) -> Dict[str, object]:
+        body = {"addr": addr, "data_hex": data.hex()}
+        return await self.request("put", body, tenant=tenant, secret=secret)
+
+    async def get(
+        self, tenant: str, secret: bytes, addr: int, size: int = 64
+    ) -> bytes:
+        body = {"addr": addr, "size": size}
+        out = await self.request("get", body, tenant=tenant, secret=secret)
+        return bytes.fromhex(out["data_hex"])
+
+    async def report(self, tenant: str, secret: bytes) -> Dict[str, object]:
+        return await self.request("report", tenant=tenant, secret=secret)
+
+    async def close(self, tenant: str, secret: bytes) -> Dict[str, object]:
+        return await self.request("close", tenant=tenant, secret=secret)

@@ -1,0 +1,314 @@
+"""The multi-tenant asyncio daemon serving keyed engine shards.
+
+One :class:`ServiceDaemon` listens on a Unix socket or TCP port and
+serves many concurrent tenants.  Each tenant owns a keyed
+:class:`~repro.secure_memory.session.EngineSession` shard -- scalar or
+fast engine per the requested ``engine`` -- with its own
+quarantine/key-epoch state; sessions live in the daemon, not the
+connection, so a tenant may reconnect (or multiplex many tenants over
+one connection) and keep stepping the same shard.
+
+Engine stepping is synchronous CPU work executed on the event loop:
+shards are single-threaded deterministic simulators, so serving a
+window inline is both the simplest and the only ordering that keeps
+per-tenant byte-parity.  Concurrency comes from interleaving *windows*
+of many tenants, and from batched ingestion -- a whole-run ``step`` on
+a fast shard replays through the prebuilt ``engine_fast`` arenas in a
+single fused pass.
+
+Failure containment (the fuzz suite drives every row of the failure
+matrix in docs/daemon.md): framing damage counts
+``service.rejected_frames`` and drops only the offending connection;
+well-framed garbage earns an error response; per-op errors
+(unknown tenant, bad auth, engine exceptions) are confined to an
+error response for that request id.  No path crashes the daemon or
+leaks a session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import secrets as _secrets
+from typing import Dict, Optional
+
+from repro.obs import ObsContext
+from repro.secure_memory.session import EngineSession
+from repro.service import protocol
+from repro.service.protocol import (
+    AuthError,
+    EnvelopeError,
+    FrameError,
+    WireError,
+)
+
+#: Engine knobs ``open`` accepts, with bounds that keep one tenant from
+#: monopolizing the daemon.
+MAX_DURATION_CYCLES = 200_000.0
+MAX_DATA_BYTES = 1 << 24
+
+
+class TenantShard:
+    """One tenant's session plus its authentication state."""
+
+    __slots__ = ("name", "secret", "kid", "seq", "session")
+
+    def __init__(
+        self, name: str, secret: bytes, session: EngineSession
+    ) -> None:
+        self.name = name
+        self.secret = secret
+        self.kid = protocol.kid_for(secret)
+        self.seq = 0
+        self.session = session
+
+
+class ServiceDaemon:
+    """Asyncio front-end over per-tenant engine shards."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        service_secret: Optional[bytes] = None,
+        obs: Optional[ObsContext] = None,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path / port required")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.service_secret = service_secret or _secrets.token_bytes(32)
+        self.obs = obs or ObsContext.disabled()
+        self.counters = self.obs.registry.group("service")
+        self.tenants: Dict[str, TenantShard] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._closed = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.socket_path is not None:
+            if os.path.exists(self.socket_path):
+                os.unlink(self.socket_path)
+            self._server = await asyncio.start_unix_server(
+                self._serve_connection, path=self.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=self.host, port=self.port
+            )
+            if self.port == 0:
+                self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        """Stop listening, drop sessions, unlink the socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for shard in list(self.tenants.values()):
+            self.counters.bump("sessions_closed")
+        self.tenants.clear()
+        if self.socket_path and os.path.exists(self.socket_path):
+            os.unlink(self.socket_path)
+        self._closed.set()
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Run until ``stop`` is set, then shut down cleanly."""
+        await self.start()
+        try:
+            await stop.wait()
+        finally:
+            await self.close()
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self.counters.bump("connections")
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame(reader)
+                except FrameError as exc:
+                    self.counters.bump("rejected_frames")
+                    if getattr(exc, "recoverable", False):
+                        # Stream still synchronized: answer and go on.
+                        await self._send(
+                            writer, protocol.error_response(None, exc)
+                        )
+                        continue
+                    # Desynchronized: best-effort error, then drop.
+                    try:
+                        await self._send(
+                            writer, protocol.error_response(None, exc)
+                        )
+                    except (ConnectionError, RuntimeError):
+                        pass
+                    break
+                if frame is None:
+                    break  # clean EOF
+                _, request = frame
+                response = self._dispatch(request)
+                await self._send(writer, response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _send(self, writer, payload: Dict[str, object]) -> None:
+        writer.write(protocol.encode_frame(payload))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, request: Dict[str, object]) -> Dict[str, object]:
+        request_id = request.get("id")
+        try:
+            op = protocol.validate_envelope(request)
+            self.counters.bump(f"op.{op}")
+            if op in protocol.SERVICE_OPS:
+                body = self._service_op(op)
+            elif op == "open":
+                body = self._op_open(request)
+            else:
+                body = self._tenant_op(op, request)
+            return protocol.ok_response(request_id, body)
+        except WireError as exc:
+            self.counters.bump(f"errors.{exc.code}")
+            return protocol.error_response(request_id, exc)
+        except Exception as exc:  # engine errors stay per-request
+            self.counters.bump("errors.internal")
+            return protocol.error_response(request_id, exc)
+
+    def _service_op(self, op: str) -> Dict[str, object]:
+        if op == "ping":
+            return {"pong": True}
+        return {  # stats
+            "tenants": len(self.tenants),
+            "service_kid": protocol.kid_for(self.service_secret),
+            "metrics": self.obs.registry.snapshot(),
+        }
+
+    def _op_open(self, request: Dict[str, object]) -> Dict[str, object]:
+        tenant = request["tenant"]
+        body = request.get("body", {})
+        secret = bytes.fromhex(body.get("secret_hex", ""))
+        shard = self.tenants.get(tenant)
+        if shard is None and not secret:
+            raise EnvelopeError("open requires a non-empty secret_hex")
+        if shard is not None:
+            # Re-attach: same key proves the same principal; the shard
+            # (and its seq watermark) survives reconnects.
+            if request["kid"] != shard.kid:
+                raise AuthError(
+                    f"tenant {tenant!r} already open under another key"
+                )
+            protocol.verify_tag(shard.secret, request)
+            self.counters.bump("sessions_reattached")
+            return {
+                "attached": True,
+                "seq": shard.seq,
+                "snapshot": shard.session.snapshot(),
+            }
+        protocol.verify_tag(secret, request)
+        duration = float(body.get("duration", 2000.0))
+        if not 0 < duration <= MAX_DURATION_CYCLES:
+            raise EnvelopeError(
+                f"duration {duration} outside (0, {MAX_DURATION_CYCLES}]"
+            )
+        data_bytes = int(body.get("data_bytes", 0))
+        if not 0 <= data_bytes <= MAX_DATA_BYTES:
+            raise EnvelopeError(
+                f"data_bytes {data_bytes} outside [0, {MAX_DATA_BYTES}]"
+            )
+        session = EngineSession.from_params(
+            scenario=body.get("scenario", "cc1"),
+            scheme=body.get("scheme", "ours"),
+            engine=body.get("engine", "scalar"),
+            duration=duration,
+            seed=int(body.get("seed", 0)),
+            warmup=bool(body.get("warmup", False)),
+            tenant=tenant,
+            secret=secret,
+            data_bytes=data_bytes,
+        )
+        shard = TenantShard(tenant, secret, session)
+        shard.seq = request["seq"]
+        self.tenants[tenant] = shard
+        self.counters.bump("sessions_opened")
+        return {
+            "attached": False,
+            "seq": shard.seq,
+            "engine": session.engine,
+            "total_requests": session.total_requests,
+        }
+
+    def _tenant_op(
+        self, op: str, request: Dict[str, object]
+    ) -> Dict[str, object]:
+        tenant = request["tenant"]
+        shard = self.tenants.get(tenant)
+        if shard is None:
+            raise EnvelopeError(f"tenant {tenant!r} has no open session")
+        protocol.verify_tag(shard.secret, request)
+        if request["seq"] <= shard.seq:
+            raise AuthError(
+                f"stale seq {request['seq']} (watermark {shard.seq})"
+            )
+        shard.seq = request["seq"]
+        session = shard.session
+        body = request.get("body", {})
+
+        if op == "step":
+            requests = body.get("requests")
+            if requests is not None:
+                requests = int(requests)
+                if requests <= 0:
+                    raise EnvelopeError("step requests must be positive")
+            window = session.step(requests)
+            self.counters.bump("requests_stepped", len(window))
+            return {
+                "observables": window,
+                "issued": session.issued,
+                "total_requests": session.total_requests,
+                "done": session.done,
+                "digest": session.observable_digest(),
+            }
+        if op == "put":
+            session.put(
+                int(body.get("addr", 0)),
+                bytes.fromhex(body.get("data_hex", "")),
+            )
+            return {"ok": True}
+        if op == "get":
+            data = session.get(
+                int(body.get("addr", 0)), int(body.get("size", 64))
+            )
+            return {"data_hex": data.hex()}
+        if op == "snapshot":
+            return session.snapshot()
+        if op == "report":
+            self.counters.bump("reports_signed")
+            return protocol.sign_report(
+                session.report(), self.service_secret
+            )
+        # close
+        del self.tenants[tenant]
+        self.counters.bump("sessions_closed")
+        return {
+            "closed": True,
+            "issued": session.issued,
+            "digest": session.observable_digest(),
+        }

@@ -189,15 +189,33 @@ def simulate(
         scheme.reset_stats()
 
     channel = make_channel(soc_config.memory, tracer=scheme.tracer)
-    registry = scheme.obs.registry
-    channel.metrics_into(registry, "channel")
+    channel.metrics_into(scheme.obs.registry, "channel")
     states = [
         DeviceIssueState(i, trace, cfg)
         for i, (trace, cfg) in enumerate(zip(traces, device_configs))
     ]
     run_loop(states, scheme, channel)
-    scheme.finish(channel)
+    return finalize_run(
+        states, scheme, channel,
+        engine="fast" if fast_run is not None else "scalar",
+    )
 
+
+def finalize_run(
+    states: Sequence[DeviceIssueState],
+    scheme: ProtectionScheme,
+    channel: MemoryChannel,
+    engine: str = "scalar",
+) -> RunResult:
+    """Settle a drained run and assemble its :class:`RunResult`.
+
+    Shared by :func:`simulate` and by incrementally driven
+    :class:`~repro.secure_memory.session.EngineSession` objects, so a
+    stepped session and a one-shot simulation of the same traces
+    produce byte-identical payloads.
+    """
+    scheme.finish(channel)
+    registry = scheme.obs.registry
     devices = [
         DeviceResult(
             name=st.config.name,
@@ -231,16 +249,20 @@ def simulate(
         scheme=scheme,
         metrics=registry.snapshot(),
         trace=list(scheme.tracer.events()),
-        engine="fast" if fast_run is not None else "scalar",
+        engine=engine,
     )
 
 
-def _run_loop(
-    states: Sequence[DeviceIssueState],
-    scheme: ProtectionScheme,
-    channel: MemoryChannel,
-) -> None:
-    """Drive every device trace to completion through the scheme.
+class SessionCore:
+    """Resumable run-loop state: the driver decoupled from the loop.
+
+    The former monolithic ``_run_loop`` body, owned by an object: the
+    issue heap, device states, scheme and channel persist between
+    calls, and :meth:`step` advances by a bounded number of requests.
+    One full drain is byte-identical to the old one-shot loop (it *is*
+    the old loop); a sequence of bounded steps is byte-identical to one
+    full drain because every piece of inter-request state lives on the
+    scheme/channel/state objects, never on the stack.
 
     Devices are kept in an index-heap ordered by next-issue time.  A
     device's issue time only changes when *it* issues (issue-window and
@@ -249,37 +271,82 @@ def _run_loop(
     issued request instead of one per active device per request.  Ties
     break on device index, matching the original list-scan order.
     """
-    tracer = scheme.tracer
-    process = scheme.process
-    heap = [
-        (st.next_issue_time(), st.index, st) for st in states if not st.done
-    ]
-    heapq.heapify(heap)
-    heappush, heappop = heapq.heappush, heapq.heappop
-    write_access, read_access = AccessType.WRITE, AccessType.READ
 
-    while heap:
-        issue_at, index, best = heappop(heap)
-        entry = best.trace.entries[best.cursor]
-        gap, addr, is_write = entry
-        req = MemoryRequest(
-            cycle=int(issue_at),
-            addr=addr,
-            size=64,
-            access=write_access if is_write else read_access,
-            device=index,
-            kind=best.kind,
-        )
-        completion = process(req, issue_at, channel)
-        if tracer:
-            tracer.emit(
-                EventType.REQUEST,
-                issue_at,
+    __slots__ = ("states", "scheme", "channel", "issued", "_heap")
+
+    def __init__(
+        self,
+        states: Sequence[DeviceIssueState],
+        scheme: ProtectionScheme,
+        channel: MemoryChannel,
+    ) -> None:
+        self.states = states
+        self.scheme = scheme
+        self.channel = channel
+        self.issued = 0
+        self._heap = [
+            (st.next_issue_time(), st.index, st) for st in states if not st.done
+        ]
+        heapq.heapify(self._heap)
+
+    @property
+    def done(self) -> bool:
+        return not self._heap
+
+    def step(self, limit: Optional[int] = None, sink: Optional[list] = None) -> int:
+        """Issue up to ``limit`` requests (all remaining when ``None``).
+
+        ``sink``, when given, receives one
+        ``(issue_cycle, device, addr, is_write, completion)`` tuple per
+        issued request -- the per-request observables served to daemon
+        tenants.  Returns the number of requests issued.
+        """
+        heap = self._heap
+        scheme = self.scheme
+        channel = self.channel
+        tracer = scheme.tracer
+        process = scheme.process
+        heappush, heappop = heapq.heappush, heapq.heappop
+        write_access, read_access = AccessType.WRITE, AccessType.READ
+        issued = 0
+
+        while heap and (limit is None or issued < limit):
+            issue_at, index, best = heappop(heap)
+            entry = best.trace.entries[best.cursor]
+            gap, addr, is_write = entry
+            req = MemoryRequest(
+                cycle=int(issue_at),
+                addr=addr,
+                size=64,
+                access=write_access if is_write else read_access,
                 device=index,
-                latency=completion - issue_at,
-                write=is_write,
-                stalled=issue_at > best.clock + gap,
+                kind=best.kind,
             )
-        best.issue(issue_at, completion, is_write)
-        if not best.done:
-            heappush(heap, (best.next_issue_time(), index, best))
+            completion = process(req, issue_at, channel)
+            if tracer:
+                tracer.emit(
+                    EventType.REQUEST,
+                    issue_at,
+                    device=index,
+                    latency=completion - issue_at,
+                    write=is_write,
+                    stalled=issue_at > best.clock + gap,
+                )
+            if sink is not None:
+                sink.append((issue_at, index, addr, is_write, completion))
+            best.issue(issue_at, completion, is_write)
+            if not best.done:
+                heappush(heap, (best.next_issue_time(), index, best))
+            issued += 1
+        self.issued += issued
+        return issued
+
+
+def _run_loop(
+    states: Sequence[DeviceIssueState],
+    scheme: ProtectionScheme,
+    channel: MemoryChannel,
+    sink: Optional[list] = None,
+) -> None:
+    """Drive every device trace to completion (one-shot SessionCore)."""
+    SessionCore(states, scheme, channel).step(sink=sink)

@@ -25,11 +25,22 @@ def gate():
     return module
 
 
-def _snapshot(sweep=True, schema="repro-bench/v1", scheme_min=1.0, sweep_min=10.0):
+def _snapshot(
+    sweep=True,
+    schema="repro-bench/v1",
+    scheme_min=1.0,
+    sweep_min=10.0,
+    engine="scalar",
+):
     snap = {
         "schema": schema,
         "generated": "2026-08-06",
-        "platform": {"python": "3.12", "implementation": "CPython", "cpu_count": 4},
+        "platform": {
+            "python": "3.12",
+            "implementation": "CPython",
+            "cpu_count": 4,
+            "engine": engine,
+        },
         "repeat": 2,
         "wall_seconds": {
             "ours": {"min": scheme_min, "runs": [scheme_min, scheme_min * 1.1]}
@@ -119,3 +130,50 @@ def test_sweep_regression_exits_one(gate, tmp_path, capsys):
     cur = _write(tmp_path, "cur.json", _snapshot(sweep_min=20.0))
     assert gate.main([base, cur]) == 1
     assert "REGRESSION: sweep" in capsys.readouterr().err
+
+
+def test_engine_mismatch_exits_two_with_hint(gate, tmp_path, capsys):
+    """A scalar-vs-fast regression compare is a usage error, not a crash."""
+    base = _write(tmp_path, "b_scalar.json", _snapshot(engine="scalar"))
+    cur = _write(tmp_path, "c_fast.json", _snapshot(engine="fast"))
+    assert gate.main([base, cur]) == 2
+    err = capsys.readouterr().err
+    assert "different engines" in err
+    assert "--min-speedup" in err
+    assert "Traceback" not in err
+
+
+def test_engine_mismatch_reports_both_tiers(gate, tmp_path, capsys):
+    base = _write(tmp_path, "b_fast.json", _snapshot(engine="fast"))
+    cur = _write(tmp_path, "c_scalar.json", _snapshot(engine="scalar"))
+    assert gate.main([base, cur]) == 2
+    err = capsys.readouterr().err
+    assert "'fast'" in err and "'scalar'" in err
+
+
+def test_matching_engines_still_compare(gate, tmp_path, capsys):
+    base = _write(tmp_path, "base.json", _snapshot(engine="fast"))
+    cur = _write(tmp_path, "cur.json", _snapshot(engine="fast"))
+    assert gate.main([base, cur]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_min_speedup_accepts_cross_engine_snapshots(gate, tmp_path, capsys):
+    """--min-speedup is the sanctioned cross-tier mode: engines differ."""
+    base = _write(
+        tmp_path, "b_scalar.json", _snapshot(engine="scalar", sweep_min=20.0)
+    )
+    cur = _write(
+        tmp_path, "c_fast.json", _snapshot(engine="fast", sweep_min=5.0)
+    )
+    assert gate.main([base, cur, "--min-speedup", "2.0"]) == 0
+    assert "sweep speedup" in capsys.readouterr().out
+
+
+def test_missing_engine_field_defaults_to_scalar(gate, tmp_path):
+    """Old snapshots without platform.engine keep comparing (as scalar)."""
+    old = _snapshot()
+    del old["platform"]["engine"]
+    base = _write(tmp_path, "base.json", old)
+    cur = _write(tmp_path, "cur.json", _snapshot(engine="scalar"))
+    assert gate.main([base, cur]) == 0

@@ -1,0 +1,198 @@
+"""EngineSession: the run loop decoupled from the driver.
+
+The refactor's load-bearing guarantees:
+
+* a drained session's RunResult is byte-identical to ``simulate()`` /
+  ``run_scenario()`` over the same traces (same ``finalize_run``);
+* bounded-window stepping is byte-identical to one whole-run step
+  (inter-request state lives on engine objects, never the stack);
+* the fast tier serves whole-run steps bit-identically to scalar;
+* observables/digests, snapshots and attestation bodies are stable,
+  JSON-serializable payloads.
+"""
+
+import json
+
+import pytest
+
+from repro.secure_memory.session import (
+    EngineSession,
+    OBSERVABLE_FIELDS,
+    canonical_json,
+)
+from repro.sim.runner import run_scenario
+from repro.sim.scenario import selected_scenario
+from repro.sim.soc import SessionCore
+
+DURATION = 900.0
+
+
+def _session(**kw):
+    kw.setdefault("scenario", "cc1")
+    kw.setdefault("scheme", "ours")
+    kw.setdefault("duration", DURATION)
+    kw.setdefault("seed", 11)
+    return EngineSession.from_params(**kw)
+
+
+def _canonical_result(session):
+    return canonical_json(session.result().to_dict())
+
+
+def test_run_matches_run_scenario_byte_for_byte():
+    session = _session()
+    result = session.run()
+    baseline = run_scenario(
+        selected_scenario("cc1"),
+        ("ours",),
+        duration_cycles=DURATION,
+        seed=11,
+        warmup=False,
+        jobs=1,
+    )["ours"]
+    assert canonical_json(result.to_dict()) == canonical_json(
+        baseline.to_dict()
+    )
+
+
+def test_warmup_matches_run_scenario_default():
+    session = _session(warmup=True)
+    session.run()
+    baseline = run_scenario(
+        selected_scenario("cc1"),
+        ("ours",),
+        duration_cycles=DURATION,
+        seed=11,
+        jobs=1,
+    )["ours"]
+    assert _canonical_result(session) == canonical_json(baseline.to_dict())
+
+
+@pytest.mark.parametrize("window", [1, 7, 64, 1000])
+def test_windowed_stepping_is_byte_identical(window):
+    whole = _session()
+    whole.run()
+    stepped = _session()
+    windows = 0
+    while not stepped.done:
+        got = stepped.step(window)
+        assert 0 < len(got) <= window
+        windows += 1
+    assert windows >= stepped.total_requests // window
+    assert stepped.observable_digest() == whole.observable_digest()
+    assert _canonical_result(stepped) == _canonical_result(whole)
+
+
+def test_observable_rows_are_well_formed():
+    session = _session()
+    rows = session.step(50)
+    assert len(rows) == 50
+    assert len(OBSERVABLE_FIELDS) == 6
+    for seq, row in enumerate(rows):
+        assert row[0] == seq
+        assert isinstance(row[1], int)  # device
+        assert isinstance(row[2], int)  # addr
+        assert row[3] in ("R", "W")
+        assert isinstance(row[4], float) and isinstance(row[5], float)
+        assert row[5] >= row[4] or row[3] == "W"
+    json.dumps(rows)  # wire-safe
+
+
+def test_step_after_drain_returns_empty():
+    session = _session()
+    session.run()
+    assert session.done
+    assert session.step(10) == []
+    assert session.step() == []
+
+
+def test_result_before_drain_raises():
+    session = _session()
+    session.step(5)
+    with pytest.raises(ValueError, match="not drained"):
+        session.result()
+
+
+def test_fast_engine_digest_matches_scalar():
+    pytest.importorskip("numpy")
+    scalar = _session(engine="scalar")
+    scalar.run()
+    fast = _session(engine="fast")
+    fast.run()
+    assert fast.engine == "fast"
+    assert fast.observable_digest() == scalar.observable_digest()
+    assert _canonical_result(fast) == _canonical_result(scalar)
+
+
+def test_fast_session_with_bounded_window_falls_back_to_scalar_steps():
+    pytest.importorskip("numpy")
+    fast = _session(engine="fast")
+    while not fast.done:
+        fast.step(61)
+    scalar = _session(engine="scalar")
+    scalar.run()
+    assert fast.observable_digest() == scalar.observable_digest()
+
+
+def test_snapshot_shape_and_determinism():
+    session = _session(tenant="tx")
+    session.step(20)
+    snap = session.snapshot()
+    assert snap["schema"] == "repro-session/v1"
+    assert snap["tenant"] == "tx"
+    assert snap["issued"] == 20
+    assert not snap["done"]
+    assert sum(snap["cursors"]) == 20
+    assert snap == session.snapshot()  # no side effects
+    json.dumps(snap)
+
+
+def test_report_live_and_drained():
+    session = _session(tenant="tr", secret=b"s", data_bytes=1 << 16)
+    live = session.report()
+    assert live["schema"] == "repro-attest/v1"
+    assert "devices" not in live
+    assert "integrity" in live
+    session.put(0, b"\x5a" * 64)
+    assert session.get(0, 64) == b"\x5a" * 64
+    session.run()
+    done = session.report()
+    assert done["observables"]["sha256"] == session.observable_digest()
+    assert done["observables"]["count"] == session.total_requests
+    assert len(done["devices"]) == len(session.states)
+    assert done["session"]["data"]["writes"] == 1
+    json.dumps(done)
+
+
+def test_data_shard_requires_data_bytes():
+    session = _session()
+    with pytest.raises(ValueError, match="data shard"):
+        session.put(0, b"\x00" * 64)
+    with pytest.raises(ValueError, match="data shard"):
+        session.get(0, 64)
+
+
+def test_tenant_keys_are_derived_from_secret():
+    a = _session(tenant="a", secret=b"s1", data_bytes=1 << 16)
+    b = _session(tenant="a", secret=b"s2", data_bytes=1 << 16)
+    assert a.memory.keys.encryption_key != b.memory.keys.encryption_key
+
+
+def test_sessioncore_limit_counts_and_done():
+    session = _session()
+    core = session._core
+    assert isinstance(core, SessionCore)
+    assert core.step(limit=13) == 13
+    assert core.issued == 13
+    assert not core.done
+    rest = core.step()
+    assert core.done
+    assert 13 + rest == session.total_requests
+
+
+def test_distinct_seeds_diverge():
+    one = _session(seed=1)
+    two = _session(seed=2)
+    one.run()
+    two.run()
+    assert one.observable_digest() != two.observable_digest()
