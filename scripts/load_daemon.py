@@ -75,6 +75,11 @@ def main(argv=None) -> int:
         "--shutdown-timeout", type=float, default=30.0,
         help="seconds the daemon gets to exit after SIGTERM",
     )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="run the daemon with durable tenant journals under DIR and "
+        "gate shutdown on the graceful-drain line",
+    )
     args = parser.parse_args(argv)
 
     # Unix socket paths are limited to ~104 bytes: keep it short.
@@ -85,8 +90,11 @@ def main(argv=None) -> int:
     env["PYTHONPATH"] = REPO_SRC + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    serve_args = [sys.executable, "-m", "repro", "serve", "--socket", sock]
+    if args.state_dir:
+        serve_args += ["--state-dir", args.state_dir]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--socket", sock],
+        serve_args,
         env=env,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -147,6 +155,12 @@ def main(argv=None) -> int:
         elif "shut down cleanly" not in out:
             print(
                 "error: daemon exited 0 without the clean-shutdown line",
+                file=sys.stderr,
+            )
+            status = max(status, 2)
+        elif args.state_dir and "drained" not in out:
+            print(
+                "error: daemon exited 0 without the graceful-drain line",
                 file=sys.stderr,
             )
             status = max(status, 2)

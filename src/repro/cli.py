@@ -327,6 +327,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Execution-chaos harness: fail unless payloads stay byte-identical."""
     from repro.faults.exec_chaos import run_chaos, run_fabric_chaos
 
+    if args.mode == "daemon":
+        from repro.service.chaos import run_daemon_chaos
+
+        report = run_daemon_chaos(
+            tenants=args.tenants,
+            duration=args.duration,
+            seed=args.seed,
+            engines=args.engines,
+            kills=args.kills,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        print(report.format())
+        return 0 if report.passed else 1
+
     if args.mode == "fabric":
         report = run_fabric_chaos(
             seed=args.seed,
@@ -681,6 +695,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             service_secret=secret,
+            state_dir=args.state_dir,
+            max_tenants=args.max_tenants,
+            max_inflight=args.max_inflight,
+            max_step_bytes=args.max_step_bytes,
         )
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -692,7 +710,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         try:
             await stop.wait()
         finally:
-            await daemon.close()
+            # SIGTERM is a graceful drain: stop accepting, park every
+            # fsync'd tenant journal, then exit 0.
+            drained = await daemon.close()
+            if args.state_dir:
+                print(
+                    f"repro daemon drained {drained} tenant journals",
+                    flush=True,
+                )
             print("repro daemon shut down cleanly", flush=True)
 
     asyncio.run(serve())
@@ -909,14 +934,29 @@ def build_parser() -> argparse.ArgumentParser:
         "journals, assert byte-identical payloads",
     )
     p_cha.add_argument(
-        "--mode", choices=["exec", "fabric"], default="exec",
+        "--mode", choices=["exec", "fabric", "daemon"], default="exec",
         help="exec: pool-executor chaos story (default); fabric: "
         "multi-claimant lease-protocol races (worker deaths, stale "
-        "heartbeats, torn results) against the distributed fabric",
+        "heartbeats, torn results) against the distributed fabric; "
+        "daemon: SIGKILL the service daemon mid-fleet, restart from "
+        "--state-dir, assert byte-identical tenant digests",
     )
     p_cha.add_argument(
         "--workers", type=int, default=3, metavar="N",
         help="fabric worker processes for --mode fabric (default 3)",
+    )
+    p_cha.add_argument(
+        "--tenants", type=int, default=6,
+        help="daemon mode: concurrent tenant sessions (default 6)",
+    )
+    p_cha.add_argument(
+        "--engines", choices=["scalar", "fast", "mixed"], default="mixed",
+        help="daemon mode: engine tier per tenant (default mixed; "
+        "degrades to scalar without numpy)",
+    )
+    p_cha.add_argument(
+        "--kills", type=int, default=2,
+        help="daemon mode: seeded SIGKILL+restart cycles (default 2)",
     )
     p_cha.add_argument(
         "--sample", type=int, default=6,
@@ -1129,6 +1169,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--service-secret", default=None, metavar="HEX",
         help="hex seed of the report-signing key (default: ephemeral "
         "random key)",
+    )
+    p_srv.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="persist tenants as fsync'd repro-tenant/v1 journals under "
+        "DIR; a restarted daemon rehydrates them on open (crash-safe)",
+    )
+    p_srv.add_argument(
+        "--max-tenants", type=int, default=None, metavar="N",
+        help="admission control: shed opens beyond N live tenants",
+    )
+    p_srv.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission control: shed requests beyond N in flight",
+    )
+    p_srv.add_argument(
+        "--max-step-bytes", type=int, default=None, metavar="BYTES",
+        help="admission control: shed step windows whose observable "
+        "payload would exceed BYTES (~64 bytes/row)",
     )
     p_srv.add_argument(
         "--selftest", action="store_true",

@@ -256,6 +256,26 @@ class EngineSession:
             window.append(row)
         return window
 
+    def step_to(self, issued_target: int) -> List[List[object]]:
+        """Advance until ``issued`` reaches ``issued_target``; return rows.
+
+        The rehydration primitive: the daemon's tenant store records
+        cumulative ``issued`` watermarks per committed window
+        (``repro-tenant/v1``), and replaying a journal is exactly
+        stepping a fresh session to each recorded watermark in order --
+        byte-identical by determinism, verified against the recorded
+        digest after every window.
+        """
+        if issued_target < self.issued:
+            raise ValueError(
+                f"cannot step back to {issued_target} "
+                f"(already issued {self.issued})"
+            )
+        rows: List[List[object]] = []
+        while self.issued < issued_target and not self.done:
+            rows.extend(self.step(issued_target - self.issued))
+        return rows
+
     def observable_digest(self) -> str:
         """SHA-256 over canonical JSON of every row issued so far."""
         return self._digest.hexdigest()

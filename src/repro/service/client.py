@@ -12,13 +12,33 @@ Two clients share the envelope logic:
 Both keep a per-tenant ``seq`` watermark; after a reconnect,
 ``open`` (re-attach) returns the daemon's watermark so the client can
 resume above it.
+
+Resilience
+----------
+Connection failures never leak raw ``ConnectionRefusedError`` /
+``socket.timeout``: both clients retry with capped, deterministic
+jittered exponential backoff (:func:`reconnect_delay`, mirroring
+``ResiliencePolicy.backoff``) and raise a typed
+:class:`ServiceUnavailableError` naming the endpoint and attempt count
+once the budget is spent.
+
+A request that dies mid-flight is retried **idempotently**: the
+envelope is built once (fixed ``seq`` and ``tag``), the client
+reconnects, re-attaches the tenant via ``open`` (using the params
+cached from the original ``open``, so a restarted daemon can
+rehydrate), and re-sends the *same* envelope.  The daemon either
+answers from its duplicate cache (the window committed before the
+crash) or re-executes the deterministic window -- a retried ``step``
+never double-applies.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import itertools
 import socket
+import time
 from typing import Dict, Optional
 
 from repro.service import protocol
@@ -26,20 +46,70 @@ from repro.service.protocol import HEADER_BYTES, WireError
 
 
 class ServiceError(WireError):
-    """An error response from the daemon, raised client-side."""
+    """An error response from the daemon, raised client-side.
+
+    ``retry_after`` is the daemon's backoff hint in seconds when the
+    error is a shed (``code == "overloaded"``), else ``None``.
+    """
 
     code = "service-error"
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(WireError):
+    """The daemon endpoint could not be reached within the retry budget."""
+
+    code = "service-unavailable"
+
+    def __init__(
+        self, endpoint: str, attempts: int, cause: Optional[Exception] = None
+    ) -> None:
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(
+            f"service at {endpoint} unavailable after "
+            f"{attempts} attempt(s){detail}"
+        )
+        self.endpoint = endpoint
+        self.attempts = attempts
+        self.cause = cause
+
+
+def reconnect_delay(
+    endpoint: str, attempt: int, base: float = 0.05, cap: float = 1.0
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    The jitter fraction is keyed BLAKE2b of ``endpoint:attempt`` (the
+    same discipline as ``ResiliencePolicy.backoff`` in
+    :mod:`repro.sim.resilient`), so retry schedules are reproducible in
+    tests while still de-synchronizing distinct endpoints.
+    """
+    raw = min(base * (2 ** attempt), cap)
+    seed = hashlib.blake2b(
+        f"{endpoint}:{attempt}".encode("utf-8"),
+        digest_size=8,
+        person=b"repro-reconnect",
+    ).digest()
+    jitter = int.from_bytes(seed, "big") / float(1 << 64)
+    return raw * (0.5 + jitter)
 
 
 def _raise_on_error(response: Dict[str, object]) -> Dict[str, object]:
     if not response.get("ok"):
         err = response.get("error", {})
         raise ServiceError(
-            err.get("code", "unknown"), err.get("message", "unknown error")
+            err.get("code", "unknown"),
+            err.get("message", "unknown error"),
+            retry_after=err.get("retry_after"),
         )
     return response["body"]  # type: ignore[return-value]
 
@@ -71,6 +141,7 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         timeout: float = 30.0,
+        retries: int = 4,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path / port required")
@@ -78,13 +149,22 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
         self._sock: Optional[socket.socket] = None
         self._ids = itertools.count(1)
         self._seqs = _SeqBook()
+        #: ``open`` params per tenant, replayed on reattach so a
+        #: restarted daemon rehydrates (or re-creates) the right session.
+        self._open_params: Dict[str, Dict[str, object]] = {}
 
     # -- connection -----------------------------------------------------
 
-    def connect(self) -> "ServiceClient":
+    def endpoint(self) -> str:
+        if self.socket_path is not None:
+            return self.socket_path
+        return f"{self.host}:{self.port}"
+
+    def _connect_once(self) -> None:
         if self.socket_path is not None:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self.timeout)
@@ -94,7 +174,22 @@ class ServiceClient:
                 (self.host, self.port), timeout=self.timeout
             )
         self._sock = sock
-        return self
+
+    def connect(self) -> "ServiceClient":
+        """Connect, retrying with backoff; typed error when exhausted."""
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                self._connect_once()
+                return self
+            except OSError as exc:
+                last = exc
+                self.close_connection()
+                if attempt < self.retries:
+                    time.sleep(reconnect_delay(self.endpoint(), attempt))
+        raise ServiceUnavailableError(
+            self.endpoint(), self.retries + 1, last
+        )
 
     def close_connection(self) -> None:
         if self._sock is not None:
@@ -120,6 +215,24 @@ class ServiceClient:
             n -= len(chunk)
         return b"".join(chunks)
 
+    def _send_recv(self, env: Dict[str, object]) -> Dict[str, object]:
+        assert self._sock is not None
+        self._sock.sendall(protocol.encode_frame(env))
+        length = protocol.decode_length(self._recv_exactly(HEADER_BYTES))
+        return _raise_on_error(protocol.decode_body(self._recv_exactly(length)))
+
+    def _reattach(self, tenant: str, secret: bytes) -> None:
+        """Resync one tenant after a reconnect (open is the resync point)."""
+        body = dict(self._open_params.get(tenant, {}))
+        body["secret_hex"] = secret.hex()
+        seq = self._seqs.next(tenant)
+        env = protocol.make_request(
+            next(self._ids), "open", body,
+            tenant=tenant, seq=seq, secret=secret,
+        )
+        out = self._send_recv(env)
+        self._seqs.resume(tenant, out.get("seq", seq))
+
     def request(
         self,
         op: str,
@@ -127,9 +240,12 @@ class ServiceClient:
         tenant: str = "",
         secret: bytes = b"",
     ) -> Dict[str, object]:
-        """Send one envelope and return the (unwrapped) response body."""
-        if self._sock is None:
-            self.connect()
+        """Send one envelope and return the (unwrapped) response body.
+
+        The envelope is built exactly once; connection failures trigger
+        reconnect + reattach + re-send of the *same* bytes, which the
+        daemon's duplicate cache makes idempotent.
+        """
         if (
             op in protocol.TENANT_OPS
             and op != "open"
@@ -143,14 +259,55 @@ class ServiceClient:
         env = protocol.make_request(
             next(self._ids), op, body, tenant=tenant, seq=seq, secret=secret
         )
-        assert self._sock is not None
-        self._sock.sendall(protocol.encode_frame(env))
-        length = protocol.decode_length(self._recv_exactly(HEADER_BYTES))
-        response = protocol.decode_body(self._recv_exactly(length))
-        out = _raise_on_error(response)
+        out = self._request_with_retry(env, op, tenant, secret)
         if op == "open":
+            self._open_params[tenant] = dict(body or {})
+            self._open_params[tenant].pop("secret_hex", None)
             self._seqs.resume(tenant, out.get("seq", seq))
         return out
+
+    def _request_with_retry(
+        self,
+        env: Dict[str, object],
+        op: str,
+        tenant: str,
+        secret: bytes,
+    ) -> Dict[str, object]:
+        last: Optional[Exception] = None
+        resync = op in protocol.TENANT_OPS and op != "open"
+        need_reattach = False
+        reattached = False
+        for attempt in range(self.retries + 1):
+            try:
+                if self._sock is None:
+                    self._connect_once()
+                    need_reattach = resync
+                if need_reattach:
+                    self._reattach(tenant, secret)
+                    need_reattach = False
+                return self._send_recv(env)
+            except ServiceError as exc:
+                # The daemon restarted without this tenant live (its
+                # state rehydrates on open): re-open once, then re-send
+                # the same envelope.  Only for tenants *this client*
+                # opened -- a truly unknown tenant stays an error.
+                if (
+                    exc.code != "unknown-tenant"
+                    or not resync
+                    or reattached
+                    or tenant not in self._open_params
+                ):
+                    raise
+                reattached = True
+                need_reattach = True
+            except (protocol.FrameError, OSError) as exc:
+                last = exc
+                self.close_connection()
+                if attempt < self.retries:
+                    time.sleep(reconnect_delay(self.endpoint(), attempt))
+        raise ServiceUnavailableError(
+            self.endpoint(), self.retries + 1, last
+        )
 
     # -- verbs ----------------------------------------------------------
 
@@ -205,7 +362,10 @@ class AsyncServiceClient:
     Requests may be issued concurrently from many tasks; a single
     reader task dispatches responses to waiters by request id, so in-
     flight windows from different tenants interleave freely on the one
-    stream.
+    stream.  Reconnects are serialized through a connection lock: the
+    first task to notice a dead stream re-dials (with backoff) and
+    every task re-attaches its own tenant before re-sending its
+    original envelope.
     """
 
     def __init__(
@@ -213,19 +373,28 @@ class AsyncServiceClient:
         socket_path: Optional[str] = None,
         host: str = "127.0.0.1",
         port: Optional[int] = None,
+        retries: int = 4,
     ) -> None:
         if (socket_path is None) == (port is None):
             raise ValueError("exactly one of socket_path / port required")
         self.socket_path = socket_path
         self.host = host
         self.port = port
+        self.retries = retries
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._ids = itertools.count(1)
         self._seqs = _SeqBook()
+        self._open_params: Dict[str, Dict[str, object]] = {}
         self._waiters: Dict[int, asyncio.Future] = {}
         self._pump: Optional[asyncio.Task] = None
         self._write_lock = asyncio.Lock()
+        self._conn_lock = asyncio.Lock()
+
+    def endpoint(self) -> str:
+        if self.socket_path is not None:
+            return self.socket_path
+        return f"{self.host}:{self.port}"
 
     async def connect(self) -> "AsyncServiceClient":
         if self.socket_path is not None:
@@ -238,6 +407,22 @@ class AsyncServiceClient:
             )
         self._pump = asyncio.ensure_future(self._pump_responses())
         return self
+
+    def _connected(self) -> bool:
+        return (
+            self._writer is not None
+            and not self._writer.is_closing()
+            and self._pump is not None
+            and not self._pump.done()
+        )
+
+    async def _ensure_connected(self) -> None:
+        """Dial (once across concurrent tasks) if the stream is dead."""
+        async with self._conn_lock:
+            if self._connected():
+                return
+            await self.close_connection()
+            await self.connect()
 
     async def close_connection(self) -> None:
         if self._pump is not None:
@@ -254,11 +439,12 @@ class AsyncServiceClient:
             except (ConnectionError, OSError):
                 pass
             self._writer = None
+        self._fail_waiters(protocol.FrameError("connection closed"))
+
+    def _fail_waiters(self, exc: Exception) -> None:
         for future in self._waiters.values():
             if not future.done():
-                future.set_exception(
-                    protocol.FrameError("connection closed")
-                )
+                future.set_exception(exc)
         self._waiters.clear()
 
     async def __aenter__(self) -> "AsyncServiceClient":
@@ -269,20 +455,44 @@ class AsyncServiceClient:
 
     async def _pump_responses(self) -> None:
         assert self._reader is not None
+        failure: Exception = protocol.FrameError("connection closed")
         try:
             while True:
                 frame = await protocol.read_frame(self._reader)
                 if frame is None:
-                    break
+                    break  # EOF: daemon went away; fail the in-flight set
                 _, response = frame
                 future = self._waiters.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
         except (protocol.FrameError, ConnectionError) as exc:
-            for future in self._waiters.values():
-                if not future.done():
-                    future.set_exception(exc)
-            self._waiters.clear()
+            failure = exc
+        finally:
+            self._fail_waiters(failure)
+
+    async def _send_once(self, env: Dict[str, object]) -> Dict[str, object]:
+        assert self._writer is not None
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[env["id"]] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(protocol.encode_frame(env))
+                await self._writer.drain()
+            response = await future
+        finally:
+            self._waiters.pop(env["id"], None)
+        return _raise_on_error(response)
+
+    async def _reattach(self, tenant: str, secret: bytes) -> None:
+        body = dict(self._open_params.get(tenant, {}))
+        body["secret_hex"] = secret.hex()
+        seq = self._seqs.next(tenant)
+        env = protocol.make_request(
+            next(self._ids), "open", body,
+            tenant=tenant, seq=seq, secret=secret,
+        )
+        out = await self._send_once(env)
+        self._seqs.resume(tenant, out.get("seq", seq))
 
     async def request(
         self,
@@ -291,22 +501,60 @@ class AsyncServiceClient:
         tenant: str = "",
         secret: bytes = b"",
     ) -> Dict[str, object]:
-        assert self._writer is not None
         request_id = next(self._ids)
         seq = self._seqs.next(tenant) if op in protocol.TENANT_OPS else 0
         env = protocol.make_request(
             request_id, op, body, tenant=tenant, seq=seq, secret=secret
         )
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._waiters[request_id] = future
-        async with self._write_lock:
-            self._writer.write(protocol.encode_frame(env))
-            await self._writer.drain()
-        response = await future
-        out = _raise_on_error(response)
+        out = await self._request_with_retry(env, op, tenant, secret)
         if op == "open":
+            self._open_params[tenant] = dict(body or {})
+            self._open_params[tenant].pop("secret_hex", None)
             self._seqs.resume(tenant, out.get("seq", seq))
         return out
+
+    async def _request_with_retry(
+        self,
+        env: Dict[str, object],
+        op: str,
+        tenant: str,
+        secret: bytes,
+    ) -> Dict[str, object]:
+        last: Optional[Exception] = None
+        resync = op in protocol.TENANT_OPS and op != "open"
+        need_reattach = False
+        reattached = False
+        for attempt in range(self.retries + 1):
+            try:
+                await self._ensure_connected()
+                if (attempt or need_reattach) and resync:
+                    await self._reattach(tenant, secret)
+                    need_reattach = False
+                return await self._send_once(env)
+            except ServiceError as exc:
+                # Another task may have re-dialed after a daemon
+                # restart without re-opening *this* tenant: do it once,
+                # then re-send the same envelope.  Only for tenants
+                # *this client* opened -- a truly unknown tenant stays
+                # an error.
+                if (
+                    exc.code != "unknown-tenant"
+                    or not resync
+                    or reattached
+                    or tenant not in self._open_params
+                ):
+                    raise
+                reattached = True
+                need_reattach = True
+            except (protocol.FrameError, OSError) as exc:
+                last = exc
+                if attempt < self.retries:
+                    await asyncio.sleep(
+                        reconnect_delay(self.endpoint(), attempt)
+                    )
+        raise ServiceUnavailableError(
+            self.endpoint(), self.retries + 1, last
+        )
 
     async def open(
         self, tenant: str, secret: bytes, **params

@@ -86,6 +86,38 @@ class AuthError(WireError):
     code = "auth-error"
 
 
+class UnknownTenantError(WireError):
+    """Tenant has no live (or persisted) session on this daemon.
+
+    Distinct from :class:`EnvelopeError` so a resilient client can
+    recognise "the daemon restarted without my state" and re-open
+    instead of treating the response as a malformed-request bug.
+    """
+
+    code = "unknown-tenant"
+
+
+class OverloadError(WireError):
+    """The daemon is shedding load (admission control).
+
+    Typed and *retryable*: the response carries ``retry_after`` (a
+    client hint in seconds) so callers back off instead of hammering
+    a saturated daemon.  Counted in ``service.shed_requests``.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class StateError(WireError):
+    """Persisted tenant state failed verification during rehydration."""
+
+    code = "state-error"
+
+
 def canonical(obj) -> str:
     """Canonical JSON (sorted keys, no whitespace) for tags/digests."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
@@ -264,11 +296,15 @@ def ok_response(request_id, body: Dict[str, object]) -> Dict[str, object]:
 def error_response(request_id, exc: Exception) -> Dict[str, object]:
     code = getattr(exc, "code", "internal-error")
     message = getattr(exc, "message", None) or str(exc)
+    error: Dict[str, object] = {"code": code, "message": message}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        error["retry_after"] = retry_after
     return {
         "v": WIRE_SCHEMA,
         "id": request_id,
         "ok": False,
-        "error": {"code": code, "message": message},
+        "error": error,
     }
 
 

@@ -229,8 +229,18 @@ class SupervisionReport:
 # Checkpoint journal
 # ----------------------------------------------------------------------
 
-def _digest(text: str) -> str:
+def digest_text(text: str) -> str:
+    """SHA-256 hex of UTF-8 text.
+
+    The one digest discipline every journal schema in this repo shares:
+    ``repro-journal/v1`` entries here, ``repro-tenant/v1`` entries in
+    :mod:`repro.service.store`, and the fabric result store all bind
+    payloads with this function so damage detection is uniform.
+    """
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+_digest = digest_text
 
 
 def _keys_digest(keys: Sequence[str]) -> str:

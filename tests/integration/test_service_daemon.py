@@ -124,15 +124,27 @@ def test_reattach_with_wrong_key_rejected():
     with_daemon(scenario)
 
 
-def test_replayed_seq_rejected():
+def test_replayed_seq_is_idempotent_but_stale_seq_rejected():
     async def scenario(daemon, path):
         secret = b"k"
         async with AsyncServiceClient(socket_path=path) as client:
             await client.open("t1", secret, duration=DURATION)
-            await client.step("t1", secret, requests=5)
-            client._seqs._seqs["t1"] -= 1  # forge a replay
+            first = await client.step("t1", secret, requests=5)
+            # A byte-identical replay of the committed envelope (a
+            # client retry after a lost response) answers from the
+            # duplicate cache -- same body, no double-apply.
+            client._seqs._seqs["t1"] -= 1
+            again = await client.step("t1", secret, requests=5)
+            assert again == first
+            assert again["issued"] == 5  # engine did NOT advance twice
+            assert counter(daemon, "duplicate_replays") == 1
+            # A *different* envelope at a stale/equal seq is a true
+            # replay forgery: rejected recoverably, stream survives.
+            client._seqs._seqs["t1"] -= 1
             with pytest.raises(ServiceError, match="stale seq"):
-                await client.step("t1", secret, requests=5)
+                await client.step("t1", secret, requests=7)
+            nxt = await client.step("t1", secret, requests=5)
+            assert nxt["issued"] == 10
 
     with_daemon(scenario)
 
